@@ -1,0 +1,35 @@
+//! Criterion bench: floorplan model speed (the paper's claim that the
+//! toolchain "works at the speed of high-level models" while estimating
+//! low-level details). One full five-step prediction per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shg_core::Scenario;
+use shg_floorplan::{predict, ModelOptions};
+use shg_topology::generators;
+
+fn bench_model(c: &mut Criterion) {
+    let scenario = Scenario::knc_a();
+    let grid = scenario.params.grid;
+    let options = ModelOptions {
+        cell_scale: 4.0,
+        ..ModelOptions::default()
+    };
+    let topologies = vec![
+        ("mesh", generators::mesh(grid)),
+        ("sparse_hamming_a", scenario.shg.build()),
+        ("torus", generators::torus(grid)),
+        ("flattened_butterfly", generators::flattened_butterfly(grid)),
+    ];
+    let mut group = c.benchmark_group("floorplan_predict_64t");
+    group.sample_size(10);
+    for (name, topology) in &topologies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), topology, |b, t| {
+            b.iter(|| predict(&scenario.params, t, &options));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: routing-table construction per algorithm family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shg_topology::{generators, routing, Grid};
+
+fn bench_routing(c: &mut Criterion) {
+    let grid = Grid::new(8, 8);
+    let cases = vec![
+        ("mesh_row_column", generators::mesh(grid)),
+        (
+            "shg_row_column",
+            generators::row_column_skip(
+                grid,
+                &[4].into_iter().collect(),
+                &[2, 5].into_iter().collect(),
+            )
+            .expect("scenario a"),
+        ),
+        ("torus_dateline", generators::torus(grid)),
+        ("ring_dateline", generators::ring(grid)),
+        ("hypercube_ecube", generators::hypercube(grid).expect("8x8")),
+    ];
+    let mut group = c.benchmark_group("routing_tables_64t");
+    group.sample_size(20);
+    for (name, topology) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), topology, |b, t| {
+            b.iter(|| routing::default_routes(t).expect("routes"));
+        });
+    }
+    // SlimNoC needs a 128-tile grid.
+    let slim = generators::slim_noc(Grid::new(16, 8)).expect("128 tiles");
+    group.bench_function("slimnoc_hop_escalation_128t", |b| {
+        b.iter(|| routing::default_routes(&slim).expect("routes"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: cycle-accurate simulator speed — one short
+//! measurement run (warm-up + measure + drain) per iteration, plus the
+//! analytic zero-load latency used inside the customization loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use shg_sim::{zero_load_latency, Network, SimConfig, TrafficPattern};
+use shg_topology::{generators, routing, Grid};
+use shg_units::Cycles;
+
+fn bench_simulator(c: &mut Criterion) {
+    let grid = Grid::new(8, 8);
+    let mesh = generators::mesh(grid);
+    let routes = routing::default_routes(&mesh).expect("routes");
+    let latencies = vec![Cycles::one(); mesh.num_links()];
+    let config = SimConfig {
+        warmup: 500,
+        measure: 1_000,
+        drain_limit: 3_000,
+        ..SimConfig::default()
+    };
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("mesh_8x8_run_0.1", |b| {
+        b.iter(|| {
+            let mut network = Network::new(&mesh, &routes, &latencies, config.clone());
+            network.run(0.1, TrafficPattern::UniformRandom)
+        });
+    });
+    group.bench_function("mesh_8x8_analytic_zll", |b| {
+        b.iter(|| zero_load_latency(&mesh, &routes, &latencies, &config));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

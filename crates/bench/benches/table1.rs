@@ -1,0 +1,24 @@
+//! Criterion bench: Table I compliance analysis speed — the full
+//! computed compliance matrix for one grid per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use shg_core::Scenario;
+use shg_topology::compliance;
+
+fn bench_table1(c: &mut Criterion) {
+    let scenario = Scenario::knc_a();
+    let shg = scenario.shg.build();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("compliance_matrix_8x8", |b| {
+        b.iter(|| compliance::table1(scenario.params.grid, Some(&shg)));
+    });
+    group.bench_function("analyze_sparse_hamming_8x8", |b| {
+        b.iter(|| compliance::analyze(&shg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! E3–E6 — regenerates Fig. 6: cost and performance comparison of all
+//! topologies for the four KNC-like scenarios.
+//!
+//! Run with:
+//! `cargo run --release -p shg-bench --bin fig6 -- [--scenario a|b|c|d|all] [--fast] [--customize]`
+//!
+//! `--fast` replaces the cycle-accurate saturation search with the
+//! analytic channel-load bound and coarsens the detailed-routing grid
+//! (seconds instead of minutes; same orderings).
+//!
+//! `--customize` additionally re-runs the paper's Section V-a
+//! customization loop against *this* model and appends the resulting
+//! configuration as an extra row. The paper's published SR/SC values were
+//! customized against the authors' calibrated model; re-customizing is
+//! the faithful way to reproduce the methodology on a different substrate.
+
+use shg_bench::{arg_value, evaluate_all, has_flag};
+use shg_core::{customize, report, DesignGoals, PerformanceMode, Scenario, Toolchain};
+use shg_floorplan::ModelOptions;
+
+fn main() {
+    let which = arg_value("--scenario").unwrap_or_else(|| "all".to_owned());
+    let fast = has_flag("--fast");
+    let scenarios: Vec<Scenario> = if which == "all" {
+        Scenario::all_knc()
+    } else {
+        vec![Scenario::by_name(&which)
+            .unwrap_or_else(|| panic!("unknown scenario '{which}' (use a|b|c|d|all)"))]
+    };
+    let toolchain = if fast {
+        Toolchain {
+            model_options: ModelOptions {
+                cell_scale: 4.0,
+                ..ModelOptions::default()
+            },
+            mode: PerformanceMode::Analytic,
+            ..Toolchain::default()
+        }
+    } else {
+        Toolchain {
+            model_options: ModelOptions {
+                cell_scale: 2.0,
+                ..ModelOptions::default()
+            },
+            ..Toolchain::default()
+        }
+    };
+    for scenario in scenarios {
+        println!(
+            "=== Fig. 6{} — {} (SHG: {}) ===",
+            scenario.name, scenario.description, scenario.shg
+        );
+        println!(
+            "Uniform random traffic, hop-minimal routing, {} throughput\n",
+            if fast { "analytic" } else { "simulated" }
+        );
+        let mut evaluations = evaluate_all(&scenario, &toolchain);
+        if has_flag("--customize") {
+            // Rank candidates with the fast analytic toolchain, then
+            // re-evaluate the winner with the full one.
+            let trace = customize(
+                &Toolchain {
+                    model_options: ModelOptions {
+                        cell_scale: 6.0,
+                        ..ModelOptions::default()
+                    },
+                    mode: PerformanceMode::Analytic,
+                    ..Toolchain::default()
+                },
+                &scenario.params,
+                DesignGoals {
+                    area_budget: scenario.area_budget,
+                },
+            )
+            .expect("customization runs");
+            let best = trace.best();
+            let mut eval = toolchain
+                .evaluate(&scenario.params, &best.config.build())
+                .expect("customized config evaluates");
+            eval.name = format!("SHG re-customized {}", best.config);
+            println!(
+                "Re-customized against this model: {} ({} steps)\n",
+                best.config,
+                trace.steps.len()
+            );
+            evaluations.push(eval);
+        }
+        println!("{}", report::evaluation_table(&evaluations));
+        // The paper's headline claim per scenario.
+        let within: Vec<_> = evaluations
+            .iter()
+            .filter(|e| e.area_overhead <= scenario.area_budget)
+            .collect();
+        if let Some(best) = within.iter().max_by(|a, b| {
+            a.saturation_throughput
+                .partial_cmp(&b.saturation_throughput)
+                .expect("finite")
+        }) {
+            let latency_rank = within
+                .iter()
+                .filter(|e| e.zero_load_latency < best.zero_load_latency)
+                .count()
+                + 1;
+            println!(
+                "Within the {:.0}% area budget: highest throughput = {} \
+                 ({:.1}%), latency rank {} of {}\n",
+                scenario.area_budget * 100.0,
+                best.name,
+                best.saturation_throughput * 100.0,
+                latency_rank,
+                within.len()
+            );
+        }
+    }
+}

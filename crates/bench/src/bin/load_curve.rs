@@ -1,0 +1,76 @@
+//! Latency-vs-offered-load curves — the raw simulator data underlying the
+//! saturation-throughput points of Fig. 6.
+//!
+//! Run with:
+//! `cargo run --release -p shg-bench --bin load_curve -- [--scenario a] [--topology shg|mesh|torus|fb]`
+
+use shg_bench::arg_value;
+use shg_core::{AnnotatedTopology, Scenario};
+use shg_floorplan::ModelOptions;
+use shg_sim::{load_sweep, SimConfig, TrafficPattern};
+use shg_topology::{generators, routing};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = arg_value("--scenario").unwrap_or_else(|| "a".to_owned());
+    let scenario =
+        Scenario::by_name(&which).ok_or_else(|| format!("unknown scenario '{which}'"))?;
+    let topology_name = arg_value("--topology").unwrap_or_else(|| "shg".to_owned());
+    let grid = scenario.params.grid;
+    let topology = match topology_name.as_str() {
+        "mesh" => generators::mesh(grid),
+        "torus" => generators::torus(grid),
+        "fb" => generators::flattened_butterfly(grid),
+        "ring" => generators::ring(grid),
+        "shg" => scenario.shg.build(),
+        other => return Err(format!("unknown topology '{other}'").into()),
+    };
+    println!(
+        "Load sweep: {} on scenario ({}), uniform random traffic",
+        topology, scenario.name
+    );
+    let annotated = AnnotatedTopology::annotate(
+        &scenario.params,
+        topology,
+        &ModelOptions {
+            cell_scale: 2.0,
+            ..ModelOptions::default()
+        },
+    );
+    let routes = routing::default_routes(&annotated.topology)?;
+    let config = SimConfig {
+        warmup: 3_000,
+        measure: 6_000,
+        drain_limit: 20_000,
+        ..SimConfig::default()
+    };
+    let rates: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+    let outcomes = load_sweep(
+        &annotated.topology,
+        &routes,
+        &annotated.link_latencies,
+        &config,
+        TrafficPattern::UniformRandom,
+        &rates,
+    );
+    println!(
+        "\n{:>10} {:>10} {:>14} {:>14} {:>8}",
+        "Offered", "Accepted", "AvgLat[cyc]", "MaxLat[cyc]", "Stable"
+    );
+    println!("{}", "-".repeat(62));
+    for (rate, outcome) in rates.iter().zip(&outcomes) {
+        println!(
+            "{:>10.2} {:>10.3} {:>14.1} {:>14.0} {:>8}",
+            rate,
+            outcome.accepted_rate,
+            outcome.avg_packet_latency,
+            outcome.max_packet_latency,
+            outcome.stable
+        );
+        // Stop printing deep into saturation: the curve is vertical there.
+        if !outcome.stable && outcome.accepted_rate < rate * 0.7 {
+            println!("… (saturated)");
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Exhaustive design-space exploration: evaluates *every* sparse Hamming
+//! configuration of a small grid and prints the cost/performance Pareto
+//! frontier — the quantitative version of the paper's claim that the
+//! topology's trade-off is customizable (Section III).
+//!
+//! The space has `2^(R+C−4)` points, so this is feasible for small grids;
+//! the default 6×6 grid has 256 configurations.
+//!
+//! Run with: `cargo run --release -p shg-bench --bin pareto -- [--rows 6] [--cols 6]`
+
+use shg_bench::arg_value;
+use shg_core::{Evaluation, PerformanceMode, Scenario, SparseHammingConfig, Toolchain};
+use shg_floorplan::ModelOptions;
+
+/// Enumerates every subset pair (SR, SC) for the grid.
+fn all_configs(rows: u16, cols: u16) -> Vec<SparseHammingConfig> {
+    let sr_values: Vec<u16> = (2..cols).collect();
+    let sc_values: Vec<u16> = (2..rows).collect();
+    let mut configs = Vec::new();
+    for sr_mask in 0u32..(1 << sr_values.len()) {
+        for sc_mask in 0u32..(1 << sc_values.len()) {
+            let sr: Vec<u16> = sr_values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| sr_mask & (1 << i) != 0)
+                .map(|(_, &x)| x)
+                .collect();
+            let sc: Vec<u16> = sc_values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| sc_mask & (1 << i) != 0)
+                .map(|(_, &x)| x)
+                .collect();
+            configs.push(
+                SparseHammingConfig::new(rows, cols, sr, sc).expect("enumerated in range"),
+            );
+        }
+    }
+    configs
+}
+
+/// `true` if `a` dominates `b`: no worse in area, throughput and latency,
+/// strictly better in at least one.
+fn dominates(a: &Evaluation, b: &Evaluation) -> bool {
+    let no_worse = a.area_overhead <= b.area_overhead
+        && a.saturation_throughput >= b.saturation_throughput
+        && a.zero_load_latency <= b.zero_load_latency;
+    let strictly = a.area_overhead < b.area_overhead
+        || a.saturation_throughput > b.saturation_throughput
+        || a.zero_load_latency < b.zero_load_latency;
+    no_worse && strictly
+}
+
+fn main() {
+    let rows: u16 = arg_value("--rows").map_or(6, |v| v.parse().expect("rows"));
+    let cols: u16 = arg_value("--cols").map_or(6, |v| v.parse().expect("cols"));
+    // Scenario (a)'s architecture, shrunk to the requested grid.
+    let mut scenario = Scenario::knc_a();
+    scenario.params.grid = shg_topology::Grid::new(rows, cols);
+    let toolchain = Toolchain {
+        model_options: ModelOptions {
+            cell_scale: 6.0,
+            ..ModelOptions::default()
+        },
+        mode: PerformanceMode::Analytic,
+        ..Toolchain::default()
+    };
+    let configs = all_configs(rows, cols);
+    println!(
+        "=== Design-space exploration: {rows}x{cols}, {} configurations ===\n",
+        configs.len()
+    );
+    let mut evaluated: Vec<(SparseHammingConfig, Evaluation)> = Vec::new();
+    let chunks: Vec<Vec<SparseHammingConfig>> = configs
+        .chunks(configs.len().div_ceil(8).max(1))
+        .map(<[SparseHammingConfig]>::to_vec)
+        .collect();
+    let mut results: Vec<Vec<(SparseHammingConfig, Evaluation)>> =
+        vec![Vec::new(); chunks.len()];
+    crossbeam::thread::scope(|scope| {
+        for (chunk, out) in chunks.iter().zip(results.iter_mut()) {
+            let toolchain = &toolchain;
+            let params = &scenario.params;
+            scope.spawn(move |_| {
+                for config in chunk {
+                    let eval = toolchain
+                        .evaluate(params, &config.build())
+                        .expect("SHG evaluates");
+                    out.push((config.clone(), eval));
+                }
+            });
+        }
+    })
+    .expect("no worker panicked");
+    for chunk in results {
+        evaluated.extend(chunk);
+    }
+    // Pareto frontier.
+    let mut frontier: Vec<&(SparseHammingConfig, Evaluation)> = evaluated
+        .iter()
+        .filter(|(_, e)| !evaluated.iter().any(|(_, other)| dominates(other, e)))
+        .collect();
+    frontier.sort_by(|a, b| {
+        a.1.area_overhead
+            .partial_cmp(&b.1.area_overhead)
+            .expect("finite")
+    });
+    println!(
+        "{:<34} {:>11} {:>12} {:>11}",
+        "Pareto-optimal configuration", "AreaOvh[%]", "ZLL[cycles]", "SatThr[%]"
+    );
+    println!("{}", "-".repeat(72));
+    for (config, eval) in &frontier {
+        println!(
+            "{:<34} {:>11.1} {:>12.1} {:>11.1}",
+            config.to_string(),
+            eval.area_overhead * 100.0,
+            eval.zero_load_latency,
+            eval.saturation_throughput * 100.0,
+        );
+    }
+    println!(
+        "\n{} of {} configurations are Pareto-optimal — the dial the\n\
+         customization strategy turns.",
+        frontier.len(),
+        evaluated.len()
+    );
+}

@@ -1,0 +1,61 @@
+//! A3 — ablation: the cost/performance trade-off curve swept across the
+//! sparse Hamming design space, from the mesh to the flattened butterfly.
+//!
+//! This regenerates the paper's central narrative (Section III: "the
+//! sparse Hamming graph spans the design space between a mesh topology
+//! (low cost) and a flattened butterfly topology (high performance)") as
+//! a frontier table.
+//!
+//! Run with: `cargo run --release -p shg-bench --bin sparsity_sweep -- [--scenario a]`
+
+use shg_bench::arg_value;
+use shg_core::{customize, DesignGoals, Scenario, Toolchain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = arg_value("--scenario").unwrap_or_else(|| "a".to_owned());
+    let scenario =
+        Scenario::by_name(&which).ok_or_else(|| format!("unknown scenario '{which}'"))?;
+    println!(
+        "=== Sparsity sweep, scenario ({}) — mesh → flattened butterfly ===\n",
+        scenario.name
+    );
+    // Run the customization loop with an unbounded budget: it walks the
+    // greedy frontier all the way to the densest profitable configuration.
+    let toolchain = Toolchain::fast();
+    let trace = customize(
+        &toolchain,
+        &scenario.params,
+        DesignGoals { area_budget: 1.0 },
+    )?;
+    println!(
+        "{:<34} {:>8} {:>11} {:>11} {:>12} {:>11}",
+        "Configuration", "Radix", "AreaOvh[%]", "Power[W]", "ZLL[cycles]", "SatThr[%]"
+    );
+    println!("{}", "-".repeat(92));
+    for step in &trace.steps {
+        let e = &step.evaluation;
+        println!(
+            "{:<34} {:>8} {:>11.1} {:>11.2} {:>12.1} {:>11.1}",
+            step.config.to_string(),
+            e.router_radix,
+            e.area_overhead * 100.0,
+            e.noc_power.value(),
+            e.zero_load_latency,
+            e.saturation_throughput * 100.0,
+        );
+    }
+    println!(
+        "\n{} greedy steps through a design space of {} configurations.",
+        trace.steps.len(),
+        shg_core::SparseHammingConfig::design_space_size(
+            scenario.params.grid.rows(),
+            scenario.params.grid.cols()
+        )
+    );
+    println!(
+        "Reading the frontier: every row buys throughput/latency with area —\n\
+         the knob the paper's customization strategy turns until the budget\n\
+         (40% in Fig. 6) is met."
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Shared helpers for the experiment harness binaries and benches.
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures
+//! (see `DESIGN.md` §3 for the experiment index); the Criterion benches
+//! in `benches/` measure the speed claims (the toolchain must run "at the
+//! speed of high-level models").
+
+use shg_core::{Evaluation, Scenario, Toolchain};
+use shg_topology::{generators, Topology};
+
+/// All topologies applicable to a scenario's grid, in Fig. 6's order:
+/// ring, mesh, torus, folded torus, hypercube (power-of-two grids),
+/// SlimNoC (2q² tiles), flattened butterfly, and the scenario's customized
+/// sparse Hamming graph.
+#[must_use]
+pub fn applicable_topologies(scenario: &Scenario) -> Vec<Topology> {
+    let grid = scenario.params.grid;
+    let mut topologies = vec![
+        generators::ring(grid),
+        generators::mesh(grid),
+        generators::torus(grid),
+        generators::folded_torus(grid),
+    ];
+    if let Ok(hc) = generators::hypercube(grid) {
+        topologies.push(hc);
+    }
+    if let Ok(slim) = generators::slim_noc(grid) {
+        topologies.push(slim);
+    }
+    topologies.push(generators::flattened_butterfly(grid));
+    topologies.push(scenario.shg.build());
+    topologies
+}
+
+/// Evaluates all applicable topologies in parallel (one scoped thread per
+/// topology).
+///
+/// # Panics
+///
+/// Panics if any evaluation fails (all built-in topologies route).
+#[must_use]
+pub fn evaluate_all(scenario: &Scenario, toolchain: &Toolchain) -> Vec<Evaluation> {
+    let topologies = applicable_topologies(scenario);
+    let mut results: Vec<Option<Evaluation>> = vec![None; topologies.len()];
+    crossbeam::thread::scope(|scope| {
+        for (topology, slot) in topologies.iter().zip(results.iter_mut()) {
+            scope.spawn(move |_| {
+                *slot = Some(
+                    toolchain
+                        .evaluate(&scenario.params, topology)
+                        .unwrap_or_else(|e| panic!("evaluating {topology}: {e}")),
+                );
+            });
+        }
+    })
+    .expect("no evaluation thread panicked");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Parses `--scenario <name>` style flags out of `std::env::args`.
+#[must_use]
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// `true` if a bare flag (e.g. `--fast`) is present.
+#[must_use]
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_a_has_seven_topologies() {
+        // 64 tiles: no SlimNoC.
+        let topologies = applicable_topologies(&Scenario::knc_a());
+        assert_eq!(topologies.len(), 7);
+    }
+
+    #[test]
+    fn scenario_c_has_eight_topologies() {
+        // 128 tiles: SlimNoC applies.
+        let topologies = applicable_topologies(&Scenario::knc_c());
+        assert_eq!(topologies.len(), 8);
+    }
+}

@@ -1,0 +1,198 @@
+//! The NoC topology customization strategy of Section V-a.
+//!
+//! Starting from the simplest sparse Hamming graph (the mesh), the loop
+//! repeatedly: estimates cost and performance with the prediction
+//! toolchain, compares them to the design goals, and grows the skip sets
+//! `SR`/`SC` to eliminate the identified insufficiency — until the area
+//! budget (40% in the paper) is exhausted.
+
+use serde::{Deserialize, Serialize};
+
+use shg_floorplan::ArchParams;
+
+use crate::sparse_hamming::SparseHammingConfig;
+use crate::toolchain::{Evaluation, EvaluateError, Toolchain};
+
+/// The optimization goal, mirroring the paper's evaluation: maximize
+/// saturation throughput (priority 1) and minimize zero-load latency
+/// (priority 2) without exceeding the area budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignGoals {
+    /// Maximum acceptable NoC area overhead (fraction of chip area).
+    pub area_budget: f64,
+}
+
+impl Default for DesignGoals {
+    fn default() -> Self {
+        Self { area_budget: 0.4 }
+    }
+}
+
+/// One accepted step of the customization loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustomizationStep {
+    /// The configuration after this step.
+    pub config: SparseHammingConfig,
+    /// Its toolchain evaluation.
+    pub evaluation: Evaluation,
+}
+
+/// The full trace of a customization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustomizationTrace {
+    /// Every accepted configuration, starting with the mesh.
+    pub steps: Vec<CustomizationStep>,
+}
+
+impl CustomizationTrace {
+    /// The final (best) step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty, which `customize` never produces.
+    #[must_use]
+    pub fn best(&self) -> &CustomizationStep {
+        self.steps.last().expect("trace contains at least the mesh")
+    }
+}
+
+/// Ranks an evaluation against the goals: feasible first, then higher
+/// throughput, then lower latency — the paper's priority order.
+fn score(eval: &Evaluation, goals: &DesignGoals) -> (bool, f64, f64) {
+    (
+        eval.area_overhead <= goals.area_budget,
+        eval.saturation_throughput,
+        -eval.zero_load_latency,
+    )
+}
+
+/// Runs the customization strategy.
+///
+/// Greedy hill climbing over the `2^(R+C−4)` design space: each iteration
+/// evaluates every single-skip extension of the current configuration
+/// (step 4 of the paper's strategy) with the (typically fast/analytic)
+/// toolchain, and accepts the best one that stays within the area budget
+/// and improves the goal score.
+///
+/// # Errors
+///
+/// Returns [`EvaluateError`] if the toolchain fails on a candidate, which
+/// indicates a routing problem.
+pub fn customize(
+    toolchain: &Toolchain,
+    params: &ArchParams,
+    goals: DesignGoals,
+) -> Result<CustomizationTrace, EvaluateError> {
+    let grid = params.grid;
+    let mut current = SparseHammingConfig::mesh(grid.rows(), grid.cols());
+    let mut current_eval = toolchain.evaluate(params, &current.build())?;
+    let mut steps = vec![CustomizationStep {
+        config: current.clone(),
+        evaluation: current_eval.clone(),
+    }];
+    loop {
+        let mut best: Option<(SparseHammingConfig, Evaluation)> = None;
+        for candidate in current.grow_moves() {
+            let eval = toolchain.evaluate(params, &candidate.build())?;
+            if eval.area_overhead > goals.area_budget {
+                continue;
+            }
+            let better_than_best = best
+                .as_ref()
+                .map(|(_, b)| score(&eval, &goals) > score(b, &goals))
+                .unwrap_or(true);
+            if better_than_best {
+                best = Some((candidate, eval));
+            }
+        }
+        match best {
+            Some((config, eval))
+                if score(&eval, &goals) > score(&current_eval, &goals) =>
+            {
+                current = config;
+                current_eval = eval;
+                steps.push(CustomizationStep {
+                    config: current.clone(),
+                    evaluation: current_eval.clone(),
+                });
+            }
+            _ => break,
+        }
+    }
+    Ok(CustomizationTrace { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::toolchain::PerformanceMode;
+    use shg_floorplan::ModelOptions;
+    use shg_sim::SimConfig;
+
+    fn fast_toolchain() -> Toolchain {
+        Toolchain {
+            model_options: ModelOptions {
+                cell_scale: 6.0,
+                ..ModelOptions::default()
+            },
+            sim: SimConfig::fast_test(),
+            mode: PerformanceMode::Analytic,
+            ..Toolchain::default()
+        }
+    }
+
+    #[test]
+    fn customization_starts_at_mesh_and_improves() {
+        let scenario = Scenario::knc_a();
+        let trace = customize(
+            &fast_toolchain(),
+            &scenario.params,
+            DesignGoals { area_budget: 0.4 },
+        )
+        .expect("customization runs");
+        assert!(trace.steps[0].config.is_mesh());
+        assert!(trace.steps.len() > 1, "should add at least one skip set");
+        let first = &trace.steps[0].evaluation;
+        let last = trace.best();
+        assert!(
+            last.evaluation.saturation_throughput > first.saturation_throughput,
+            "throughput should improve: {} → {}",
+            first.saturation_throughput,
+            last.evaluation.saturation_throughput
+        );
+        assert!(last.evaluation.area_overhead <= 0.4);
+    }
+
+    #[test]
+    fn tight_budget_stays_near_mesh() {
+        let scenario = Scenario::knc_a();
+        let toolchain = fast_toolchain();
+        let mesh_eval = toolchain
+            .evaluate(
+                &scenario.params,
+                &SparseHammingConfig::mesh(8, 8).build(),
+            )
+            .expect("mesh evaluates");
+        // Budget barely above the mesh's own overhead: few or no skips fit.
+        let budget = mesh_eval.area_overhead + 0.02;
+        let trace = customize(&toolchain, &scenario.params, DesignGoals { area_budget: budget })
+            .expect("customization runs");
+        let last = trace.best();
+        assert!(last.evaluation.area_overhead <= budget);
+        assert!(last.config.sr().len() + last.config.sc().len() <= 2);
+    }
+
+    #[test]
+    fn steps_monotonically_improve_score() {
+        let scenario = Scenario::knc_a();
+        let goals = DesignGoals { area_budget: 0.4 };
+        let trace = customize(&fast_toolchain(), &scenario.params, goals).expect("runs");
+        for pair in trace.steps.windows(2) {
+            assert!(
+                score(&pair[1].evaluation, &goals) > score(&pair[0].evaluation, &goals),
+                "non-improving step"
+            );
+        }
+    }
+}

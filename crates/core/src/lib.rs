@@ -1,0 +1,48 @@
+//! Sparse Hamming graph: topology, prediction toolchain and customization.
+//!
+//! This crate implements the three contributions of *"Sparse Hamming
+//! Graph: A Customizable Network-on-Chip Topology"* (DAC 2023) on top of
+//! the substrate crates:
+//!
+//! 1. **Design principles** — computed compliance lives in
+//!    [`shg_topology::compliance`]; this crate applies them through the
+//!    customization strategy.
+//! 2. **The sparse Hamming graph topology** — [`SparseHammingConfig`]
+//!    with its `2^(R+C−4)` design space (Section III).
+//! 3. **The prediction toolchain** — [`Toolchain`] combines the
+//!    floorplan model ([`shg_floorplan`]) with the cycle-accurate
+//!    simulator ([`shg_sim`]) exactly as in Fig. 3, and [`customize`]
+//!    drives it through the Section V-a loop.
+//!
+//! [`Scenario`] reproduces the four KNC-like target architectures of the
+//! evaluation, and [`MempoolReference`] the Table III validation.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use shg_core::{Scenario, Toolchain};
+//!
+//! let scenario = Scenario::knc_a();
+//! let toolchain = Toolchain::default();
+//! let shg = scenario.shg.build();
+//! let eval = toolchain.evaluate(&scenario.params, &shg)?;
+//! println!(
+//!     "area overhead {:.1}%, saturation throughput {:.1}%",
+//!     eval.area_overhead * 100.0,
+//!     eval.saturation_throughput * 100.0
+//! );
+//! # Ok::<(), shg_core::EvaluateError>(())
+//! ```
+
+mod customize;
+pub mod report;
+mod scenario;
+mod sparse_hamming;
+mod toolchain;
+
+pub use customize::{customize, CustomizationStep, CustomizationTrace, DesignGoals};
+pub use scenario::{MempoolReference, Scenario};
+pub use sparse_hamming::SparseHammingConfig;
+pub use toolchain::{
+    analytic_saturation, AnnotatedTopology, EvaluateError, Evaluation, PerformanceMode, Toolchain,
+};

@@ -1,0 +1,99 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Keeps the bench binaries' output aligned with the rows/series the
+//! paper reports, so EXPERIMENTS.md can be filled in by copy-paste.
+
+use crate::toolchain::Evaluation;
+
+/// Renders a Fig. 6-style comparison table: one row per topology with the
+/// four metrics of the cost and performance panels.
+///
+/// # Examples
+///
+/// ```
+/// use shg_core::report;
+/// let table = report::evaluation_table(&[]);
+/// assert!(table.contains("Topology"));
+/// ```
+#[must_use]
+pub fn evaluation_table(evaluations: &[Evaluation]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>6} {:>12} {:>12} {:>14} {:>14}\n",
+        "Topology", "Radix", "AreaOvh[%]", "Power[W]", "ZLL[cycles]", "SatThr[%]"
+    ));
+    out.push_str(&"-".repeat(88));
+    out.push('\n');
+    for e in evaluations {
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>12.1} {:>12.2} {:>14.1} {:>14.1}\n",
+            e.name,
+            e.router_radix,
+            e.area_overhead * 100.0,
+            e.noc_power.value(),
+            e.zero_load_latency,
+            e.saturation_throughput * 100.0,
+        ));
+    }
+    out
+}
+
+/// Renders a Table III-style validation row: metric, published value,
+/// prediction and relative error.
+#[must_use]
+pub fn validation_row(metric: &str, correct: f64, predicted: f64, unit: &str) -> String {
+    let error = if correct.abs() < f64::EPSILON {
+        f64::INFINITY
+    } else {
+        ((predicted - correct) / correct * 100.0).abs()
+    };
+    format!("{metric:<12} {correct:>12.3} {predicted:>12.3} {unit:<8} {error:>8.0}%")
+}
+
+/// Renders a compliance grade table (Table I) from the computed rows.
+#[must_use]
+pub fn compliance_table(rows: &[shg_topology::compliance::ComplianceRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9} {:>8} {:>6} {:>14}\n",
+        "Topology", "Radix", "SL", "AL", "ULD", "OPP", "Diameter", "MinPres", "MinUse", "#Configs"
+    ));
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9} {:>8} {:>6} {:>14}\n",
+            r.name,
+            r.router_radix,
+            r.short_links.to_string(),
+            r.aligned_links.to_string(),
+            r.uniform_density.to_string(),
+            r.port_placement.to_string(),
+            r.diameter,
+            if r.minimal_paths_present { "yes" } else { "no" },
+            if r.minimal_paths_used { "yes" } else { "no" },
+            r.num_configurations,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_row_computes_relative_error() {
+        let row = validation_row("Area", 21.16, 24.26, "mm2");
+        assert!(row.contains("15%"), "row: {row}");
+    }
+
+    #[test]
+    fn compliance_table_renders() {
+        let grid = shg_topology::Grid::new(4, 4);
+        let rows = shg_topology::compliance::table1(grid, None);
+        let table = compliance_table(&rows);
+        assert!(table.contains("2D Mesh"));
+        assert!(table.contains("Flattened Butterfly"));
+    }
+}

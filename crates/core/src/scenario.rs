@@ -1,0 +1,267 @@
+//! Evaluation scenarios — the target architectures of Section V-b and the
+//! MemPool validation target of Section IV-C.
+
+use serde::{Deserialize, Serialize};
+
+use shg_floorplan::ArchParams;
+use shg_sim::SimConfig;
+use shg_topology::Grid;
+use shg_units::{
+    AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology, Transport,
+};
+
+use crate::sparse_hamming::SparseHammingConfig;
+
+/// One evaluation scenario: an architecture plus the sparse Hamming graph
+/// configuration the paper selected for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario identifier, e.g. `"a"`.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Architectural parameters (Table II inputs).
+    pub params: ArchParams,
+    /// The customized sparse Hamming configuration from Fig. 6.
+    pub shg: SparseHammingConfig,
+    /// Simulator configuration (8 VCs, 32-flit buffers per Section V-b).
+    pub sim: SimConfig,
+    /// The paper's NoC area budget: 40% of total chip area.
+    pub area_budget: f64,
+}
+
+fn knc_base(grid: Grid, endpoint_mge: f64, cores_per_tile: u32) -> ArchParams {
+    ArchParams {
+        grid,
+        endpoint_area: GateEquivalents::mega(endpoint_mge),
+        endpoints_per_tile: cores_per_tile,
+        aspect_ratio: AspectRatio::square(),
+        frequency: Hertz::giga(1.2),
+        bandwidth: BitsPerCycle::new(512),
+        technology: Technology::example_22nm(),
+        transport: Transport::axi_like(),
+        router_model: RouterAreaModel::input_queued(8, 32),
+    }
+}
+
+impl Scenario {
+    /// Scenario (a): KNC-like — 64 tiles (8×8) of 35 MGE with 1 core each,
+    /// 512 bits/cycle links at 1.2 GHz. SHG parameters: SR = {4},
+    /// SC = {2, 5}.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shg_core::Scenario;
+    /// let s = Scenario::knc_a();
+    /// assert_eq!(s.params.grid.num_tiles(), 64);
+    /// ```
+    #[must_use]
+    pub fn knc_a() -> Self {
+        Self {
+            name: "a".to_owned(),
+            description: "64 tiles with 35MGE and 1 core each".to_owned(),
+            params: knc_base(Grid::new(8, 8), 35.0, 1),
+            shg: SparseHammingConfig::new(8, 8, [4], [2, 5]).expect("paper parameters"),
+            sim: SimConfig::default(),
+            area_budget: 0.4,
+        }
+    }
+
+    /// Scenario (b): 2× cores per tile — 64 tiles of 70 MGE with 2 cores.
+    /// SHG parameters: SR = {2, 4}, SC = {2, 4}.
+    #[must_use]
+    pub fn knc_b() -> Self {
+        Self {
+            name: "b".to_owned(),
+            description: "64 tiles with 70MGE and 2 cores each".to_owned(),
+            params: knc_base(Grid::new(8, 8), 70.0, 2),
+            shg: SparseHammingConfig::new(8, 8, [2, 4], [2, 4]).expect("paper parameters"),
+            sim: SimConfig::default(),
+            area_budget: 0.4,
+        }
+    }
+
+    /// Scenario (c): 2× tiles — 128 tiles (16×8) of 35 MGE.
+    /// SHG parameters: SR = {3}, SC = {2, 5}. SlimNoC becomes applicable
+    /// (128 = 2·8²).
+    #[must_use]
+    pub fn knc_c() -> Self {
+        Self {
+            name: "c".to_owned(),
+            description: "128 tiles with 35MGE and 1 core each".to_owned(),
+            params: knc_base(Grid::new(16, 8), 35.0, 1),
+            shg: SparseHammingConfig::new(16, 8, [3], [2, 5]).expect("paper parameters"),
+            sim: SimConfig::default(),
+            area_budget: 0.4,
+        }
+    }
+
+    /// Scenario (d): 2× tiles and 2× cores — 128 tiles of 70 MGE.
+    /// SHG parameters: SR = {2, 4}, SC = {2, 4}.
+    #[must_use]
+    pub fn knc_d() -> Self {
+        Self {
+            name: "d".to_owned(),
+            description: "128 tiles with 70MGE and 2 cores each".to_owned(),
+            params: knc_base(Grid::new(16, 8), 70.0, 2),
+            shg: SparseHammingConfig::new(16, 8, [2, 4], [2, 4]).expect("paper parameters"),
+            sim: SimConfig::default(),
+            area_budget: 0.4,
+        }
+    }
+
+    /// All four Fig. 6 scenarios, in order.
+    #[must_use]
+    pub fn all_knc() -> Vec<Self> {
+        vec![Self::knc_a(), Self::knc_b(), Self::knc_c(), Self::knc_d()]
+    }
+
+    /// Looks a scenario up by name (`"a"`–`"d"`).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "a" => Some(Self::knc_a()),
+            "b" => Some(Self::knc_b()),
+            "c" => Some(Self::knc_c()),
+            "d" => Some(Self::knc_d()),
+            _ => None,
+        }
+    }
+}
+
+/// The MemPool validation target (Section IV-C, Table III): published
+/// implementation numbers against which the toolchain's predictions are
+/// compared.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MempoolReference {
+    /// Architecture parameters approximating MemPool: 64 tiles (8×8) of
+    /// 4 Snitch cores + 16 SPM banks each, lean single-cycle transport at
+    /// 500 MHz in 22FDX.
+    pub params: ArchParams,
+    /// Simulator configuration mirroring MemPool's shallow, low-latency
+    /// interconnect.
+    pub sim: SimConfig,
+    /// Published area in mm².
+    pub correct_area_mm2: f64,
+    /// Published power in W.
+    pub correct_power_w: f64,
+    /// Published zero-load latency in cycles.
+    pub correct_latency_cycles: f64,
+    /// Published saturation throughput (fraction).
+    pub correct_throughput: f64,
+}
+
+impl MempoolReference {
+    /// Builds the MemPool-like validation target.
+    ///
+    /// MemPool routes tile→group→global through a multi-hop hierarchical
+    /// interconnect; we model it as a multi-hop mesh fabric over the 8×8
+    /// tile grid with a low-power 22FDX-like technology (0.07 W/mm² at
+    /// 500 MHz) — see `DESIGN.md`, substitution #4.
+    #[must_use]
+    pub fn new() -> Self {
+        let technology = Technology {
+            name: "22FDX-LP".to_owned(),
+            logic_watts_per_mm2: 0.07,
+            wire_watts_per_mm2: 0.02,
+            ..Technology::example_22nm()
+        };
+        let params = ArchParams {
+            grid: Grid::new(8, 8),
+            endpoint_area: GateEquivalents::mega(1.0),
+            endpoints_per_tile: 4,
+            aspect_ratio: AspectRatio::square(),
+            frequency: Hertz::giga(0.5),
+            bandwidth: BitsPerCycle::new(64),
+            technology,
+            transport: Transport::lean(),
+            router_model: RouterAreaModel::input_queued(2, 4),
+        };
+        let sim = SimConfig {
+            num_vcs: 8,
+            buffer_depth: 4,
+            packet_len: 1,
+            router_overhead: 1,
+            ..SimConfig::default()
+        };
+        Self {
+            params,
+            sim,
+            correct_area_mm2: 21.16,
+            correct_power_w: 1.55,
+            correct_latency_cycles: 5.0,
+            correct_throughput: 0.38,
+        }
+    }
+
+    /// The topology used for validation: a mesh stand-in for MemPool's
+    /// multi-hop hierarchical interconnect.
+    #[must_use]
+    pub fn topology(&self) -> shg_topology::Topology {
+        shg_topology::generators::mesh(self.params.grid)
+    }
+}
+
+impl Default for MempoolReference {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_match_paper_parameters() {
+        let a = Scenario::knc_a();
+        assert_eq!(a.params.grid, Grid::new(8, 8));
+        assert_eq!(a.params.endpoint_area.as_mega(), 35.0);
+        assert_eq!(a.params.bandwidth.value(), 512);
+        assert!((a.params.frequency.value() - 1.2e9).abs() < 1.0);
+        let d = Scenario::knc_d();
+        assert_eq!(d.params.grid.num_tiles(), 128);
+        assert_eq!(d.params.endpoint_area.as_mega(), 70.0);
+        assert_eq!(d.params.endpoints_per_tile, 2);
+    }
+
+    #[test]
+    fn scenario_lookup() {
+        for name in ["a", "b", "c", "d"] {
+            assert!(Scenario::by_name(name).is_some());
+        }
+        assert!(Scenario::by_name("e").is_none());
+    }
+
+    #[test]
+    fn all_scenarios_have_40_percent_budget() {
+        for s in Scenario::all_knc() {
+            assert!((s.area_budget - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mempool_published_values() {
+        let m = MempoolReference::new();
+        assert!((m.correct_area_mm2 - 21.16).abs() < 1e-9);
+        assert!((m.correct_power_w - 1.55).abs() < 1e-9);
+        assert!((m.correct_latency_cycles - 5.0).abs() < 1e-9);
+        assert!((m.correct_throughput - 0.38).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mempool_chip_is_small() {
+        // MemPool is a ~21 mm² chip; the no-NoC silicon of our stand-in
+        // should be in that ballpark (64 MGE endpoint logic total).
+        let m = MempoolReference::new();
+        let silicon = m
+            .params
+            .technology
+            .ge_to_mm2(m.params.endpoint_area * 64.0);
+        assert!(
+            silicon.value() > 10.0 && silicon.value() < 30.0,
+            "MemPool-like silicon {silicon}"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! The prediction toolchain — the paper's contribution #3 (Fig. 3).
+//!
+//! Inputs: architectural parameters, a topology, a routing algorithm and
+//! a traffic pattern. The floorplan model produces area and power
+//! estimates plus per-link latencies; the annotated topology is fed to
+//! the cycle-accurate simulator, which produces zero-load latency and
+//! saturation throughput.
+
+use serde::{Deserialize, Serialize};
+
+use shg_floorplan::{predict, ArchParams, ModelOptions, Prediction};
+use shg_sim::{
+    saturation_throughput, zero_load_latency, SaturationSearch, SimConfig, TrafficPattern,
+};
+use shg_topology::routing::{self, BuildRoutesError, Routes};
+use shg_topology::{Topology, TopologyKind};
+use shg_units::{Cycles, Mm2, Watts};
+
+/// How the toolchain obtains the saturation throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerformanceMode {
+    /// Cycle-accurate simulation with binary search (the paper's
+    /// BookSim-based flow). Accurate but needs seconds per topology.
+    Simulate,
+    /// Channel-load bound: `λ_sat = (N−1) / max_c |{(s,d) : c ∈ path}|`.
+    /// Instant; used inside the customization loop where thousands of
+    /// candidates are ranked.
+    Analytic,
+}
+
+/// Toolchain configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Toolchain {
+    /// Floorplan model options.
+    pub model_options: ModelOptions,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// Traffic pattern (the paper uses uniform random).
+    pub pattern: TrafficPattern,
+    /// Saturation search options.
+    pub search: SaturationSearch,
+    /// Throughput estimation mode.
+    pub mode: PerformanceMode,
+}
+
+impl Default for Toolchain {
+    fn default() -> Self {
+        Self {
+            model_options: ModelOptions::default(),
+            sim: SimConfig::default(),
+            pattern: TrafficPattern::UniformRandom,
+            search: SaturationSearch::default(),
+            mode: PerformanceMode::Simulate,
+        }
+    }
+}
+
+/// The combined cost/performance estimate of one topology on one
+/// architecture — one point in Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Topology display name.
+    pub name: String,
+    /// Topology kind.
+    pub kind: TopologyKind,
+    /// Router radix (network ports).
+    pub router_radix: usize,
+    /// NoC area overhead, fraction of total chip area.
+    pub area_overhead: f64,
+    /// Total chip area.
+    pub total_area: Mm2,
+    /// NoC power consumption.
+    pub noc_power: Watts,
+    /// Total chip power (logic + wires).
+    pub total_power: Watts,
+    /// Zero-load latency in cycles.
+    pub zero_load_latency: f64,
+    /// Saturation throughput, fraction of injection capacity.
+    pub saturation_throughput: f64,
+    /// Mean floorplan link latency in cycles.
+    pub mean_link_latency: f64,
+    /// Maximum floorplan link latency in cycles.
+    pub max_link_latency: u64,
+    /// Detailed-routing collisions.
+    pub collisions: u64,
+}
+
+/// Error returned by [`Toolchain::evaluate`].
+#[derive(Debug)]
+pub enum EvaluateError {
+    /// No deadlock-free minimal routing could be built.
+    Routing(BuildRoutesError),
+}
+
+impl std::fmt::Display for EvaluateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Routing(e) => write!(f, "routing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvaluateError {}
+
+impl From<BuildRoutesError> for EvaluateError {
+    fn from(e: BuildRoutesError) -> Self {
+        Self::Routing(e)
+    }
+}
+
+impl Toolchain {
+    /// A toolchain preset for fast exploration: analytic throughput and a
+    /// coarser detailed-routing grid.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            model_options: ModelOptions {
+                cell_scale: 4.0,
+                ..ModelOptions::default()
+            },
+            mode: PerformanceMode::Analytic,
+            ..Self::default()
+        }
+    }
+
+    /// Runs the full prediction pipeline on one topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluateError::Routing`] if no deadlock-free hop-minimal
+    /// routing applies to the topology.
+    pub fn evaluate(
+        &self,
+        params: &ArchParams,
+        topology: &Topology,
+    ) -> Result<Evaluation, EvaluateError> {
+        let routes = routing::default_routes(topology)?;
+        let prediction = predict(params, topology, &self.model_options);
+        Ok(self.evaluate_with(params, topology, &routes, &prediction))
+    }
+
+    /// Like [`Toolchain::evaluate`] but reuses precomputed routes and
+    /// floorplan prediction (exposed per C-INTERMEDIATE for sweeps that
+    /// vary only one stage).
+    #[must_use]
+    pub fn evaluate_with(
+        &self,
+        _params: &ArchParams,
+        topology: &Topology,
+        routes: &Routes,
+        prediction: &Prediction,
+    ) -> Evaluation {
+        let latencies = &prediction.estimates.link_latencies;
+        let zll = zero_load_latency(topology, routes, latencies, &self.sim);
+        let sat = match self.mode {
+            PerformanceMode::Simulate => saturation_throughput(
+                topology,
+                routes,
+                latencies,
+                &self.sim,
+                self.pattern,
+                self.search,
+            ),
+            PerformanceMode::Analytic => analytic_saturation(topology, routes),
+        };
+        Evaluation {
+            name: topology.kind().to_string(),
+            kind: topology.kind(),
+            router_radix: topology.max_degree(),
+            area_overhead: prediction.estimates.area_overhead,
+            total_area: prediction.estimates.total_area,
+            noc_power: prediction.estimates.noc_power,
+            total_power: prediction.estimates.total_power,
+            zero_load_latency: zll,
+            saturation_throughput: sat,
+            mean_link_latency: prediction.estimates.mean_link_latency(),
+            max_link_latency: prediction.estimates.max_link_latency().value(),
+            collisions: prediction.estimates.collisions,
+        }
+    }
+}
+
+/// Channel-load saturation bound under uniform traffic with deterministic
+/// routing: each of the `N(N−1)` flows carries `λ/(N−1)`; the bottleneck
+/// channel saturates first. Ejection bandwidth caps the result at 1.
+#[must_use]
+pub fn analytic_saturation(topology: &Topology, routes: &Routes) -> f64 {
+    let n = topology.num_tiles();
+    if n < 2 {
+        return 1.0;
+    }
+    let max_load = routes
+        .channel_loads(topology)
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    if max_load == 0 {
+        return 1.0;
+    }
+    ((n as f64 - 1.0) / max_load as f64).min(1.0)
+}
+
+/// Annotated topology: the intermediate artifact of Fig. 3 (topology plus
+/// link latency estimates) for callers that want to run their own
+/// simulations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotatedTopology {
+    /// The topology.
+    pub topology: Topology,
+    /// Per-link latency estimates from the floorplan model.
+    pub link_latencies: Vec<Cycles>,
+}
+
+impl AnnotatedTopology {
+    /// Runs the floorplan model and attaches the latency estimates.
+    #[must_use]
+    pub fn annotate(params: &ArchParams, topology: Topology, options: &ModelOptions) -> Self {
+        let prediction = predict(params, &topology, options);
+        Self {
+            link_latencies: prediction.estimates.link_latencies,
+            topology,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use shg_topology::generators;
+
+    fn fast_toolchain() -> Toolchain {
+        Toolchain {
+            sim: SimConfig::fast_test(),
+            ..Toolchain::fast()
+        }
+    }
+
+    #[test]
+    fn evaluate_mesh_scenario_a() {
+        let scenario = Scenario::knc_a();
+        let mesh = generators::mesh(scenario.params.grid);
+        let eval = fast_toolchain()
+            .evaluate(&scenario.params, &mesh)
+            .expect("mesh evaluates");
+        assert!(eval.area_overhead > 0.0 && eval.area_overhead < 0.2);
+        assert!(eval.zero_load_latency > 5.0);
+        assert!(eval.saturation_throughput > 0.0 && eval.saturation_throughput <= 1.0);
+    }
+
+    #[test]
+    fn analytic_saturation_ordering() {
+        let grid = shg_topology::Grid::new(8, 8);
+        let sat = |t: &Topology| {
+            let routes = routing::default_routes(t).expect("routes");
+            analytic_saturation(t, &routes)
+        };
+        let ring = sat(&generators::ring(grid));
+        let mesh = sat(&generators::mesh(grid));
+        let fb = sat(&generators::flattened_butterfly(grid));
+        assert!(fb > mesh, "fb {fb} > mesh {mesh}");
+        assert!(mesh > ring, "mesh {mesh} > ring {ring}");
+    }
+
+    #[test]
+    fn shg_beats_mesh_in_performance_costs_more() {
+        let scenario = Scenario::knc_a();
+        let toolchain = fast_toolchain();
+        let mesh = generators::mesh(scenario.params.grid);
+        let shg = scenario.shg.build();
+        let mesh_eval = toolchain
+            .evaluate(&scenario.params, &mesh)
+            .expect("mesh");
+        let shg_eval = toolchain.evaluate(&scenario.params, &shg).expect("shg");
+        assert!(shg_eval.zero_load_latency < mesh_eval.zero_load_latency);
+        assert!(shg_eval.saturation_throughput > mesh_eval.saturation_throughput);
+        assert!(shg_eval.area_overhead > mesh_eval.area_overhead);
+    }
+
+    #[test]
+    fn annotated_topology_latencies_match_links() {
+        let scenario = Scenario::knc_a();
+        let shg = scenario.shg.build();
+        let annotated = AnnotatedTopology::annotate(
+            &scenario.params,
+            shg,
+            &ModelOptions {
+                cell_scale: 4.0,
+                ..ModelOptions::default()
+            },
+        );
+        assert_eq!(
+            annotated.link_latencies.len(),
+            annotated.topology.num_links()
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests of the customization strategy and toolchain at the
+//! core-crate level.
+
+use shg_core::{
+    analytic_saturation, customize, DesignGoals, PerformanceMode, Scenario,
+    SparseHammingConfig, Toolchain,
+};
+use shg_floorplan::ModelOptions;
+use shg_sim::SimConfig;
+use shg_topology::routing;
+
+fn fast_toolchain() -> Toolchain {
+    Toolchain {
+        model_options: ModelOptions {
+            cell_scale: 6.0,
+            ..ModelOptions::default()
+        },
+        sim: SimConfig::fast_test(),
+        mode: PerformanceMode::Analytic,
+        ..Toolchain::default()
+    }
+}
+
+#[test]
+fn customized_topology_beats_established_within_budget() {
+    // The paper's headline, at test scale: after customization, the SHG
+    // has at least the throughput of every established topology that fits
+    // the budget.
+    let scenario = Scenario::knc_a();
+    let toolchain = fast_toolchain();
+    let goals = DesignGoals {
+        area_budget: scenario.area_budget,
+    };
+    let trace = customize(&toolchain, &scenario.params, goals).expect("customization");
+    let best = trace.best();
+    assert!(best.evaluation.area_overhead <= goals.area_budget);
+    let grid = scenario.params.grid;
+    for topology in [
+        shg_topology::generators::ring(grid),
+        shg_topology::generators::mesh(grid),
+        shg_topology::generators::torus(grid),
+        shg_topology::generators::folded_torus(grid),
+        shg_topology::generators::hypercube(grid).expect("8x8"),
+    ] {
+        let eval = toolchain
+            .evaluate(&scenario.params, &topology)
+            .expect("evaluates");
+        if eval.area_overhead <= goals.area_budget {
+            assert!(
+                best.evaluation.saturation_throughput >= eval.saturation_throughput - 1e-9,
+                "{}: {} beats customized SHG {}",
+                topology,
+                eval.saturation_throughput,
+                best.evaluation.saturation_throughput
+            );
+        }
+    }
+}
+
+#[test]
+fn denser_configs_have_higher_analytic_saturation() {
+    let configs = [
+        SparseHammingConfig::mesh(8, 8),
+        SparseHammingConfig::new(8, 8, [4], []).expect("valid"),
+        SparseHammingConfig::new(8, 8, [2, 4], [2, 4]).expect("valid"),
+        SparseHammingConfig::flattened_butterfly(8, 8),
+    ];
+    let mut last = 0.0;
+    for config in configs {
+        let topology = config.build();
+        let routes = routing::default_routes(&topology).expect("routes");
+        let sat = analytic_saturation(&topology, &routes);
+        assert!(
+            sat >= last - 1e-9,
+            "{config}: saturation {sat} dropped below {last}"
+        );
+        last = sat;
+    }
+}
+
+#[test]
+fn scenario_shg_configs_dominate_mesh_on_both_axes() {
+    // For all four scenarios, the paper's SR/SC choice improves *both*
+    // latency and throughput over the mesh at higher cost.
+    for scenario in Scenario::all_knc() {
+        let toolchain = fast_toolchain();
+        let mesh = toolchain
+            .evaluate(
+                &scenario.params,
+                &SparseHammingConfig::mesh(
+                    scenario.params.grid.rows(),
+                    scenario.params.grid.cols(),
+                )
+                .build(),
+            )
+            .expect("mesh");
+        let shg = toolchain
+            .evaluate(&scenario.params, &scenario.shg.build())
+            .expect("shg");
+        assert!(shg.saturation_throughput > mesh.saturation_throughput);
+        assert!(shg.zero_load_latency < mesh.zero_load_latency);
+        assert!(shg.area_overhead > mesh.area_overhead);
+        assert!(
+            shg.area_overhead <= scenario.area_budget + 0.05,
+            "scenario {}: paper config at {:.1}% (budget {:.0}%)",
+            scenario.name,
+            shg.area_overhead * 100.0,
+            scenario.area_budget * 100.0
+        );
+    }
+}
+
+#[test]
+fn toolchain_modes_agree_on_ordering() {
+    // Analytic and simulated throughput must rank mesh vs SHG identically.
+    let scenario = Scenario::knc_a();
+    let shg = scenario.shg.build();
+    let mesh = SparseHammingConfig::mesh(8, 8).build();
+    let analytic = fast_toolchain();
+    let simulated = Toolchain {
+        sim: SimConfig::fast_test(),
+        mode: PerformanceMode::Simulate,
+        ..fast_toolchain()
+    };
+    let a_mesh = analytic.evaluate(&scenario.params, &mesh).expect("mesh");
+    let a_shg = analytic.evaluate(&scenario.params, &shg).expect("shg");
+    let s_mesh = simulated.evaluate(&scenario.params, &mesh).expect("mesh");
+    let s_shg = simulated.evaluate(&scenario.params, &shg).expect("shg");
+    assert_eq!(
+        a_shg.saturation_throughput > a_mesh.saturation_throughput,
+        s_shg.saturation_throughput > s_mesh.saturation_throughput,
+        "mode disagreement: analytic ({} vs {}), simulated ({} vs {})",
+        a_shg.saturation_throughput,
+        a_mesh.saturation_throughput,
+        s_shg.saturation_throughput,
+        s_mesh.saturation_throughput
+    );
+}

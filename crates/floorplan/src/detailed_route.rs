@@ -1,0 +1,503 @@
+//! Step 5 — detailed routing in the grid of unit cells (Fig. 5e).
+//!
+//! Each channel-routed link is routed cell-by-cell from its source port to
+//! its destination port with A*. Tiles are blocked; each unit cell can
+//! carry exactly one horizontal and one vertical link without penalty. The
+//! heuristic reduces both the number of collisions (multiple parallel
+//! links in the same cell) and the link lengths, matching the paper's
+//! description of the custom step-5 algorithm.
+//!
+//! Links between grid-adjacent tiles cross their (possibly zero-width)
+//! gap directly and are handled analytically.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use shg_topology::{LinkId, Topology};
+
+use crate::global_route::{GlobalRouting, Segment};
+use crate::params::{DetailedRouting as RoutingMode, ModelOptions};
+use crate::unitcell::{Face, UnitGrid};
+
+/// Cell-level route of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LinkRoute {
+    /// Cells entered by horizontal moves (`N^H_cell` of the latency
+    /// formula).
+    pub h_moves: u32,
+    /// Cells entered by vertical moves (`N^V_cell`).
+    pub v_moves: u32,
+}
+
+/// The outcome of detailed routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetailedRoutes {
+    /// Per-link cell route.
+    pub routes: Vec<LinkRoute>,
+    /// Cells carrying at least one horizontal wire segment (`N^H_cell` of
+    /// the power formula).
+    pub h_occupied_cells: usize,
+    /// Cells carrying at least one vertical wire segment.
+    pub v_occupied_cells: usize,
+    /// Total over-capacity cell usages (a collision is a second or later
+    /// same-direction link in one cell).
+    pub collisions: u64,
+}
+
+impl DetailedRoutes {
+    /// Routes every link of `topology` through `unit_grid`, using the
+    /// global-routing `plans` to pick the tile face each link leaves
+    /// through.
+    ///
+    /// Links are processed longest-first. In
+    /// [`RoutingMode::CollisionAware`] mode, occupied cells cost extra; in
+    /// [`RoutingMode::CongestionBlind`] mode the router simply takes
+    /// shortest paths (the A2 ablation baseline).
+    #[must_use]
+    pub fn route(
+        topology: &Topology,
+        unit_grid: &UnitGrid,
+        global: &GlobalRouting,
+        options: &ModelOptions,
+    ) -> Self {
+        let ports = PortAssignment::compute(topology, unit_grid, global);
+        let mut astar = AStar::new(unit_grid);
+        let mut h_occ = vec![0u16; unit_grid.num_cells()];
+        let mut v_occ = vec![0u16; unit_grid.num_cells()];
+        let mut routes = vec![LinkRoute::default(); topology.num_links()];
+        let penalty = match options.detailed_routing {
+            RoutingMode::CollisionAware => (options.collision_penalty * 10.0).round() as u32,
+            RoutingMode::CongestionBlind => 0,
+        };
+        let mut order: Vec<LinkId> = (0..topology.num_links() as u32).map(LinkId::new).collect();
+        order.sort_by_key(|&id| Reverse(topology.link_length(id)));
+        for id in order {
+            match ports.endpoints(id) {
+                Endpoints::Direct => {
+                    routes[id.index()] =
+                        direct_route(topology, unit_grid, id, &mut h_occ, &mut v_occ);
+                }
+                Endpoints::Routed(from, to) => {
+                    let (from, to) = (*from, *to);
+                    let path =
+                        astar.search(from, to, &h_occ, &v_occ, penalty, unit_grid.capacity());
+                    let mut route = LinkRoute::default();
+                    let mut prev = from;
+                    for &(x, y) in &path {
+                        if x != prev.0 {
+                            route.h_moves += 1;
+                            h_occ[unit_grid.index(x, y)] += 1;
+                        } else {
+                            route.v_moves += 1;
+                            v_occ[unit_grid.index(x, y)] += 1;
+                        }
+                        prev = (x, y);
+                    }
+                    routes[id.index()] = route;
+                }
+            }
+        }
+        // Normalize occupancy to scale-1 cell equivalents so that power
+        // accounting is invariant under `cell_scale` coarsening.
+        let cap = unit_grid.capacity();
+        let cell_equivalents = |occ: &[u16]| -> usize {
+            let total: u64 = occ.iter().map(|&o| o as u64).sum();
+            (total as f64 / cap as f64).round() as usize
+        };
+        let h_occupied_cells = cell_equivalents(&h_occ);
+        let v_occupied_cells = cell_equivalents(&v_occ);
+        let collisions = h_occ
+            .iter()
+            .chain(v_occ.iter())
+            .map(|&o| o.saturating_sub(cap) as u64)
+            .sum();
+        Self {
+            routes,
+            h_occupied_cells,
+            v_occupied_cells,
+            collisions,
+        }
+    }
+}
+
+/// A direct link between grid-adjacent tiles crosses one gap straight.
+fn direct_route(
+    topology: &Topology,
+    unit_grid: &UnitGrid,
+    id: LinkId,
+    h_occ: &mut [u16],
+    v_occ: &mut [u16],
+) -> LinkRoute {
+    let grid = topology.grid();
+    let link = topology.link(id);
+    let (a, b) = (grid.coord(link.a), grid.coord(link.b));
+    let rect_a = unit_grid.tile_rect(link.a);
+    if a.row == b.row {
+        // Crossing the vertical gap between the two columns.
+        let gap = a.col.max(b.col);
+        let width = unit_grid.v_gap_width(gap);
+        let x0 = unit_grid.v_gap_start(gap);
+        let y = (rect_a.y0 + rect_a.y1) / 2;
+        for x in x0..x0 + width {
+            h_occ[unit_grid.index(x, y)] += 1;
+        }
+        LinkRoute {
+            h_moves: width as u32,
+            v_moves: 0,
+        }
+    } else {
+        let gap = a.row.max(b.row);
+        let height = unit_grid.h_gap_height(gap);
+        let y0 = unit_grid.h_gap_start(gap);
+        let x = (rect_a.x0 + rect_a.x1) / 2;
+        for y in y0..y0 + height {
+            v_occ[unit_grid.index(x, y)] += 1;
+        }
+        LinkRoute {
+            h_moves: 0,
+            v_moves: height as u32,
+        }
+    }
+}
+
+/// How a link's endpoints map onto the cell grid.
+enum Endpoints {
+    /// Grid-adjacent link: crosses its gap directly, no A* needed.
+    Direct,
+    /// Channel-routed link with source and destination port cells.
+    Routed((usize, usize), (usize, usize)),
+}
+
+/// Port cells for every link endpoint, derived from the global plan: a
+/// link leaves its tile through the face adjacent to the channel its plan
+/// starts in, which guarantees the face's gap is nonzero.
+struct PortAssignment {
+    cells: Vec<Endpoints>,
+}
+
+impl PortAssignment {
+    fn compute(topology: &Topology, unit_grid: &UnitGrid, global: &GlobalRouting) -> Self {
+        let grid = topology.grid();
+        let face_idx = |f: Face| -> usize {
+            match f {
+                Face::North => 0,
+                Face::South => 1,
+                Face::East => 2,
+                Face::West => 3,
+            }
+        };
+        // Face of the source endpoint given the first plan segment, and of
+        // the destination endpoint given the last segment.
+        let src_face = |coord: shg_topology::TileCoord, seg: &Segment| -> Face {
+            match *seg {
+                Segment::Direct => unreachable!("direct links have no ports"),
+                Segment::Horizontal { gap, .. } => {
+                    if gap == coord.row {
+                        Face::North
+                    } else {
+                        Face::South
+                    }
+                }
+                Segment::Vertical { gap, .. } => {
+                    if gap == coord.col {
+                        Face::West
+                    } else {
+                        Face::East
+                    }
+                }
+            }
+        };
+        // First pass: count ports per (tile, face) for slot spreading.
+        let mut counts = vec![[0usize; 4]; topology.num_tiles()];
+        let mut faces: Vec<Option<(Face, usize, Face, usize)>> =
+            Vec::with_capacity(topology.num_links());
+        for (i, link) in topology.links().iter().enumerate() {
+            let plan = &global.plans[i];
+            if plan.len() == 1 && plan[0] == Segment::Direct {
+                faces.push(None);
+                continue;
+            }
+            let fa = src_face(grid.coord(link.a), plan.first().expect("nonempty plan"));
+            let fb = src_face(grid.coord(link.b), plan.last().expect("nonempty plan"));
+            let sa = counts[link.a.index()][face_idx(fa)];
+            counts[link.a.index()][face_idx(fa)] += 1;
+            let sb = counts[link.b.index()][face_idx(fb)];
+            counts[link.b.index()][face_idx(fb)] += 1;
+            faces.push(Some((fa, sa, fb, sb)));
+        }
+        let cells = topology
+            .links()
+            .iter()
+            .zip(&faces)
+            .map(|(link, assignment)| match assignment {
+                None => Endpoints::Direct,
+                Some((fa, sa, fb, sb)) => {
+                    let ta = counts[link.a.index()][face_idx(*fa)];
+                    let tb = counts[link.b.index()][face_idx(*fb)];
+                    Endpoints::Routed(
+                        unit_grid.port_cell(link.a, *fa, *sa, ta),
+                        unit_grid.port_cell(link.b, *fb, *sb, tb),
+                    )
+                }
+            })
+            .collect();
+        Self { cells }
+    }
+
+    fn endpoints(&self, id: LinkId) -> &Endpoints {
+        &self.cells[id.index()]
+    }
+}
+
+/// Reusable A* state over the unit-cell grid.
+struct AStar<'a> {
+    unit_grid: &'a UnitGrid,
+    /// Best g-score per cell, valid when `gen == current`.
+    g: Vec<u32>,
+    /// Predecessor cell index, valid when `gen == current`.
+    came: Vec<u32>,
+    gen: Vec<u32>,
+    current: u32,
+}
+
+const MOVE_COST: u32 = 10;
+
+impl<'a> AStar<'a> {
+    fn new(unit_grid: &'a UnitGrid) -> Self {
+        let n = unit_grid.num_cells();
+        Self {
+            unit_grid,
+            g: vec![0; n],
+            came: vec![u32::MAX; n],
+            gen: vec![0; n],
+            current: 0,
+        }
+    }
+
+    /// Shortest (collision-penalized) path from `from` to `to`, returned
+    /// as the sequence of cells *after* `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no path exists — ports always sit in loaded (nonzero)
+    /// channels, whose strips span the chip and intersect, so this
+    /// indicates an internal inconsistency.
+    fn search(
+        &mut self,
+        from: (usize, usize),
+        to: (usize, usize),
+        h_occ: &[u16],
+        v_occ: &[u16],
+        penalty: u32,
+        capacity: u16,
+    ) -> Vec<(usize, usize)> {
+        if from == to {
+            return Vec::new();
+        }
+        self.current += 1;
+        let ug = self.unit_grid;
+        let (w, h) = (ug.cells_x, ug.cells_y);
+        let idx = |x: usize, y: usize| y * w + x;
+        let heuristic = |x: usize, y: usize| -> u32 {
+            (x.abs_diff(to.0) + y.abs_diff(to.1)) as u32 * MOVE_COST
+        };
+        let start = idx(from.0, from.1);
+        self.g[start] = 0;
+        self.gen[start] = self.current;
+        self.came[start] = u32::MAX;
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((heuristic(from.0, from.1), start as u32)));
+        while let Some(Reverse((f, node))) = heap.pop() {
+            let node = node as usize;
+            let (x, y) = (node % w, node / w);
+            let g_here = self.g[node];
+            if f > g_here + heuristic(x, y) {
+                continue; // stale entry
+            }
+            if (x, y) == to {
+                // Reconstruct.
+                let mut path = Vec::new();
+                let mut at = node;
+                while at != start {
+                    path.push((at % w, at / w));
+                    at = self.came[at] as usize;
+                }
+                path.reverse();
+                return path;
+            }
+            let mut try_move = |nx: usize,
+                                ny: usize,
+                                horizontal: bool,
+                                heap: &mut BinaryHeap<Reverse<(u32, u32)>>| {
+                if ug.is_blocked(nx, ny) {
+                    return;
+                }
+                let ni = idx(nx, ny);
+                let occ = if horizontal { h_occ[ni] } else { v_occ[ni] };
+                let over = (occ + 1).saturating_sub(capacity) as u32;
+                let step = MOVE_COST + penalty * over;
+                let ng = g_here + step;
+                if self.gen[ni] != self.current || ng < self.g[ni] {
+                    self.gen[ni] = self.current;
+                    self.g[ni] = ng;
+                    self.came[ni] = node as u32;
+                    heap.push(Reverse((ng + heuristic(nx, ny), ni as u32)));
+                }
+            };
+            if x + 1 < w {
+                try_move(x + 1, y, true, &mut heap);
+            }
+            if x > 0 {
+                try_move(x - 1, y, true, &mut heap);
+            }
+            if y + 1 < h {
+                try_move(x, y + 1, false, &mut heap);
+            }
+            if y > 0 {
+                try_move(x, y - 1, false, &mut heap);
+            }
+        }
+        panic!("no route between cells {from:?} and {to:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ArchParams;
+    use crate::placement::TilePlacement;
+    use crate::spacing::Spacings;
+    use shg_topology::{generators, Grid, Topology};
+    use shg_units::{
+        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
+        Transport,
+    };
+
+    fn params(grid: Grid) -> ArchParams {
+        ArchParams {
+            grid,
+            endpoint_area: GateEquivalents::mega(2.0),
+            endpoints_per_tile: 1,
+            aspect_ratio: AspectRatio::square(),
+            frequency: Hertz::giga(1.2),
+            bandwidth: BitsPerCycle::new(512),
+            technology: Technology::example_22nm(),
+            transport: Transport::axi_like(),
+            router_model: RouterAreaModel::input_queued(8, 32),
+        }
+    }
+
+    fn route_all(topology: &Topology, options: &ModelOptions) -> (DetailedRoutes, UnitGrid) {
+        let p = params(topology.grid());
+        let placement = TilePlacement::compute(&p, topology);
+        let global = GlobalRouting::route(topology, options.port_placement);
+        let spacings = Spacings::compute(&p, &global.loads);
+        let ug = UnitGrid::build(&p, options, &placement, &spacings);
+        (
+            DetailedRoutes::route(topology, &ug, &global, options),
+            ug,
+        )
+    }
+
+    #[test]
+    fn mesh_routes_are_zero_length() {
+        // A pure mesh has zero-width gaps: direct links cross for free.
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let (routes, _) = route_all(&mesh, &ModelOptions::default());
+        for route in &routes.routes {
+            assert_eq!(route.h_moves + route.v_moves, 0);
+        }
+        assert_eq!(routes.collisions, 0);
+    }
+
+    #[test]
+    fn skip_links_are_much_longer_than_mesh_links() {
+        let grid = Grid::new(4, 4);
+        let sr = [3].into_iter().collect();
+        let sc = std::collections::BTreeSet::new();
+        let shg = generators::row_column_skip(grid, &sr, &sc).expect("valid");
+        let (routes, ug) = route_all(&shg, &ModelOptions::default());
+        let tile_w = {
+            let r = ug.tile_rect(shg_topology::TileId::new(0));
+            (r.x1 - r.x0) as u32
+        };
+        for i in 0..shg.num_links() {
+            let id = LinkId::new(i as u32);
+            let total = routes.routes[i].h_moves + routes.routes[i].v_moves;
+            if shg.link_length(id) == 3 {
+                // Skip-3 links detour around two interior tiles.
+                assert!(total >= 2 * tile_w, "skip link {i}: {total} cells");
+            } else {
+                assert!(total <= tile_w / 2, "mesh link {i}: {total} cells");
+            }
+        }
+    }
+
+    #[test]
+    fn collision_aware_no_worse_than_congestion_blind() {
+        let grid = Grid::new(8, 8);
+        let sr = [2, 4].into_iter().collect();
+        let sc = [2, 4].into_iter().collect();
+        let shg = generators::row_column_skip(grid, &sr, &sc).expect("valid");
+        let aware = route_all(&shg, &ModelOptions::default()).0;
+        let blind = route_all(
+            &shg,
+            &ModelOptions {
+                detailed_routing: RoutingMode::CongestionBlind,
+                ..ModelOptions::default()
+            },
+        )
+        .0;
+        assert!(
+            aware.collisions <= blind.collisions,
+            "aware {} vs blind {}",
+            aware.collisions,
+            blind.collisions
+        );
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let grid = Grid::new(4, 4);
+        let torus = generators::torus(grid);
+        let a = route_all(&torus, &ModelOptions::default()).0;
+        let b = route_all(&torus, &ModelOptions::default()).0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn torus_wrap_links_occupy_channels() {
+        let torus = generators::torus(Grid::new(4, 4));
+        let (routes, ug) = route_all(&torus, &ModelOptions::default());
+        assert!(routes.h_occupied_cells > 0);
+        assert!(routes.v_occupied_cells > 0);
+        // Wrap links span roughly two interior tile widths.
+        let tile = ug.tile_rect(shg_topology::TileId::new(0));
+        let tile_w = (tile.x1 - tile.x0) as u32;
+        let max_route = routes
+            .routes
+            .iter()
+            .map(|r| r.h_moves + r.v_moves)
+            .max()
+            .expect("links exist");
+        assert!(
+            max_route >= 2 * tile_w,
+            "longest wrap route {max_route} cells vs tile width {tile_w}"
+        );
+    }
+
+    #[test]
+    fn slimnoc_diagonals_route() {
+        let slim = generators::slim_noc(Grid::new(10, 5)).expect("50 tiles");
+        let (routes, _) = route_all(&slim, &ModelOptions::default());
+        assert_eq!(routes.routes.len(), slim.num_links());
+        // Diagonal links have both horizontal and vertical moves.
+        let has_diag = routes
+            .routes
+            .iter()
+            .any(|r| r.h_moves > 0 && r.v_moves > 0);
+        assert!(has_diag);
+    }
+}

@@ -1,0 +1,179 @@
+//! Approximate floorplanning and link routing for NoC cost prediction.
+//!
+//! This crate implements the five-step model of Section IV-B of the Sparse
+//! Hamming Graph paper (Fig. 4/5). It bridges the gap between fast but
+//! coarse high-level models and accurate but slow low-level (RTL) models
+//! by estimating implementation details — channel spacing, wire lengths,
+//! collisions — from an approximate floorplan:
+//!
+//! 1. [`TilePlacement`] — tile area estimate and placement in the R×C grid,
+//! 2. [`GlobalRouting`] — greedy global routing in the grid of tiles,
+//! 3. [`Spacings`] — estimation of spacing between rows and columns,
+//! 4. [`UnitGrid`] — discretization of the chip into same-sized unit cells,
+//! 5. [`DetailedRoutes`] — detailed routing in the grid of unit cells.
+//!
+//! The combined outputs are the NoC's **area overhead**, **power
+//! consumption** and **per-link latencies** ([`NocEstimates`]); the
+//! latencies annotate the topology fed to the cycle-accurate simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use shg_floorplan::{predict, ArchParams, ModelOptions};
+//! use shg_topology::{generators, Grid};
+//! use shg_units::{
+//!     AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
+//!     Transport,
+//! };
+//!
+//! let params = ArchParams {
+//!     grid: Grid::new(8, 8),
+//!     endpoint_area: GateEquivalents::mega(35.0),
+//!     endpoints_per_tile: 1,
+//!     aspect_ratio: AspectRatio::square(),
+//!     frequency: Hertz::giga(1.2),
+//!     bandwidth: BitsPerCycle::new(512),
+//!     technology: Technology::example_22nm(),
+//!     transport: Transport::axi_like(),
+//!     router_model: RouterAreaModel::input_queued(8, 32),
+//! };
+//! let mesh = generators::mesh(params.grid);
+//! let prediction = predict(&params, &mesh, &ModelOptions::default());
+//! assert!(prediction.estimates.area_overhead < 0.15);
+//! ```
+
+mod detailed_route;
+mod estimate;
+mod global_route;
+mod params;
+mod placement;
+mod spacing;
+mod unitcell;
+
+pub use detailed_route::{DetailedRoutes, LinkRoute};
+pub use estimate::NocEstimates;
+pub use global_route::{ChannelLoads, GlobalRouting, Segment};
+pub use params::{ArchParams, DetailedRouting, ModelOptions, PortPlacement};
+pub use placement::TilePlacement;
+pub use spacing::Spacings;
+pub use unitcell::{CellRect, Face, UnitGrid};
+
+use serde::{Deserialize, Serialize};
+use shg_topology::Topology;
+
+/// The full output of one model run: every intermediate step plus the
+/// final estimates, exposed per C-INTERMEDIATE so that callers (e.g. the
+/// ablation benches) can inspect channel loads or routing collisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Step 1 output.
+    pub placement: TilePlacement,
+    /// Step 2 output.
+    pub global: GlobalRouting,
+    /// Step 3 output.
+    pub spacings: Spacings,
+    /// Step 4 output.
+    pub unit_grid: UnitGrid,
+    /// Step 5 output.
+    pub detailed: DetailedRoutes,
+    /// Final area/power/latency estimates.
+    pub estimates: NocEstimates,
+}
+
+/// Runs the full five-step model on a topology.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[must_use]
+pub fn predict(params: &ArchParams, topology: &Topology, options: &ModelOptions) -> Prediction {
+    assert_eq!(
+        params.grid,
+        topology.grid(),
+        "parameter grid and topology grid must agree"
+    );
+    let placement = TilePlacement::compute(params, topology);
+    let global = GlobalRouting::route(topology, options.port_placement);
+    let spacings = Spacings::compute(params, &global.loads);
+    let unit_grid = UnitGrid::build(params, options, &placement, &spacings);
+    let detailed = DetailedRoutes::route(topology, &unit_grid, &global, options);
+    let estimates = NocEstimates::compute(params, &unit_grid, &detailed);
+    Prediction {
+        placement,
+        global,
+        spacings,
+        unit_grid,
+        detailed,
+        estimates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shg_topology::{generators, Grid};
+    use shg_units::{
+        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
+        Transport,
+    };
+
+    fn params(grid: Grid) -> ArchParams {
+        ArchParams {
+            grid,
+            endpoint_area: GateEquivalents::mega(35.0),
+            endpoints_per_tile: 1,
+            aspect_ratio: AspectRatio::square(),
+            frequency: Hertz::giga(1.2),
+            bandwidth: BitsPerCycle::new(512),
+            technology: Technology::example_22nm(),
+            transport: Transport::axi_like(),
+            router_model: RouterAreaModel::input_queued(8, 32),
+        }
+    }
+
+    #[test]
+    fn cost_ordering_matches_figure_6() {
+        // Fig. 6a cost panel: mesh < torus ≲ sparse Hamming (customized)
+        // < flattened butterfly in area overhead.
+        let grid = Grid::new(8, 8);
+        let p = params(grid);
+        let options = ModelOptions::default();
+        let mesh = predict(&p, &generators::mesh(grid), &options);
+        let torus = predict(&p, &generators::torus(grid), &options);
+        let sr = [4].into_iter().collect();
+        let sc = [2, 5].into_iter().collect();
+        let shg = predict(
+            &p,
+            &generators::row_column_skip(grid, &sr, &sc).expect("scenario a"),
+            &options,
+        );
+        let fb = predict(&p, &generators::flattened_butterfly(grid), &options);
+        let (m, t, s, f) = (
+            mesh.estimates.area_overhead,
+            torus.estimates.area_overhead,
+            shg.estimates.area_overhead,
+            fb.estimates.area_overhead,
+        );
+        assert!(m < t, "mesh {m} < torus {t}");
+        assert!(t < s, "torus {t} < shg {s}");
+        assert!(s < f, "shg {s} < fb {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree")]
+    fn grid_mismatch_panics() {
+        let p = params(Grid::new(4, 4));
+        let mesh = generators::mesh(Grid::new(8, 8));
+        let _ = predict(&p, &mesh, &ModelOptions::default());
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let grid = Grid::new(4, 4);
+        let p = params(grid);
+        let torus = generators::torus(grid);
+        let a = predict(&p, &torus, &ModelOptions::default());
+        let b = predict(&p, &torus, &ModelOptions::default());
+        assert_eq!(a.estimates, b.estimates);
+    }
+}

@@ -1,0 +1,158 @@
+//! Architectural parameters — the model inputs of Table II.
+
+use serde::{Deserialize, Serialize};
+
+use shg_topology::Grid;
+use shg_units::{
+    AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology, Transport,
+};
+
+/// The full set of architectural parameters the prediction model needs
+/// (Table II of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use shg_floorplan::ArchParams;
+/// use shg_topology::Grid;
+/// use shg_units::{
+///     AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
+///     Transport,
+/// };
+///
+/// // The KNC-like scenario (a): 64 tiles, 35 MGE, 512 bits/cycle, 1.2 GHz.
+/// let params = ArchParams {
+///     grid: Grid::new(8, 8),
+///     endpoint_area: GateEquivalents::mega(35.0),
+///     endpoints_per_tile: 1,
+///     aspect_ratio: AspectRatio::square(),
+///     frequency: Hertz::giga(1.2),
+///     bandwidth: BitsPerCycle::new(512),
+///     technology: Technology::example_22nm(),
+///     transport: Transport::axi_like(),
+///     router_model: RouterAreaModel::input_queued(8, 32),
+/// };
+/// assert_eq!(params.grid.num_tiles(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchParams {
+    /// Tile grid (`N_T = R × C`).
+    pub grid: Grid,
+    /// Combined area of all endpoints in a tile (`A_E`).
+    pub endpoint_area: GateEquivalents,
+    /// Number of endpoints attached to each tile's local router.
+    pub endpoints_per_tile: u32,
+    /// Tile aspect ratio, height : width (`R_T`).
+    pub aspect_ratio: AspectRatio,
+    /// NoC clock frequency (`F`).
+    pub frequency: Hertz,
+    /// Per-link bandwidth (`B`).
+    pub bandwidth: BitsPerCycle,
+    /// Technology-node functions.
+    pub technology: Technology,
+    /// Transport-protocol wire model (`f_bw→wires`).
+    pub transport: Transport,
+    /// Router area model (`f_AR`).
+    pub router_model: RouterAreaModel,
+}
+
+impl ArchParams {
+    /// Wires per router-to-router link under the configured transport.
+    #[must_use]
+    pub fn wires_per_link(&self) -> shg_units::Wires {
+        self.transport.bw_to_wires(self.bandwidth)
+    }
+
+    /// Router area for a tile with `radix` network ports
+    /// (`f_AR(m, s, B)` with `m = s = radix + endpoints`).
+    #[must_use]
+    pub fn router_area(&self, radix: usize) -> GateEquivalents {
+        let ports = radix as u32 + self.endpoints_per_tile;
+        self.router_model.area(ports, ports, self.bandwidth)
+    }
+}
+
+/// Options controlling the floorplan model's heuristics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelOptions {
+    /// Port placement policy (ablation A1: `Optimized` vs `NorthOnly`).
+    pub port_placement: PortPlacement,
+    /// Detailed-routing mode (ablation A2).
+    pub detailed_routing: DetailedRouting,
+    /// Multiplier on the unit-cell dimensions; values > 1 coarsen the
+    /// detailed-routing grid, trading accuracy for speed.
+    pub cell_scale: f64,
+    /// A* cost penalty per same-direction collision in a unit cell.
+    pub collision_penalty: f64,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        Self {
+            port_placement: PortPlacement::Optimized,
+            detailed_routing: DetailedRouting::CollisionAware,
+            cell_scale: 1.0,
+            collision_penalty: 4.0,
+        }
+    }
+}
+
+/// Where ports sit on a tile's perimeter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortPlacement {
+    /// One port region per face; each link leaves through the face it
+    /// heads toward (the mesh-style placement of design principle ❷ OPP).
+    Optimized,
+    /// All ports crowd the north face (the ring-style anti-pattern the
+    /// paper calls out; used as the A1 ablation baseline).
+    NorthOnly,
+}
+
+/// Detailed-routing heuristic selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetailedRouting {
+    /// A* with collision penalties (the paper's step 5 heuristic).
+    CollisionAware,
+    /// Shortest paths that ignore congestion entirely (A2 ablation
+    /// baseline).
+    CongestionBlind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ArchParams {
+        ArchParams {
+            grid: Grid::new(8, 8),
+            endpoint_area: GateEquivalents::mega(35.0),
+            endpoints_per_tile: 1,
+            aspect_ratio: AspectRatio::square(),
+            frequency: Hertz::giga(1.2),
+            bandwidth: BitsPerCycle::new(512),
+            technology: Technology::example_22nm(),
+            transport: Transport::axi_like(),
+            router_model: RouterAreaModel::input_queued(8, 32),
+        }
+    }
+
+    #[test]
+    fn wires_per_link_is_affine_in_bandwidth() {
+        let p = params();
+        let w = p.wires_per_link();
+        assert_eq!(w.value(), (2.1f64 * 512.0).ceil() as u64 + 80);
+    }
+
+    #[test]
+    fn router_area_grows_with_radix() {
+        let p = params();
+        assert!(p.router_area(8).value() > p.router_area(4).value());
+    }
+
+    #[test]
+    fn default_options_are_optimized() {
+        let o = ModelOptions::default();
+        assert_eq!(o.port_placement, PortPlacement::Optimized);
+        assert_eq!(o.detailed_routing, DetailedRouting::CollisionAware);
+    }
+}

@@ -1,0 +1,131 @@
+//! Step 1 — tile area estimate and placement in the R×C grid (Fig. 5a).
+//!
+//! The tile area is `A_T = A_E + A_R`, where `A_R = f_AR(m, s, B)` is the
+//! local router's area; the tile's height and width follow from the aspect
+//! ratio. Because the chip is built from *identical* tiles (Section II-A),
+//! the router is sized for the topology's maximum radix.
+
+use serde::{Deserialize, Serialize};
+
+use shg_topology::Topology;
+use shg_units::{GateEquivalents, Mm, Mm2};
+
+use crate::params::ArchParams;
+
+/// The result of step 1: tile dimensions and derived areas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TilePlacement {
+    /// Router area per tile (`A_R`).
+    pub router_area: GateEquivalents,
+    /// Total tile area (`A_T = A_E + A_R`).
+    pub tile_area: GateEquivalents,
+    /// Tile height `H_T = sqrt(R_T · f_GE→mm²(A_T))`.
+    pub tile_height: Mm,
+    /// Tile width `W_T = sqrt(f_GE→mm²(A_T) / R_T)`.
+    pub tile_width: Mm,
+}
+
+impl TilePlacement {
+    /// Computes step 1 for a topology under the given parameters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use shg_floorplan::{ArchParams, TilePlacement};
+    /// # use shg_topology::{generators, Grid};
+    /// # use shg_units::*;
+    /// let params = ArchParams {
+    ///     grid: Grid::new(8, 8),
+    ///     endpoint_area: GateEquivalents::mega(35.0),
+    ///     endpoints_per_tile: 1,
+    ///     aspect_ratio: AspectRatio::square(),
+    ///     frequency: Hertz::giga(1.2),
+    ///     bandwidth: BitsPerCycle::new(512),
+    ///     technology: Technology::example_22nm(),
+    ///     transport: Transport::axi_like(),
+    ///     router_model: RouterAreaModel::input_queued(8, 32),
+    /// };
+    /// let mesh = generators::mesh(params.grid);
+    /// let placement = TilePlacement::compute(&params, &mesh);
+    /// // Square aspect ratio: width == height.
+    /// assert!((placement.tile_width.value() - placement.tile_height.value()).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn compute(params: &ArchParams, topology: &Topology) -> Self {
+        let router_area = params.router_area(topology.max_degree());
+        let tile_area = params.endpoint_area + router_area;
+        let silicon: Mm2 = params.technology.ge_to_mm2(tile_area);
+        let rt = params.aspect_ratio.value();
+        let tile_height = Mm::new((rt * silicon.value()).sqrt());
+        let tile_width = Mm::new((silicon.value() / rt).sqrt());
+        Self {
+            router_area,
+            tile_area,
+            tile_height,
+            tile_width,
+        }
+    }
+
+    /// Tile silicon area in mm².
+    #[must_use]
+    pub fn tile_silicon(&self) -> Mm2 {
+        self.tile_height * self.tile_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shg_topology::{generators, Grid};
+    use shg_units::{
+        AspectRatio, BitsPerCycle, Hertz, RouterAreaModel, Technology, Transport,
+    };
+
+    fn params(aspect: f64) -> ArchParams {
+        ArchParams {
+            grid: Grid::new(8, 8),
+            endpoint_area: GateEquivalents::mega(35.0),
+            endpoints_per_tile: 1,
+            aspect_ratio: AspectRatio::new(aspect),
+            frequency: Hertz::giga(1.2),
+            bandwidth: BitsPerCycle::new(512),
+            technology: Technology::example_22nm(),
+            transport: Transport::axi_like(),
+            router_model: RouterAreaModel::input_queued(8, 32),
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_shapes_tile() {
+        let p = params(2.0);
+        let mesh = generators::mesh(p.grid);
+        let placement = TilePlacement::compute(&p, &mesh);
+        let ratio = placement.tile_height.value() / placement.tile_width.value();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_is_preserved_by_shaping() {
+        let square = TilePlacement::compute(&params(1.0), &generators::mesh(Grid::new(8, 8)));
+        let tall = TilePlacement::compute(&params(2.0), &generators::mesh(Grid::new(8, 8)));
+        assert!((square.tile_silicon().value() - tall.tile_silicon().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_radix_topology_has_bigger_tiles() {
+        let p = params(1.0);
+        let mesh = TilePlacement::compute(&p, &generators::mesh(p.grid));
+        let fb = TilePlacement::compute(&p, &generators::flattened_butterfly(p.grid));
+        assert!(fb.tile_area > mesh.tile_area);
+        assert!(fb.tile_width > mesh.tile_width);
+    }
+
+    #[test]
+    fn knc_tile_is_about_three_mm() {
+        // 35 MGE + router at 0.3 µm²/GE ≈ 10.8 mm² ⇒ ~3.3 mm on a side.
+        let p = params(1.0);
+        let placement = TilePlacement::compute(&p, &generators::mesh(p.grid));
+        let w = placement.tile_width.value();
+        assert!(w > 2.5 && w < 4.5, "tile width {w} mm");
+    }
+}

@@ -1,0 +1,164 @@
+//! Step 3 — estimation of spacing between rows and columns of tiles
+//! (Fig. 5c).
+//!
+//! If at most `N_L` parallel horizontal links run between two rows of
+//! tiles, the spacing between them is
+//! `S = f^H_wires→mm(N_L · f_bw→wires(B))`, and symmetrically for columns
+//! with `f^V_wires→mm`.
+
+use serde::{Deserialize, Serialize};
+
+use shg_units::Mm;
+
+use crate::global_route::ChannelLoads;
+use crate::params::ArchParams;
+
+/// The computed channel spacings of a floorplan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spacings {
+    /// `row_gaps[g]`: height of horizontal channel `g ∈ 0..=R`.
+    pub row_gaps: Vec<Mm>,
+    /// `col_gaps[g]`: width of vertical channel `g ∈ 0..=C`.
+    pub col_gaps: Vec<Mm>,
+}
+
+impl Spacings {
+    /// Computes all channel spacings from the global-routing loads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shg_floorplan::{GlobalRouting, PortPlacement, Spacings};
+    /// # use shg_floorplan::ArchParams;
+    /// # use shg_topology::{generators, Grid};
+    /// # use shg_units::*;
+    /// # let params = ArchParams {
+    /// #     grid: Grid::new(8, 8),
+    /// #     endpoint_area: GateEquivalents::mega(35.0),
+    /// #     endpoints_per_tile: 1,
+    /// #     aspect_ratio: AspectRatio::square(),
+    /// #     frequency: Hertz::giga(1.2),
+    /// #     bandwidth: BitsPerCycle::new(512),
+    /// #     technology: Technology::example_22nm(),
+    /// #     transport: Transport::axi_like(),
+    /// #     router_model: RouterAreaModel::input_queued(8, 32),
+    /// # };
+    /// let mesh = generators::mesh(params.grid);
+    /// let routing = GlobalRouting::route(&mesh, PortPlacement::Optimized);
+    /// let spacings = Spacings::compute(&params, &routing.loads);
+    /// // A mesh loads no channels: all spacings are zero.
+    /// assert_eq!(spacings.total_height().value(), 0.0);
+    /// ```
+    #[must_use]
+    pub fn compute(params: &ArchParams, loads: &ChannelLoads) -> Self {
+        let wires_per_link = params.wires_per_link();
+        let row_gaps = (0..loads.horizontal.len())
+            .map(|g| {
+                let nl = loads.max_horizontal(g as u16);
+                params
+                    .technology
+                    .h_wires_to_mm(wires_per_link * u64::from(nl))
+            })
+            .collect();
+        let col_gaps = (0..loads.vertical.len())
+            .map(|g| {
+                let nl = loads.max_vertical(g as u16);
+                params
+                    .technology
+                    .v_wires_to_mm(wires_per_link * u64::from(nl))
+            })
+            .collect();
+        Self { row_gaps, col_gaps }
+    }
+
+    /// Sum of all horizontal-channel heights (added chip height).
+    #[must_use]
+    pub fn total_height(&self) -> Mm {
+        self.row_gaps.iter().copied().sum()
+    }
+
+    /// Sum of all vertical-channel widths (added chip width).
+    #[must_use]
+    pub fn total_width(&self) -> Mm {
+        self.col_gaps.iter().copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_route::GlobalRouting;
+    use crate::params::PortPlacement;
+    use shg_topology::{generators, Grid};
+    use shg_units::{
+        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
+        Transport,
+    };
+
+    fn params(grid: Grid) -> ArchParams {
+        ArchParams {
+            grid,
+            endpoint_area: GateEquivalents::mega(35.0),
+            endpoints_per_tile: 1,
+            aspect_ratio: AspectRatio::square(),
+            frequency: Hertz::giga(1.2),
+            bandwidth: BitsPerCycle::new(512),
+            technology: Technology::example_22nm(),
+            transport: Transport::axi_like(),
+            router_model: RouterAreaModel::input_queued(8, 32),
+        }
+    }
+
+    #[test]
+    fn denser_topology_needs_wider_channels() {
+        let grid = Grid::new(8, 8);
+        let p = params(grid);
+        let fb = generators::flattened_butterfly(grid);
+        let torus = generators::torus(grid);
+        let fb_spacing = Spacings::compute(
+            &p,
+            &GlobalRouting::route(&fb, PortPlacement::Optimized).loads,
+        );
+        let torus_spacing = Spacings::compute(
+            &p,
+            &GlobalRouting::route(&torus, PortPlacement::Optimized).loads,
+        );
+        assert!(fb_spacing.total_height() > torus_spacing.total_height());
+        assert!(fb_spacing.total_width() > torus_spacing.total_width());
+    }
+
+    #[test]
+    fn spacing_scales_with_bandwidth() {
+        let grid = Grid::new(8, 8);
+        let mut p = params(grid);
+        let torus = generators::torus(grid);
+        let loads = GlobalRouting::route(&torus, PortPlacement::Optimized).loads;
+        let narrow = Spacings::compute(&p, &loads);
+        p.bandwidth = BitsPerCycle::new(1024);
+        let wide = Spacings::compute(&p, &loads);
+        assert!(wide.total_height() > narrow.total_height());
+    }
+
+    #[test]
+    fn spacing_is_per_gap() {
+        // A single skip link loads exactly one channel.
+        let grid = Grid::new(4, 4);
+        let p = params(grid);
+        let sr = [3].into_iter().collect();
+        let sc = std::collections::BTreeSet::new();
+        let t = generators::row_column_skip(grid, &sr, &sc).expect("valid");
+        let routing = GlobalRouting::route(&t, PortPlacement::Optimized);
+        let spacings = Spacings::compute(&p, &routing.loads);
+        let nonzero = spacings
+            .row_gaps
+            .iter()
+            .filter(|s| s.value() > 0.0)
+            .count();
+        assert!(nonzero >= 1);
+        assert_eq!(
+            spacings.col_gaps.iter().filter(|s| s.value() > 0.0).count(),
+            0,
+            "no column links ⇒ no vertical channel spacing"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Model-level properties of the floorplan crate: monotonicity and
+//! consistency relations that must hold for any topology.
+
+use shg_floorplan::{predict, ArchParams, ModelOptions};
+use shg_topology::{generators, Grid};
+use shg_units::{
+    AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology, Transport,
+};
+
+fn params(grid: Grid) -> ArchParams {
+    ArchParams {
+        grid,
+        endpoint_area: GateEquivalents::mega(35.0),
+        endpoints_per_tile: 1,
+        aspect_ratio: AspectRatio::square(),
+        frequency: Hertz::giga(1.2),
+        bandwidth: BitsPerCycle::new(512),
+        technology: Technology::example_22nm(),
+        transport: Transport::axi_like(),
+        router_model: RouterAreaModel::input_queued(8, 32),
+    }
+}
+
+fn fast_options() -> ModelOptions {
+    ModelOptions {
+        cell_scale: 4.0,
+        ..ModelOptions::default()
+    }
+}
+
+#[test]
+fn adding_links_never_shrinks_area() {
+    // Growing the skip sets monotonically grows the chip.
+    let grid = Grid::new(8, 8);
+    let p = params(grid);
+    let configs: Vec<Vec<u16>> = vec![vec![], vec![4], vec![2, 4], vec![2, 3, 4]];
+    let mut last_area = 0.0;
+    for sr in configs {
+        let sr_set: std::collections::BTreeSet<u16> = sr.iter().copied().collect();
+        let sc_set = sr_set.clone();
+        let topology = generators::row_column_skip(grid, &sr_set, &sc_set).expect("valid");
+        let prediction = predict(&p, &topology, &fast_options());
+        let area = prediction.estimates.total_area.value();
+        assert!(
+            area >= last_area - 1e-9,
+            "area shrank: {last_area} → {area} for SR={sr_set:?}"
+        );
+        last_area = area;
+    }
+}
+
+#[test]
+fn higher_bandwidth_needs_more_area() {
+    let grid = Grid::new(8, 8);
+    let topology = generators::torus(grid);
+    let mut p = params(grid);
+    let narrow = predict(&p, &topology, &fast_options());
+    p.bandwidth = BitsPerCycle::new(1024);
+    let wide = predict(&p, &topology, &fast_options());
+    assert!(wide.estimates.total_area > narrow.estimates.total_area);
+    assert!(wide.estimates.area_overhead > narrow.estimates.area_overhead);
+}
+
+#[test]
+fn higher_frequency_raises_link_latencies() {
+    let grid = Grid::new(8, 8);
+    let topology = generators::torus(grid);
+    let mut p = params(grid);
+    let slow_clock = predict(&p, &topology, &fast_options());
+    p.frequency = Hertz::giga(3.0);
+    let fast_clock = predict(&p, &topology, &fast_options());
+    // Same wires, shorter cycles ⇒ more pipeline stages per link.
+    assert!(
+        fast_clock.estimates.mean_link_latency() >= slow_clock.estimates.mean_link_latency()
+    );
+    assert!(
+        fast_clock.estimates.max_link_latency() > slow_clock.estimates.max_link_latency()
+    );
+}
+
+#[test]
+fn coarser_cells_approximate_fine_cells() {
+    // cell_scale trades precision for speed; area estimates must stay
+    // within a modest band of the fine-grained result.
+    let grid = Grid::new(8, 8);
+    let p = params(grid);
+    let sr = [4].into_iter().collect();
+    let sc = [2, 5].into_iter().collect();
+    let topology = generators::row_column_skip(grid, &sr, &sc).expect("valid");
+    let fine = predict(&p, &topology, &ModelOptions::default());
+    let coarse = predict(
+        &p,
+        &topology,
+        &ModelOptions {
+            cell_scale: 4.0,
+            ..ModelOptions::default()
+        },
+    );
+    let rel = (coarse.estimates.total_area.value() - fine.estimates.total_area.value()).abs()
+        / fine.estimates.total_area.value();
+    assert!(rel < 0.10, "coarse vs fine area differ by {rel}");
+    let rel_power = (coarse.estimates.noc_power.value() - fine.estimates.noc_power.value())
+        .abs()
+        / fine.estimates.noc_power.value().max(1e-9);
+    assert!(rel_power < 0.35, "coarse vs fine NoC power differ by {rel_power}");
+}
+
+#[test]
+fn area_overhead_decomposition_is_consistent() {
+    let grid = Grid::new(8, 8);
+    let p = params(grid);
+    let topology = generators::mesh(grid);
+    let prediction = predict(&p, &topology, &fast_options());
+    let e = &prediction.estimates;
+    let recomputed = (e.total_area.value() - e.area_no_noc.value()) / e.total_area.value();
+    assert!((recomputed - e.area_overhead).abs() < 1e-12);
+}
+
+#[test]
+fn bigger_grid_means_bigger_chip() {
+    let small = predict(
+        &params(Grid::new(4, 4)),
+        &generators::mesh(Grid::new(4, 4)),
+        &fast_options(),
+    );
+    let large = predict(
+        &params(Grid::new(8, 8)),
+        &generators::mesh(Grid::new(8, 8)),
+        &fast_options(),
+    );
+    assert!(large.estimates.total_area.value() > 3.0 * small.estimates.total_area.value());
+}
+
+#[test]
+fn link_latency_vector_covers_every_link() {
+    let grid = Grid::new(8, 8);
+    let p = params(grid);
+    for topology in [
+        generators::ring(grid),
+        generators::torus(grid),
+        generators::flattened_butterfly(grid),
+    ] {
+        let prediction = predict(&p, &topology, &fast_options());
+        assert_eq!(
+            prediction.estimates.link_latencies.len(),
+            topology.num_links()
+        );
+        assert!(prediction
+            .estimates
+            .link_latencies
+            .iter()
+            .all(|c| c.value() >= 1));
+    }
+}

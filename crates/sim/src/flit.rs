@@ -1,0 +1,77 @@
+//! Flits — the flow-control units transported by the network.
+
+use shg_topology::TileId;
+
+/// A flow-control unit. Packets are sequences of flits; the head flit
+/// carries the routing information (source, destination, hop index) and
+/// body/tail flits follow the head's virtual-channel reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Packet this flit belongs to.
+    pub packet: u64,
+    /// Source tile.
+    pub src: TileId,
+    /// Destination tile.
+    pub dst: TileId,
+    /// `true` for the first flit of a packet.
+    pub is_head: bool,
+    /// `true` for the last flit of a packet (single-flit packets are both).
+    pub is_tail: bool,
+    /// Cycle the packet was created (including source-queue time).
+    pub created: u64,
+    /// Index of the *next* hop in the packet's routed path (0 before the
+    /// first network hop).
+    pub hop: u8,
+    /// Virtual channel the flit occupies on its current link/buffer.
+    pub vc: u8,
+}
+
+impl Flit {
+    /// Builds the flits of one packet.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shg_sim::Flit;
+    /// use shg_topology::TileId;
+    ///
+    /// let flits = Flit::packet(7, TileId::new(0), TileId::new(5), 4, 100);
+    /// assert_eq!(flits.len(), 4);
+    /// assert!(flits[0].is_head && !flits[0].is_tail);
+    /// assert!(flits[3].is_tail && !flits[3].is_head);
+    /// ```
+    #[must_use]
+    pub fn packet(id: u64, src: TileId, dst: TileId, len: u16, created: u64) -> Vec<Flit> {
+        assert!(len > 0, "a packet needs at least one flit");
+        (0..len)
+            .map(|i| Flit {
+                packet: id,
+                src,
+                dst,
+                is_head: i == 0,
+                is_tail: i + 1 == len,
+                created,
+                hop: 0,
+                vc: 0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flit_packet_is_head_and_tail() {
+        let flits = Flit::packet(1, TileId::new(0), TileId::new(1), 1, 0);
+        assert_eq!(flits.len(), 1);
+        assert!(flits[0].is_head && flits[0].is_tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn empty_packet_panics() {
+        let _ = Flit::packet(1, TileId::new(0), TileId::new(1), 0, 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Performance measurement: zero-load latency and saturation throughput.
+//!
+//! These are the two performance outputs of the paper's prediction
+//! toolchain (Fig. 3): BookSim-style measurements driven by the
+//! floorplan model's per-link latency estimates.
+
+use serde::{Deserialize, Serialize};
+
+use shg_topology::{routing::Routes, Topology};
+use shg_units::Cycles;
+
+use crate::config::SimConfig;
+use crate::network::Network;
+use crate::stats::SimOutcome;
+use crate::traffic::TrafficPattern;
+
+/// The performance estimate of a NoC: the two metrics of Fig. 6's
+/// performance panel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Performance {
+    /// Zero-load latency in cycles (average over all tile pairs).
+    pub zero_load_latency: f64,
+    /// Saturation throughput as a fraction of injection capacity
+    /// (flits per node per cycle; 1.0 = 100%).
+    pub saturation_throughput: f64,
+}
+
+/// Analytic zero-load latency: the average, over all ordered tile pairs,
+/// of the path's accumulated router and link delay plus the packet
+/// serialization delay.
+///
+/// Matches the simulator's timing model: each hop costs the link's
+/// floorplan latency plus the router pipeline overhead, and the tail flit
+/// trails the head by `packet_len − 1` cycles.
+///
+/// # Examples
+///
+/// ```
+/// use shg_sim::{zero_load_latency, SimConfig};
+/// use shg_topology::{generators, routing, Grid};
+/// use shg_units::Cycles;
+///
+/// let mesh = generators::mesh(Grid::new(4, 4));
+/// let routes = routing::default_routes(&mesh).expect("routes");
+/// let lats = vec![Cycles::one(); mesh.num_links()];
+/// let zll = zero_load_latency(&mesh, &routes, &lats, &SimConfig::default());
+/// assert!(zll > 0.0);
+/// ```
+#[must_use]
+pub fn zero_load_latency(
+    topology: &Topology,
+    routes: &Routes,
+    link_latencies: &[Cycles],
+    config: &SimConfig,
+) -> f64 {
+    let n = topology.num_tiles();
+    let mut total = 0.0f64;
+    let mut pairs = 0u64;
+    for src in topology.grid().tiles() {
+        for dst in topology.grid().tiles() {
+            if src == dst {
+                continue;
+            }
+            let hops = routes.path(src, dst);
+            let path_delay: u64 = hops
+                .iter()
+                .map(|hop| {
+                    link_latencies[hop.channel.link().index()].value()
+                        + u64::from(config.router_overhead)
+                })
+                .sum();
+            total += path_delay as f64 + (config.packet_len - 1) as f64;
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64 * (n as f64 / n as f64)
+    }
+}
+
+/// Measures zero-load latency by simulating at a very low injection rate.
+/// Useful to cross-validate [`zero_load_latency`].
+#[must_use]
+pub fn measured_zero_load_latency(
+    topology: &Topology,
+    routes: &Routes,
+    link_latencies: &[Cycles],
+    config: &SimConfig,
+    pattern: TrafficPattern,
+) -> f64 {
+    let mut network = Network::new(topology, routes, link_latencies, config.clone());
+    network.run(0.005, pattern).avg_packet_latency
+}
+
+/// Options for the saturation-throughput search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturationSearch {
+    /// Accepted/offered slack for stability (e.g. 0.05 = 95%).
+    pub slack: f64,
+    /// A run also counts as saturated when its mean latency exceeds this
+    /// multiple of the zero-load latency.
+    pub latency_factor: f64,
+    /// Binary-search resolution in flits/node/cycle.
+    pub resolution: f64,
+}
+
+impl Default for SaturationSearch {
+    fn default() -> Self {
+        Self {
+            slack: 0.05,
+            latency_factor: 4.0,
+            resolution: 0.01,
+        }
+    }
+}
+
+/// Finds the saturation throughput by binary search over the injection
+/// rate: the highest rate (as a fraction of injection capacity) at which
+/// the network still keeps up with the offered load.
+#[must_use]
+pub fn saturation_throughput(
+    topology: &Topology,
+    routes: &Routes,
+    link_latencies: &[Cycles],
+    config: &SimConfig,
+    pattern: TrafficPattern,
+    search: SaturationSearch,
+) -> f64 {
+    let zll = zero_load_latency(topology, routes, link_latencies, config);
+    let stable_at = |rate: f64| -> bool {
+        let mut network = Network::new(topology, routes, link_latencies, config.clone());
+        let outcome = network.run(rate, pattern);
+        outcome.keeps_up(search.slack)
+            && outcome.avg_packet_latency <= zll * search.latency_factor
+    };
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    // The capacity itself might be sustainable (e.g. neighbor traffic).
+    if stable_at(hi) {
+        return hi;
+    }
+    while hi - lo > search.resolution {
+        let mid = (lo + hi) / 2.0;
+        if stable_at(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Convenience: full performance measurement (analytic zero-load latency
+/// plus saturation search).
+#[must_use]
+pub fn measure_performance(
+    topology: &Topology,
+    routes: &Routes,
+    link_latencies: &[Cycles],
+    config: &SimConfig,
+    pattern: TrafficPattern,
+    search: SaturationSearch,
+) -> Performance {
+    Performance {
+        zero_load_latency: zero_load_latency(topology, routes, link_latencies, config),
+        saturation_throughput: saturation_throughput(
+            topology,
+            routes,
+            link_latencies,
+            config,
+            pattern,
+            search,
+        ),
+    }
+}
+
+/// Sweeps the injection rate and reports one [`SimOutcome`] per point —
+/// the classic latency-vs-offered-load curve.
+#[must_use]
+pub fn load_sweep(
+    topology: &Topology,
+    routes: &Routes,
+    link_latencies: &[Cycles],
+    config: &SimConfig,
+    pattern: TrafficPattern,
+    rates: &[f64],
+) -> Vec<SimOutcome> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut network = Network::new(topology, routes, link_latencies, config.clone());
+            network.run(rate, pattern)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shg_topology::{generators, routing, Grid};
+
+    fn unit_latencies(t: &Topology) -> Vec<Cycles> {
+        vec![Cycles::one(); t.num_links()]
+    }
+
+    #[test]
+    fn analytic_zll_matches_hand_computation_for_mesh() {
+        // 2×2 mesh, unit links, overhead 1, packets of 2 flits:
+        // per-hop cost 2; avg hops = (8×1 + 4×2)/12 = 4/3;
+        // ZLL = 4/3·2 + 1 = 11/3.
+        let mesh = generators::mesh(Grid::new(2, 2));
+        let routes = routing::default_routes(&mesh).expect("routes");
+        let config = SimConfig {
+            router_overhead: 1,
+            packet_len: 2,
+            ..SimConfig::default()
+        };
+        let zll = zero_load_latency(&mesh, &routes, &unit_latencies(&mesh), &config);
+        assert!((zll - 11.0 / 3.0).abs() < 1e-9, "zll {zll}");
+    }
+
+    #[test]
+    fn measured_zll_close_to_analytic() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let routes = routing::default_routes(&mesh).expect("routes");
+        let lats = unit_latencies(&mesh);
+        let config = SimConfig::fast_test();
+        let analytic = zero_load_latency(&mesh, &routes, &lats, &config);
+        let measured = measured_zero_load_latency(
+            &mesh,
+            &routes,
+            &lats,
+            &config,
+            TrafficPattern::UniformRandom,
+        );
+        // Low-rate simulation includes minor queueing; allow 25% slack.
+        assert!(
+            (measured - analytic).abs() / analytic < 0.25,
+            "analytic {analytic} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn saturation_ordering_fb_above_mesh_above_ring() {
+        let grid = Grid::new(4, 4);
+        let config = SimConfig::fast_test();
+        let search = SaturationSearch {
+            resolution: 0.02,
+            ..SaturationSearch::default()
+        };
+        let sat = |t: &Topology| {
+            let routes = routing::default_routes(t).expect("routes");
+            saturation_throughput(
+                t,
+                &routes,
+                &unit_latencies(t),
+                &config,
+                TrafficPattern::UniformRandom,
+                search,
+            )
+        };
+        let ring = sat(&generators::ring(grid));
+        let mesh = sat(&generators::mesh(grid));
+        let fb = sat(&generators::flattened_butterfly(grid));
+        assert!(
+            fb > mesh && mesh > ring,
+            "fb {fb} mesh {mesh} ring {ring}"
+        );
+        assert!(ring > 0.0, "even a ring moves some traffic");
+    }
+
+    #[test]
+    fn load_sweep_latency_is_monotonic_until_saturation() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let routes = routing::default_routes(&mesh).expect("routes");
+        let lats = unit_latencies(&mesh);
+        let outcomes = load_sweep(
+            &mesh,
+            &routes,
+            &lats,
+            &SimConfig::fast_test(),
+            TrafficPattern::UniformRandom,
+            &[0.02, 0.1, 0.2],
+        );
+        assert!(outcomes[0].avg_packet_latency <= outcomes[1].avg_packet_latency + 1.0);
+        assert!(outcomes[1].avg_packet_latency <= outcomes[2].avg_packet_latency + 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulation outcome records.
+
+use serde::{Deserialize, Serialize};
+
+/// The measured result of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Injected flits per node per cycle during the measurement window.
+    pub offered_rate: f64,
+    /// Ejected flits per node per cycle during the measurement window.
+    pub accepted_rate: f64,
+    /// Mean packet latency (creation to tail ejection), in cycles.
+    pub avg_packet_latency: f64,
+    /// Median (p50) packet latency, in cycles.
+    pub p50_packet_latency: f64,
+    /// 99th-percentile packet latency, in cycles.
+    pub p99_packet_latency: f64,
+    /// Worst measured packet latency, in cycles.
+    pub max_packet_latency: f64,
+    /// Number of packets measured.
+    pub measured_packets: u64,
+    /// `true` if all measured packets drained within the drain limit.
+    pub stable: bool,
+    /// Total simulated cycles.
+    pub cycles: u64,
+}
+
+/// Computes a percentile (0.0–1.0) of a latency sample by sorting a copy.
+/// Returns 0.0 for an empty sample.
+#[must_use]
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[rank]
+}
+
+impl SimOutcome {
+    /// `true` if the network kept up with the offered load: the run
+    /// drained and accepted throughput tracks offered throughput within
+    /// `slack` (e.g. `0.05` for 95%).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shg_sim::SimOutcome;
+    ///
+    /// let outcome = SimOutcome {
+    ///     offered_rate: 0.2,
+    ///     accepted_rate: 0.199,
+    ///     avg_packet_latency: 30.0,
+    ///     p50_packet_latency: 28.0,
+    ///     p99_packet_latency: 70.0,
+    ///     max_packet_latency: 80.0,
+    ///     measured_packets: 1000,
+    ///     stable: true,
+    ///     cycles: 20_000,
+    /// };
+    /// assert!(outcome.keeps_up(0.05));
+    /// ```
+    #[must_use]
+    pub fn keeps_up(&self, slack: f64) -> bool {
+        self.stable && self.accepted_rate >= self.offered_rate * (1.0 - slack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(stable: bool, offered: f64, accepted: f64) -> SimOutcome {
+        SimOutcome {
+            offered_rate: offered,
+            accepted_rate: accepted,
+            avg_packet_latency: 10.0,
+            p50_packet_latency: 9.0,
+            p99_packet_latency: 18.0,
+            max_packet_latency: 20.0,
+            measured_packets: 100,
+            stable,
+            cycles: 1000,
+        }
+    }
+
+    #[test]
+    fn keeps_up_requires_stability() {
+        assert!(!outcome(false, 0.1, 0.1).keeps_up(0.05));
+    }
+
+    #[test]
+    fn keeps_up_requires_throughput() {
+        assert!(!outcome(true, 0.2, 0.1).keeps_up(0.05));
+        assert!(outcome(true, 0.2, 0.195).keeps_up(0.05));
+    }
+
+    #[test]
+    fn percentile_of_sorted_sample() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        assert!((percentile(&samples, 0.5) - 50.0).abs() <= 1.0);
+        assert!((percentile(&samples, 0.99) - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_sample_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let a = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&a, 0.5), percentile(&b, 0.5));
+        assert_eq!(percentile(&a, 0.5), 3.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Synthetic traffic patterns.
+//!
+//! The paper's Fig. 6 uses uniform random traffic; the other standard
+//! BookSim patterns are provided for wider evaluation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use shg_topology::{Grid, TileCoord, TileId};
+
+/// A synthetic traffic pattern: maps a source tile to a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Every destination equally likely (excluding the source itself).
+    UniformRandom,
+    /// `(r, c) → (c', r')` over the transposed grid: tile at fractional
+    /// position (x, y) sends to (y, x). Requires nothing of the grid; on
+    /// non-square grids coordinates are scaled.
+    Transpose,
+    /// Destination index = bit-complement of the source index.
+    BitComplement,
+    /// Destination row/column mirrored: `(r, c) → (R−1−r, C−1−c)`.
+    Reverse,
+    /// Tornado: half-way around each dimension,
+    /// `(r, c) → (r + ⌈R/2⌉−1 mod R, c + ⌈C/2⌉−1 mod C)`.
+    Tornado,
+    /// Nearest neighbor: `(r, c) → (r, c+1 mod C)`.
+    Neighbor,
+    /// A fraction of traffic targets one hot-spot tile; the rest is
+    /// uniform. The `u8` is the hot-spot percentage (0–100).
+    Hotspot(u8),
+}
+
+impl TrafficPattern {
+    /// Samples a destination for `src`.
+    ///
+    /// Deterministic patterns ignore the RNG. If the pattern maps a tile
+    /// to itself (e.g. transpose on the diagonal), the tile does not
+    /// inject and `None` is returned.
+    pub fn destination<R: Rng>(self, grid: Grid, src: TileId, rng: &mut R) -> Option<TileId> {
+        let n = grid.num_tiles();
+        let coord = grid.coord(src);
+        let dst = match self {
+            Self::UniformRandom => {
+                let mut d = rng.gen_range(0..n - 1);
+                if d >= src.index() {
+                    d += 1;
+                }
+                TileId::new(d as u32)
+            }
+            Self::Transpose => {
+                // Scale coordinates across dimensions for non-square grids.
+                let r = (coord.col as u32 * grid.rows() as u32 / grid.cols() as u32) as u16;
+                let c = (coord.row as u32 * grid.cols() as u32 / grid.rows() as u32) as u16;
+                grid.id(TileCoord::new(
+                    r.min(grid.rows() - 1),
+                    c.min(grid.cols() - 1),
+                ))
+            }
+            Self::BitComplement => {
+                let bits = usize::BITS - (n - 1).leading_zeros();
+                let d = (!src.index()) & ((1usize << bits) - 1);
+                TileId::new(d.min(n - 1) as u32)
+            }
+            Self::Reverse => grid.id(TileCoord::new(
+                grid.rows() - 1 - coord.row,
+                grid.cols() - 1 - coord.col,
+            )),
+            Self::Tornado => {
+                let dr = (grid.rows() as u32).div_ceil(2) - 1;
+                let dc = (grid.cols() as u32).div_ceil(2) - 1;
+                grid.id(TileCoord::new(
+                    ((coord.row as u32 + dr) % grid.rows() as u32) as u16,
+                    ((coord.col as u32 + dc) % grid.cols() as u32) as u16,
+                ))
+            }
+            Self::Neighbor => grid.id(TileCoord::new(
+                coord.row,
+                (coord.col + 1) % grid.cols(),
+            )),
+            Self::Hotspot(percent) => {
+                if rng.gen_range(0..100u8) < percent {
+                    TileId::new((n / 2) as u32)
+                } else {
+                    let mut d = rng.gen_range(0..n - 1);
+                    if d >= src.index() {
+                        d += 1;
+                    }
+                    TileId::new(d as u32)
+                }
+            }
+        };
+        (dst != src).then_some(dst)
+    }
+}
+
+impl std::fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UniformRandom => write!(f, "uniform-random"),
+            Self::Transpose => write!(f, "transpose"),
+            Self::BitComplement => write!(f, "bit-complement"),
+            Self::Reverse => write!(f, "reverse"),
+            Self::Tornado => write!(f, "tornado"),
+            Self::Neighbor => write!(f, "neighbor"),
+            Self::Hotspot(p) => write!(f, "hotspot-{p}%"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_never_self() {
+        let grid = Grid::new(4, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for src in grid.tiles() {
+            for _ in 0..100 {
+                let dst = TrafficPattern::UniformRandom
+                    .destination(grid, src, &mut rng)
+                    .expect("uniform always finds a destination");
+                assert_ne!(dst, src);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let grid = Grid::new(4, 4);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let src = TileId::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(
+                TrafficPattern::UniformRandom
+                    .destination(grid, src, &mut rng)
+                    .expect("dst"),
+            );
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn transpose_diagonal_is_silent() {
+        let grid = Grid::new(4, 4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let diag = grid.id(TileCoord::new(2, 2));
+        assert_eq!(
+            TrafficPattern::Transpose.destination(grid, diag, &mut rng),
+            None
+        );
+        let off = grid.id(TileCoord::new(1, 3));
+        assert_eq!(
+            TrafficPattern::Transpose.destination(grid, off, &mut rng),
+            Some(grid.id(TileCoord::new(3, 1)))
+        );
+    }
+
+    #[test]
+    fn reverse_is_an_involution() {
+        let grid = Grid::new(4, 6);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for src in grid.tiles() {
+            if let Some(dst) = TrafficPattern::Reverse.destination(grid, src, &mut rng) {
+                let back = TrafficPattern::Reverse
+                    .destination(grid, dst, &mut rng)
+                    .expect("reverse of non-center is non-center");
+                assert_eq!(back, src);
+            }
+        }
+    }
+
+    #[test]
+    fn tornado_offsets_by_half() {
+        let grid = Grid::new(8, 8);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let src = grid.id(TileCoord::new(0, 0));
+        let dst = TrafficPattern::Tornado
+            .destination(grid, src, &mut rng)
+            .expect("dst");
+        assert_eq!(grid.coord(dst), TileCoord::new(3, 3));
+    }
+
+    #[test]
+    fn neighbor_wraps() {
+        let grid = Grid::new(2, 4);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let src = grid.id(TileCoord::new(1, 3));
+        let dst = TrafficPattern::Neighbor
+            .destination(grid, src, &mut rng)
+            .expect("dst");
+        assert_eq!(grid.coord(dst), TileCoord::new(1, 0));
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let grid = Grid::new(4, 4);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hot = TileId::new(8);
+        let mut hits = 0;
+        let trials = 1000;
+        for _ in 0..trials {
+            if TrafficPattern::Hotspot(50).destination(grid, TileId::new(0), &mut rng)
+                == Some(hot)
+            {
+                hits += 1;
+            }
+        }
+        assert!(hits > trials / 3, "hotspot hits {hits}/{trials}");
+    }
+}

@@ -1,0 +1,381 @@
+//! Design-principle compliance analysis — the computed Table I.
+//!
+//! Section II of the paper identifies four NoC topology design principles:
+//! ❶ low-radix topologies, ❷ design for routability (short links, aligned
+//! links, uniform link density, optimized port placement), ❸ minimal
+//! network diameter, ❹ minimal physical path length. Table I grades every
+//! topology against these criteria.
+//!
+//! This module *computes* each cell from the topology structure rather
+//! than hard-coding the paper's grades, so the Table I reproduction is an
+//! actual experiment: quantitative metrics are thresholded into the
+//! ✓ / ∼ / ✗ grades the paper prints.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generators;
+use crate::grid::Grid;
+use crate::metrics;
+use crate::routing;
+use crate::topology::{Topology, TopologyKind};
+
+/// A qualitative grade matching the paper's ✓ / (✓) / ∼ / ✗ notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Grade {
+    /// Fully satisfied (✓).
+    Yes,
+    /// Satisfied only for some parametrizations ((✓)).
+    Conditional,
+    /// Partially satisfied (∼).
+    Partial,
+    /// Not satisfied (✗).
+    No,
+}
+
+impl std::fmt::Display for Grade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Yes => "yes",
+            Self::Conditional => "(yes)",
+            Self::Partial => "~",
+            Self::No => "no",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the computed Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplianceRow {
+    /// Topology name.
+    pub name: String,
+    /// Topology kind.
+    pub kind: TopologyKind,
+    /// Router radix (maximum degree) — principle ❶.
+    pub router_radix: usize,
+    /// Short links grade (❷ SL) and the underlying fraction of links with
+    /// length ≤ 1.
+    pub short_links: Grade,
+    /// Fraction of unit-length links.
+    pub short_fraction: f64,
+    /// Aligned links grade (❷ AL).
+    pub aligned_links: Grade,
+    /// Fraction of row/column-aligned links.
+    pub aligned_fraction: f64,
+    /// Uniform link density grade (❷ ULD).
+    pub uniform_density: Grade,
+    /// Max-to-mean channel-segment load ratio (1.0 = perfectly uniform).
+    pub density_ratio: f64,
+    /// Optimized port placement grade (❷ OPP).
+    pub port_placement: Grade,
+    /// Maximum number of links leaving one tile toward the same grid face.
+    pub max_links_per_face: usize,
+    /// Network diameter in hops — principle ❸.
+    pub diameter: u32,
+    /// Physically minimal paths present for all pairs (❹a).
+    pub minimal_paths_present: bool,
+    /// Fraction of pairs with a physically minimal path.
+    pub minimal_path_coverage: f64,
+    /// Hop-minimal routing uses physically minimal paths (❹b).
+    pub minimal_paths_used: bool,
+    /// Number of distinct configurations for the given R and C.
+    pub num_configurations: u128,
+}
+
+/// Grades the short-links criterion: all-unit links are a ✓; a topology
+/// whose longest link still spans at most two tiles (the folded torus) is
+/// a ∼; anything with genuinely long links (torus wraps, butterfly
+/// express links) is a ✗.
+fn grade_short(stats: &metrics::LinkStats) -> Grade {
+    if stats.short_fraction >= 0.99 {
+        Grade::Yes
+    } else if stats.max_length <= 2 {
+        Grade::Partial
+    } else {
+        Grade::No
+    }
+}
+
+/// Grades the aligned-links criterion.
+fn grade_aligned(fraction: f64) -> Grade {
+    if fraction >= 0.99 {
+        Grade::Yes
+    } else if fraction >= 0.5 {
+        Grade::Partial
+    } else {
+        Grade::No
+    }
+}
+
+/// Grades the uniform-link-density criterion from the max/mean channel
+/// load ratio.
+fn grade_density(ratio: f64) -> Grade {
+    if ratio <= 1.6 {
+        Grade::Yes
+    } else if ratio <= 3.0 {
+        Grade::Partial
+    } else {
+        Grade::No
+    }
+}
+
+/// Grades port placement: a port placement is optimizable when every link
+/// has a *natural face* — it leaves the tile toward its destination's row
+/// or column. Aligned links always do; diagonal links (SlimNoC's cross
+/// edges) do not, which forces detoured entry/exit wiring no matter where
+/// the ports sit.
+fn grade_ports(aligned_fraction: f64) -> Grade {
+    if aligned_fraction >= 0.99 {
+        Grade::Yes
+    } else if aligned_fraction >= 0.5 {
+        Grade::Partial
+    } else {
+        Grade::No
+    }
+}
+
+/// Maximum number of links a single tile sends toward one of its four
+/// faces, assigning each link to the face it leaves through (dominant
+/// direction for diagonal links).
+#[must_use]
+pub fn max_links_per_face(topology: &Topology) -> usize {
+    let grid = topology.grid();
+    let mut max = 0;
+    for tile in grid.tiles() {
+        let mut per_face = [0usize; 4]; // N, S, E, W
+        let c = grid.coord(tile);
+        for &(neighbor, _) in topology.neighbors(tile) {
+            let nc = grid.coord(neighbor);
+            let dr = nc.row as i32 - c.row as i32;
+            let dc = nc.col as i32 - c.col as i32;
+            let face = if dr.abs() >= dc.abs() {
+                if dr < 0 {
+                    0
+                } else {
+                    1
+                }
+            } else if dc > 0 {
+                2
+            } else {
+                3
+            };
+            per_face[face] += 1;
+        }
+        max = max.max(*per_face.iter().max().expect("4 faces"));
+    }
+    max
+}
+
+/// Number of distinct configurations of a topology kind for a given grid
+/// (the rightmost column of Table I).
+#[must_use]
+pub fn num_configurations(kind: TopologyKind, grid: Grid) -> u128 {
+    let (r, c) = (grid.rows() as u32, grid.cols() as u32);
+    match kind {
+        TopologyKind::Ring
+        | TopologyKind::Mesh
+        | TopologyKind::Torus
+        | TopologyKind::FoldedTorus
+        | TopologyKind::FlattenedButterfly => 1,
+        TopologyKind::Hypercube => {
+            u128::from(grid.rows().is_power_of_two() && grid.cols().is_power_of_two())
+        }
+        TopologyKind::SlimNoc =>
+
+            u128::from(crate::generators::slim_noc(grid).is_ok()),
+        // SR ⊆ {2..C−1} (C−2 choices), SC ⊆ {2..R−1} (R−2 choices):
+        // 2^(R+C−4) subsets.
+        TopologyKind::SparseHamming => {
+            let exponent = (r + c).saturating_sub(4);
+            1u128 << exponent.min(127)
+        }
+        // Ruche: one factor per dimension within [2, dim), plus the plain
+        // mesh. (A coarse count; the paper only notes it is "quite limited".)
+        TopologyKind::Ruche => u128::from(r.saturating_sub(2) * c.saturating_sub(2)) + 1,
+        TopologyKind::Custom => 1,
+    }
+}
+
+/// Computes a full compliance row for one topology.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{compliance, generators, Grid};
+///
+/// let mesh = generators::mesh(Grid::new(8, 8));
+/// let row = compliance::analyze(&mesh);
+/// assert_eq!(row.router_radix, 4);
+/// assert_eq!(row.diameter, 14); // R + C − 2
+/// assert!(row.minimal_paths_present && row.minimal_paths_used);
+/// ```
+#[must_use]
+pub fn analyze(topology: &Topology) -> ComplianceRow {
+    let stats = metrics::link_stats(topology);
+    let density = metrics::gap_density(topology).max_to_mean();
+    let max_per_face = max_links_per_face(topology);
+    let radix = topology.max_degree();
+    let minimal_used = routing::default_routes(topology)
+        .map(|routes| routes.minimal_paths_used(topology))
+        .unwrap_or(false);
+    ComplianceRow {
+        name: topology.kind().to_string(),
+        kind: topology.kind(),
+        router_radix: radix,
+        short_links: grade_short(&stats),
+        short_fraction: stats.short_fraction,
+        aligned_links: grade_aligned(stats.aligned_fraction),
+        aligned_fraction: stats.aligned_fraction,
+        uniform_density: grade_density(density),
+        density_ratio: density,
+        port_placement: grade_ports(stats.aligned_fraction),
+        max_links_per_face: max_per_face,
+        diameter: metrics::diameter(topology),
+        minimal_paths_present: metrics::minimal_paths_present(topology),
+        minimal_path_coverage: metrics::minimal_path_coverage(topology),
+        minimal_paths_used: minimal_used,
+        num_configurations: num_configurations(topology.kind(), topology.grid()),
+    }
+}
+
+/// Builds every applicable established topology for `grid` plus the given
+/// sparse Hamming instance, and analyzes them all — the full Table I.
+#[must_use]
+pub fn table1(grid: Grid, sparse_hamming: Option<&Topology>) -> Vec<ComplianceRow> {
+    let mut rows = Vec::new();
+    rows.push(analyze(&generators::ring(grid)));
+    rows.push(analyze(&generators::mesh(grid)));
+    rows.push(analyze(&generators::torus(grid)));
+    rows.push(analyze(&generators::folded_torus(grid)));
+    if let Ok(hc) = generators::hypercube(grid) {
+        rows.push(analyze(&hc));
+    }
+    if let Ok(slim) = generators::slim_noc(grid) {
+        rows.push(analyze(&slim));
+    }
+    rows.push(analyze(&generators::flattened_butterfly(grid)));
+    if let Some(shg) = sparse_hamming {
+        rows.push(analyze(shg));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_row_matches_table1() {
+        let row = analyze(&generators::mesh(Grid::new(8, 8)));
+        assert_eq!(row.router_radix, 4);
+        assert_eq!(row.short_links, Grade::Yes);
+        assert_eq!(row.aligned_links, Grade::Yes);
+        assert_eq!(row.uniform_density, Grade::Yes);
+        assert_eq!(row.port_placement, Grade::Yes);
+        assert_eq!(row.diameter, 14);
+        assert!(row.minimal_paths_present);
+        assert!(row.minimal_paths_used);
+        assert_eq!(row.num_configurations, 1);
+    }
+
+    #[test]
+    fn torus_row_matches_table1() {
+        let row = analyze(&generators::torus(Grid::new(8, 8)));
+        assert_eq!(row.router_radix, 4);
+        // Long wrap links: SL ✗ in the paper.
+        assert_eq!(row.short_links, Grade::No);
+        assert_eq!(row.aligned_links, Grade::Yes);
+        assert_eq!(row.diameter, 8);
+        assert!(row.minimal_paths_present);
+        assert!(!row.minimal_paths_used);
+    }
+
+    #[test]
+    fn flattened_butterfly_row_matches_table1() {
+        let row = analyze(&generators::flattened_butterfly(Grid::new(8, 8)));
+        assert_eq!(row.router_radix, 14); // R + C − 2
+        assert_eq!(row.short_links, Grade::No);
+        assert_eq!(row.aligned_links, Grade::Yes);
+        assert_eq!(row.diameter, 2);
+        assert!(row.minimal_paths_present);
+        assert!(row.minimal_paths_used);
+    }
+
+    #[test]
+    fn ring_row_matches_table1() {
+        let row = analyze(&generators::ring(Grid::new(8, 8)));
+        assert_eq!(row.router_radix, 2);
+        assert_eq!(row.short_links, Grade::Yes);
+        assert_eq!(row.diameter, 32); // R·C/2
+        assert!(!row.minimal_paths_present);
+        assert!(!row.minimal_paths_used);
+    }
+
+    #[test]
+    fn hypercube_row_matches_table1() {
+        let row = analyze(&generators::hypercube(Grid::new(8, 8)).expect("8x8"));
+        assert_eq!(row.router_radix, 6);
+        assert_eq!(row.diameter, 6);
+        assert_eq!(row.aligned_links, Grade::Yes);
+        assert_eq!(row.short_links, Grade::No);
+        assert!(row.minimal_paths_present);
+        assert!(!row.minimal_paths_used);
+    }
+
+    #[test]
+    fn slimnoc_row_matches_table1() {
+        let row = analyze(&generators::slim_noc(Grid::new(16, 8)).expect("128 tiles"));
+        assert_eq!(row.diameter, 2);
+        assert_eq!(row.short_links, Grade::No);
+        assert_ne!(row.aligned_links, Grade::Yes);
+        assert!(!row.minimal_paths_present);
+        assert!(!row.minimal_paths_used);
+    }
+
+    #[test]
+    fn sparse_hamming_configuration_count() {
+        // Table I: 2^(R+C−4) configurations.
+        let grid = Grid::new(8, 8);
+        assert_eq!(
+            num_configurations(TopologyKind::SparseHamming, grid),
+            1 << 12
+        );
+        let grid = Grid::new(16, 8);
+        assert_eq!(
+            num_configurations(TopologyKind::SparseHamming, grid),
+            1 << 20
+        );
+    }
+
+    #[test]
+    fn hypercube_configuration_count_conditional() {
+        assert_eq!(
+            num_configurations(TopologyKind::Hypercube, Grid::new(8, 8)),
+            1
+        );
+        assert_eq!(
+            num_configurations(TopologyKind::Hypercube, Grid::new(6, 8)),
+            0
+        );
+    }
+
+    #[test]
+    fn slimnoc_configuration_count_conditional() {
+        assert_eq!(num_configurations(TopologyKind::SlimNoc, Grid::new(16, 8)), 1);
+        assert_eq!(num_configurations(TopologyKind::SlimNoc, Grid::new(8, 8)), 0);
+    }
+
+    #[test]
+    fn full_table_covers_topologies() {
+        let grid = Grid::new(8, 8);
+        let sr = [4].into_iter().collect();
+        let sc = [2, 5].into_iter().collect();
+        let shg = generators::row_column_skip(grid, &sr, &sc).expect("valid");
+        let rows = table1(grid, Some(&shg));
+        // 64 tiles: no SlimNoC; ring, mesh, torus, folded, hypercube, FB, SHG.
+        assert_eq!(rows.len(), 7);
+        let shg_row = rows.last().expect("SHG row");
+        assert!(shg_row.router_radix >= 4 && shg_row.router_radix <= 14);
+        assert!(shg_row.diameter >= 2 && shg_row.diameter <= 14);
+    }
+}

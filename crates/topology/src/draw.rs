@@ -1,0 +1,151 @@
+//! ASCII rendering of topologies — the textual equivalent of Fig. 1/2.
+//!
+//! Tiles are drawn as `o` on a grid; unit-length links as `-`/`|`; longer
+//! aligned links as arcs listed below the grid (they cannot be drawn
+//! inline without crossing tiles, mirroring the physical routing
+//! constraint of Section II-A).
+
+use crate::grid::TileCoord;
+use crate::topology::Topology;
+
+/// Renders the mesh-drawable part of a topology: tiles plus unit links.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{draw, generators, Grid};
+///
+/// let mesh = generators::mesh(Grid::new(2, 3));
+/// let art = draw::grid_art(&mesh);
+/// assert_eq!(art.lines().count(), 3); // 2 tile rows + 1 link row
+/// assert!(art.contains("o---o---o"));
+/// ```
+#[must_use]
+pub fn grid_art(topology: &Topology) -> String {
+    let grid = topology.grid();
+    let (rows, cols) = (grid.rows(), grid.cols());
+    let mut out = String::new();
+    for r in 0..rows {
+        // Tile row with horizontal unit links.
+        for c in 0..cols {
+            out.push('o');
+            if c + 1 < cols {
+                let a = grid.id(TileCoord::new(r, c));
+                let b = grid.id(TileCoord::new(r, c + 1));
+                out.push_str(if topology.has_link(a, b) { "---" } else { "   " });
+            }
+        }
+        out.push('\n');
+        // Vertical unit links.
+        if r + 1 < rows {
+            for c in 0..cols {
+                let a = grid.id(TileCoord::new(r, c));
+                let b = grid.id(TileCoord::new(r + 1, c));
+                out.push(if topology.has_link(a, b) { '|' } else { ' ' });
+                if c + 1 < cols {
+                    out.push_str("   ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Lists the non-unit (skip/wrap/diagonal) links as arcs, grouped by
+/// length, e.g. `len 4: (0,0)<->(0,4) (0,1)<->(0,5) …`.
+#[must_use]
+pub fn long_link_listing(topology: &Topology) -> String {
+    use std::collections::BTreeMap;
+    let grid = topology.grid();
+    let mut by_length: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for (i, link) in topology.links().iter().enumerate() {
+        let id = crate::topology::LinkId::new(i as u32);
+        let len = topology.link_length(id);
+        if len > 1 {
+            by_length
+                .entry(len)
+                .or_default()
+                .push(format!("{}<->{}", grid.coord(link.a), grid.coord(link.b)));
+        }
+    }
+    let mut out = String::new();
+    for (len, links) in by_length {
+        out.push_str(&format!("len {len}: {}\n", links.join(" ")));
+    }
+    out
+}
+
+/// Full rendering: the grid art plus the long-link listing.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{draw, generators, Grid};
+///
+/// let torus = generators::torus(Grid::new(3, 3));
+/// let art = draw::render(&torus);
+/// assert!(art.contains("len 2:")); // wrap links
+/// ```
+#[must_use]
+pub fn render(topology: &Topology) -> String {
+    let mut out = format!("{topology}\n");
+    out.push_str(&grid_art(topology));
+    let long = long_link_listing(topology);
+    if !long.is_empty() {
+        out.push_str("long links:\n");
+        out.push_str(&long);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::grid::Grid;
+
+    #[test]
+    fn mesh_art_has_all_unit_links() {
+        let art = grid_art(&generators::mesh(Grid::new(3, 3)));
+        let expected = "\
+o---o---o
+|   |   |
+o---o---o
+|   |   |
+o---o---o
+";
+        assert_eq!(art, expected);
+    }
+
+    #[test]
+    fn mesh_has_no_long_links() {
+        let listing = long_link_listing(&generators::mesh(Grid::new(4, 4)));
+        assert!(listing.is_empty());
+    }
+
+    #[test]
+    fn torus_lists_wrap_links() {
+        let listing = long_link_listing(&generators::torus(Grid::new(4, 4)));
+        assert!(listing.contains("len 3:"), "{listing}");
+        // 4 row wraps + 4 column wraps.
+        assert_eq!(listing.matches("<->").count(), 8);
+    }
+
+    #[test]
+    fn sparse_hamming_render_shows_base_and_skips() {
+        let sr = [3].into_iter().collect();
+        let sc = std::collections::BTreeSet::new();
+        let shg = generators::row_column_skip(Grid::new(2, 4), &sr, &sc).expect("valid");
+        let art = render(&shg);
+        assert!(art.contains("o---o---o---o"));
+        assert!(art.contains("len 3:"));
+    }
+
+    #[test]
+    fn ring_art_omits_missing_mesh_links() {
+        // A 2×2 ring is exactly the 2×2 mesh cycle.
+        let art = grid_art(&generators::ring(Grid::new(2, 2)));
+        assert_eq!(art, "o---o\n|   |\no---o\n");
+    }
+}

@@ -1,0 +1,156 @@
+//! Folded 2D torus generator (Fig. 1d): torus connectivity without long
+//! wrap-around links.
+//!
+//! A folded (interleaved) torus places the logical ring
+//! `0 → 1 → … → n−1 → 0` of each row/column so that consecutive logical
+//! nodes sit at most two physical positions apart. In physical grid
+//! coordinates this yields, per row of length `n`:
+//!
+//! * skip links `(i, i+2)` for `i ∈ [0, n−2)`, plus
+//! * the two end links `(0, 1)` and `(n−2, n−1)`,
+//!
+//! which together form a single cycle isomorphic to the logical torus ring,
+//! with every link of physical length ≤ 2 (design principle ❷ SL ∼).
+
+use crate::grid::{Grid, TileCoord};
+use crate::topology::{Link, Topology, TopologyKind};
+
+/// Builds a folded 2D torus.
+///
+/// Graph-isomorphic to the [`torus`](super::torus): router radix 4 and
+/// diameter `⌊R/2⌋ + ⌊C/2⌋`, but all links have physical length ≤ 2. The
+/// price is that no unit-length links remain, so physically minimal paths
+/// are absent (Table I: minimal paths present ✘).
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators, Grid};
+///
+/// let ft = generators::folded_torus(Grid::new(4, 4));
+/// assert_eq!(ft.max_degree(), 4);
+/// ```
+#[must_use]
+pub fn folded_torus(grid: Grid) -> Topology {
+    let mut links = Vec::new();
+    // Horizontal folded rings (per row).
+    for r in 0..grid.rows() {
+        for (c1, c2) in folded_ring_pairs(grid.cols()) {
+            links.push(Link::new(
+                grid.id(TileCoord::new(r, c1)),
+                grid.id(TileCoord::new(r, c2)),
+            ));
+        }
+    }
+    // Vertical folded rings (per column).
+    for c in 0..grid.cols() {
+        for (r1, r2) in folded_ring_pairs(grid.rows()) {
+            links.push(Link::new(
+                grid.id(TileCoord::new(r1, c)),
+                grid.id(TileCoord::new(r2, c)),
+            ));
+        }
+    }
+    Topology::new(grid, TopologyKind::FoldedTorus, links)
+}
+
+/// Physical link pairs of a folded 1D ring over `n` positions.
+fn folded_ring_pairs(n: u16) -> Vec<(u16, u16)> {
+    if n < 2 {
+        return Vec::new();
+    }
+    if n == 2 {
+        return vec![(0, 1)];
+    }
+    let mut pairs: Vec<(u16, u16)> = (0..n - 2).map(|i| (i, i + 2)).collect();
+    pairs.push((0, 1));
+    pairs.push((n - 2, n - 1));
+    pairs
+}
+
+/// The logical cycle order of a folded 1D ring, as physical positions.
+///
+/// Exposed for torus routing on the folded embedding: the folded torus is
+/// routed exactly like a torus along this cycle.
+#[must_use]
+pub fn folded_cycle_order(n: u16) -> Vec<u16> {
+    // Interleaved placement: logical 0,1,2,…  at physical 0,2,4,…,5,3,1.
+    let mut order: Vec<u16> = (0..n).filter(|p| p % 2 == 0).collect();
+    order.extend((0..n).filter(|p| p % 2 == 1).rev());
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn folded_ring_is_a_cycle() {
+        // The per-row links form one cycle through all n positions.
+        for n in [3u16, 4, 5, 8, 16] {
+            let pairs = folded_ring_pairs(n);
+            assert_eq!(pairs.len(), n as usize, "a cycle over n nodes has n edges");
+            let mut degree = vec![0u32; n as usize];
+            for &(a, b) in &pairs {
+                degree[a as usize] += 1;
+                degree[b as usize] += 1;
+            }
+            assert!(degree.iter().all(|&d| d == 2), "n={n}: degrees {degree:?}");
+        }
+    }
+
+    #[test]
+    fn folded_cycle_order_matches_links() {
+        for n in [4u16, 8, 16] {
+            let order = folded_cycle_order(n);
+            let pairs: std::collections::HashSet<(u16, u16)> = folded_ring_pairs(n)
+                .into_iter()
+                .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+                .collect();
+            for i in 0..order.len() {
+                let a = order[i];
+                let b = order[(i + 1) % order.len()];
+                let key = if a < b { (a, b) } else { (b, a) };
+                assert!(pairs.contains(&key), "n={n}: cycle edge {key:?} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn folded_torus_is_isomorphic_to_torus_in_diameter() {
+        // Same connectivity as the torus ⇒ same diameter (Table I).
+        assert_eq!(metrics::diameter(&folded_torus(Grid::new(8, 8))), 8);
+        assert_eq!(metrics::diameter(&folded_torus(Grid::new(16, 8))), 12);
+    }
+
+    #[test]
+    fn folded_torus_links_are_short() {
+        let t = folded_torus(Grid::new(8, 8));
+        for i in 0..t.num_links() {
+            assert!(t.link_length(crate::LinkId::new(i as u32)) <= 2);
+        }
+    }
+
+    #[test]
+    fn folded_torus_has_no_unit_paths_for_neighbors() {
+        // No unit links ⇒ physically adjacent tiles are ≥ 2 apart in wire
+        // length (minimal paths present: ✘ in Table I) — except on tiny
+        // grids where the (0,1) end links are unit-length by construction.
+        let t = folded_torus(Grid::new(8, 8));
+        let unit_links = (0..t.num_links())
+            .filter(|&i| t.link_length(crate::LinkId::new(i as u32)) == 1)
+            .count();
+        // Only the folded end-pairs (0,1) and (n−2, n−1) are unit length:
+        // 2 per row and 2 per column.
+        assert_eq!(unit_links, 2 * 8 + 2 * 8);
+    }
+
+    #[test]
+    fn folded_torus_regular_degree_4() {
+        let t = folded_torus(Grid::new(8, 8));
+        for tile in t.grid().tiles() {
+            assert_eq!(t.degree(tile), 4);
+        }
+    }
+}

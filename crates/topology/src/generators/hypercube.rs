@@ -1,0 +1,168 @@
+//! Hypercube generator (Fig. 1e): tiles are connected iff their IDs differ
+//! in exactly one bit.
+//!
+//! Following the figure, tile IDs are assigned by *Gray code* along rows
+//! and columns, so that grid-adjacent tiles differ in exactly one bit and
+//! the hypercube contains all mesh links. IDs split into `log2(C)` column
+//! bits and `log2(R)` row bits; the topology is only applicable when both
+//! dimensions are powers of two (Table I footnote †).
+
+use crate::grid::{Grid, TileCoord};
+use crate::topology::{Link, Topology, TopologyKind};
+
+/// Error returned when the hypercube is not applicable to a grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildHypercubeError {
+    rows: u16,
+    cols: u16,
+}
+
+impl std::fmt::Display for BuildHypercubeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hypercube requires power-of-two dimensions, got {}x{}",
+            self.rows, self.cols
+        )
+    }
+}
+
+impl std::error::Error for BuildHypercubeError {}
+
+/// The binary-reflected Gray code of `x`.
+#[must_use]
+pub fn gray(x: u16) -> u16 {
+    x ^ (x >> 1)
+}
+
+/// Builds a hypercube over the grid, if both dimensions are powers of two.
+///
+/// Router radix `log2(R·C)`, diameter `log2(R·C)`.
+///
+/// # Errors
+///
+/// Returns [`BuildHypercubeError`] if `R` or `C` is not a power of two
+/// (Table I: 0 or 1 configurations).
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators, Grid};
+///
+/// let hc = generators::hypercube(Grid::new(4, 4)).expect("4x4 is a power of two");
+/// assert_eq!(hc.max_degree(), 4); // log2(16)
+/// assert!(generators::hypercube(Grid::new(3, 4)).is_err());
+/// ```
+pub fn hypercube(grid: Grid) -> Result<Topology, BuildHypercubeError> {
+    let (rows, cols) = (grid.rows(), grid.cols());
+    if !rows.is_power_of_two() || !cols.is_power_of_two() || grid.num_tiles() < 2 {
+        return Err(BuildHypercubeError { rows, cols });
+    }
+    let col_bits = cols.trailing_zeros();
+    // Hypercube ID of a coordinate: gray(row) in the high bits,
+    // gray(col) in the low bits.
+    let hid = |coord: TileCoord| -> u32 {
+        ((gray(coord.row) as u32) << col_bits) | gray(coord.col) as u32
+    };
+    // Invert: map each hypercube ID back to its tile.
+    let mut by_hid = vec![None; grid.num_tiles()];
+    for coord in grid.coords() {
+        by_hid[hid(coord) as usize] = Some(grid.id(coord));
+    }
+    let dims = (grid.num_tiles() as u32).trailing_zeros();
+    let mut links = Vec::new();
+    for coord in grid.coords() {
+        let h = hid(coord);
+        for bit in 0..dims {
+            let other = h ^ (1 << bit);
+            if other > h {
+                let a = grid.id(coord);
+                let b = by_hid[other as usize].expect("gray code is a bijection");
+                links.push(Link::new(a, b));
+            }
+        }
+    }
+    Ok(Topology::new(grid, TopologyKind::Hypercube, links))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn gray_code_neighbors_differ_in_one_bit() {
+        for x in 0u16..15 {
+            let diff = gray(x) ^ gray(x + 1);
+            assert_eq!(diff.count_ones(), 1, "gray({x}) vs gray({})", x + 1);
+        }
+    }
+
+    #[test]
+    fn hypercube_radix_and_diameter_match_table1() {
+        // Table I: radix = diameter = log2(R·C).
+        let t = hypercube(Grid::new(8, 8)).expect("8x8");
+        assert_eq!(t.max_degree(), 6);
+        assert_eq!(metrics::diameter(&t), 6);
+        let t = hypercube(Grid::new(16, 8)).expect("16x8");
+        assert_eq!(t.max_degree(), 7);
+        assert_eq!(metrics::diameter(&t), 7);
+    }
+
+    #[test]
+    fn hypercube_is_regular() {
+        let t = hypercube(Grid::new(4, 4)).expect("4x4");
+        for tile in t.grid().tiles() {
+            assert_eq!(t.degree(tile), 4);
+        }
+    }
+
+    #[test]
+    fn hypercube_contains_mesh() {
+        // Gray-code placement makes grid neighbors hypercube neighbors.
+        let grid = Grid::new(8, 8);
+        let hc = hypercube(grid).expect("8x8");
+        let mesh = super::super::mesh(grid);
+        for link in mesh.links() {
+            assert!(
+                hc.has_link(link.a, link.b),
+                "mesh link {link:?} missing from hypercube"
+            );
+        }
+    }
+
+    #[test]
+    fn hypercube_links_are_aligned() {
+        // Each link flips either a row bit or a column bit, so it stays in
+        // one row or one column (Table I: AL ✓).
+        let t = hypercube(Grid::new(8, 8)).expect("8x8");
+        for i in 0..t.num_links() {
+            assert!(t.link_aligned(crate::LinkId::new(i as u32)));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_is_rejected() {
+        assert!(hypercube(Grid::new(3, 4)).is_err());
+        assert!(hypercube(Grid::new(4, 6)).is_err());
+        assert!(hypercube(Grid::new(1, 1)).is_err());
+    }
+
+    #[test]
+    fn figure_1e_ids_match() {
+        // Fig. 1e, top row: 0000, 0100, 1100, 1000 — the Gray sequence in
+        // the high two bits for a 4×4 grid.
+        let col_bits = 2;
+        let ids: Vec<u16> = (0..4)
+            .map(|c| (gray(0) << col_bits) | gray(c))
+            .collect();
+        assert_eq!(ids, vec![0b0000, 0b0001, 0b0011, 0b0010]);
+        // The figure lists the column code in the *high* bits; either
+        // assignment yields an isomorphic topology. What matters is the
+        // Gray property along rows:
+        let row_ids: Vec<u16> = (0..4)
+            .map(|r| (gray(r) << col_bits) | gray(0))
+            .collect();
+        assert_eq!(row_ids, vec![0b0000, 0b0100, 0b1100, 0b1000]);
+    }
+}

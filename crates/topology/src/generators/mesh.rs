@@ -1,0 +1,160 @@
+//! 2D mesh (Fig. 1b) and flattened butterfly (Fig. 1g) generators.
+//!
+//! The two topologies bound the sparse Hamming graph design space from
+//! below (mesh: lowest cost) and above (flattened butterfly: highest
+//! performance).
+
+use crate::grid::{Grid, TileCoord};
+use crate::topology::{Link, Topology, TopologyKind};
+
+/// Builds a 2D mesh: neighboring tiles in the same row or column are
+/// connected.
+///
+/// Router radix 4, diameter `R + C − 2`, all links short and aligned —
+/// the mesh satisfies every routability criterion of design principle ❷.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators, Grid};
+///
+/// let mesh = generators::mesh(Grid::new(3, 3));
+/// assert_eq!(mesh.num_links(), 12);
+/// assert_eq!(mesh.max_degree(), 4);
+/// ```
+#[must_use]
+pub fn mesh(grid: Grid) -> Topology {
+    let mut links = Vec::new();
+    for coord in grid.coords() {
+        if coord.col + 1 < grid.cols() {
+            links.push(Link::new(
+                grid.id(coord),
+                grid.id(TileCoord::new(coord.row, coord.col + 1)),
+            ));
+        }
+        if coord.row + 1 < grid.rows() {
+            links.push(Link::new(
+                grid.id(coord),
+                grid.id(TileCoord::new(coord.row + 1, coord.col)),
+            ));
+        }
+    }
+    Topology::new(grid, TopologyKind::Mesh, links)
+}
+
+/// Builds a flattened butterfly \[34\]: every pair of tiles in the same row
+/// and every pair in the same column is connected.
+///
+/// Router radix `R + C − 2`, diameter 2. This is the densest sparse
+/// Hamming graph (`SR = {2, …, C−1}`, `SC = {2, …, R−1}` plus the mesh
+/// base) and the 2D Hamming graph over the grid.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators, Grid};
+///
+/// let fb = generators::flattened_butterfly(Grid::new(4, 4));
+/// assert_eq!(fb.max_degree(), 6); // (R−1) + (C−1)
+/// ```
+#[must_use]
+pub fn flattened_butterfly(grid: Grid) -> Topology {
+    let mut links = Vec::new();
+    for r in 0..grid.rows() {
+        for c1 in 0..grid.cols() {
+            for c2 in c1 + 1..grid.cols() {
+                links.push(Link::new(
+                    grid.id(TileCoord::new(r, c1)),
+                    grid.id(TileCoord::new(r, c2)),
+                ));
+            }
+        }
+    }
+    for c in 0..grid.cols() {
+        for r1 in 0..grid.rows() {
+            for r2 in r1 + 1..grid.rows() {
+                links.push(Link::new(
+                    grid.id(TileCoord::new(r1, c)),
+                    grid.id(TileCoord::new(r2, c)),
+                ));
+            }
+        }
+    }
+    Topology::new(grid, TopologyKind::FlattenedButterfly, links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn mesh_link_count() {
+        // R(C−1) horizontal + C(R−1) vertical links.
+        let t = mesh(Grid::new(4, 5));
+        assert_eq!(t.num_links(), 4 * 4 + 5 * 3);
+    }
+
+    #[test]
+    fn mesh_degrees() {
+        let t = mesh(Grid::new(3, 3));
+        let corner = t.grid().id(TileCoord::new(0, 0));
+        let edge = t.grid().id(TileCoord::new(0, 1));
+        let center = t.grid().id(TileCoord::new(1, 1));
+        assert_eq!(t.degree(corner), 2);
+        assert_eq!(t.degree(edge), 3);
+        assert_eq!(t.degree(center), 4);
+    }
+
+    #[test]
+    fn mesh_diameter_matches_table1() {
+        // Table I: diameter R + C − 2.
+        for (r, c) in [(4, 4), (8, 8), (16, 8)] {
+            let t = mesh(Grid::new(r, c));
+            assert_eq!(metrics::diameter(&t), u32::from(r + c) - 2);
+        }
+    }
+
+    #[test]
+    fn mesh_links_all_short_and_aligned() {
+        let t = mesh(Grid::new(5, 5));
+        for i in 0..t.num_links() {
+            let id = crate::LinkId::new(i as u32);
+            assert_eq!(t.link_length(id), 1);
+            assert!(t.link_aligned(id));
+        }
+    }
+
+    #[test]
+    fn flattened_butterfly_link_count() {
+        // R·C(C−1)/2 horizontal + C·R(R−1)/2 vertical.
+        let t = flattened_butterfly(Grid::new(4, 4));
+        assert_eq!(t.num_links(), 4 * 6 + 4 * 6);
+    }
+
+    #[test]
+    fn flattened_butterfly_diameter_is_two() {
+        // Table I: diameter 2.
+        for (r, c) in [(4, 4), (8, 8), (16, 8)] {
+            let t = flattened_butterfly(Grid::new(r, c));
+            assert_eq!(metrics::diameter(&t), 2);
+        }
+    }
+
+    #[test]
+    fn flattened_butterfly_radix_matches_table1() {
+        // Table I: router radix R + C − 2.
+        let t = flattened_butterfly(Grid::new(8, 8));
+        assert_eq!(t.max_degree(), 14);
+    }
+
+    #[test]
+    fn mesh_is_subgraph_of_flattened_butterfly() {
+        let grid = Grid::new(4, 4);
+        let m = mesh(grid);
+        let fb = flattened_butterfly(grid);
+        for link in m.links() {
+            assert!(fb.has_link(link.a, link.b));
+        }
+    }
+}

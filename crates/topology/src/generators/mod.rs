@@ -1,0 +1,32 @@
+//! Generators for the established NoC topologies of Fig. 1 and the generic
+//! row/column skip-link construction underlying the sparse Hamming graph.
+//!
+//! All generators place tiles on the same R×C grid, so topologies are
+//! directly comparable by the floorplan model and simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use shg_topology::{generators, Grid};
+//!
+//! let grid = Grid::new(8, 8);
+//! let mesh = generators::mesh(grid);
+//! let fb = generators::flattened_butterfly(grid);
+//! assert!(fb.num_links() > mesh.num_links());
+//! ```
+
+mod folded_torus;
+mod hypercube;
+mod mesh;
+mod ring;
+mod skip;
+mod slimnoc;
+mod torus;
+
+pub use folded_torus::{folded_cycle_order, folded_torus};
+pub use hypercube::{gray, hypercube, BuildHypercubeError};
+pub use mesh::{flattened_butterfly, mesh};
+pub use ring::{cycle_order, cycle_order_of, ring};
+pub use skip::{ruche, row_column_skip, SkipLinkError};
+pub use slimnoc::{slim_noc, BuildSlimNocError};
+pub use torus::torus;

@@ -1,0 +1,176 @@
+//! Ring generator (Fig. 1a): a Hamiltonian cycle through all tiles.
+//!
+//! The cycle is laid out so that links stay short (design principle ❷, SL):
+//! one edge column/row forms the "return path" and the rest of the grid is
+//! traversed in a serpentine. When `R` or `C` is even, every link connects
+//! grid-adjacent tiles; an odd×odd grid admits no unit-length Hamiltonian
+//! cycle (the grid graph is bipartite with unbalanced parts), so a single
+//! longer closing link remains.
+
+use crate::grid::{Grid, TileCoord};
+use crate::topology::{Link, Topology, TopologyKind};
+
+/// Builds a ring: links form a single cycle through all tiles.
+///
+/// Router radix 2, diameter `R·C / 2`.
+///
+/// # Panics
+///
+/// Panics if the grid has fewer than 3 tiles (a cycle needs at least 3).
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators, Grid};
+///
+/// let ring = generators::ring(Grid::new(4, 4));
+/// assert_eq!(ring.num_links(), 16);
+/// assert_eq!(ring.max_degree(), 2);
+/// ```
+#[must_use]
+pub fn ring(grid: Grid) -> Topology {
+    assert!(grid.num_tiles() >= 3, "a ring needs at least 3 tiles");
+    let order = cycle_order(grid);
+    let links = (0..order.len()).map(|i| {
+        let a = grid.id(order[i]);
+        let b = grid.id(order[(i + 1) % order.len()]);
+        Link::new(a, b)
+    });
+    Topology::new(grid, TopologyKind::Ring, links)
+}
+
+/// The Hamiltonian cycle order used by [`ring`]. Exposed for tests and for
+/// routing (ring routing follows the cycle).
+#[must_use]
+pub fn cycle_order(grid: Grid) -> Vec<TileCoord> {
+    let (rows, cols) = (grid.rows(), grid.cols());
+    if cols == 1 || rows == 1 {
+        // Degenerate 1D grid: path forward, closing link jumps back.
+        return grid.coords().collect();
+    }
+    if rows % 2 != 0 && cols % 2 == 0 {
+        // Transpose so the serpentine runs along the even dimension.
+        let transposed = cycle_order(Grid::new(cols, rows));
+        return transposed
+            .into_iter()
+            .map(|c| TileCoord::new(c.col, c.row))
+            .collect();
+    }
+    let mut order = Vec::with_capacity(grid.num_tiles());
+    // Down column 0…
+    for r in 0..rows {
+        order.push(TileCoord::new(r, 0));
+    }
+    // …then serpentine back up through columns 1..C, bottom row first.
+    for i in 0..rows {
+        let r = rows - 1 - i;
+        if i % 2 == 0 {
+            for c in 1..cols {
+                order.push(TileCoord::new(r, c));
+            }
+        } else {
+            for c in (1..cols).rev() {
+                order.push(TileCoord::new(r, c));
+            }
+        }
+    }
+    order
+}
+
+/// Recovers the cycle order of a ring topology by walking it.
+///
+/// Returns `None` if the topology is not a single cycle (some tile has a
+/// degree other than 2, or the walk does not visit every tile).
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators, Grid};
+///
+/// let ring = generators::ring(Grid::new(4, 4));
+/// let order = generators::cycle_order_of(&ring).expect("a ring is a cycle");
+/// assert_eq!(order.len(), 16);
+/// ```
+#[must_use]
+pub fn cycle_order_of(topology: &Topology) -> Option<Vec<TileCoord>> {
+    let n = topology.num_tiles();
+    if n < 3 {
+        return None;
+    }
+    if topology.grid().tiles().any(|t| topology.degree(t) != 2) {
+        return None;
+    }
+    let grid = topology.grid();
+    let start = crate::grid::TileId::new(0);
+    let mut order = vec![grid.coord(start)];
+    let mut prev = start;
+    let mut current = topology.neighbors(start)[0].0;
+    while current != start {
+        order.push(grid.coord(current));
+        let next = topology
+            .neighbors(current)
+            .iter()
+            .map(|&(neighbor, _)| neighbor)
+            .find(|&neighbor| neighbor != prev)?;
+        prev = current;
+        current = next;
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn ring_is_a_single_cycle() {
+        let t = ring(Grid::new(4, 4));
+        assert_eq!(t.num_links(), 16);
+        for tile in t.grid().tiles() {
+            assert_eq!(t.degree(tile), 2, "every tile has exactly two links");
+        }
+    }
+
+    #[test]
+    fn ring_diameter_matches_table1() {
+        // Table I: diameter R·C / 2.
+        let t = ring(Grid::new(4, 4));
+        assert_eq!(metrics::diameter(&t), 8);
+        let t = ring(Grid::new(8, 8));
+        assert_eq!(metrics::diameter(&t), 32);
+    }
+
+    #[test]
+    fn even_grid_ring_has_unit_links() {
+        // With R even, the serpentine construction yields all-unit links
+        // (design principle ❷ SL, matching Table I's ✓ for the ring).
+        for (r, c) in [(4, 4), (8, 8), (4, 5), (16, 8)] {
+            let t = ring(Grid::new(r, c));
+            let long: Vec<_> = (0..t.num_links())
+                .map(|i| t.link_length(crate::LinkId::new(i as u32)))
+                .filter(|&l| l > 1)
+                .collect();
+            assert!(long.is_empty(), "{r}x{c} ring has long links: {long:?}");
+        }
+    }
+
+    #[test]
+    fn odd_odd_grid_ring_has_one_longer_link() {
+        let t = ring(Grid::new(3, 3));
+        let lengths: Vec<_> = (0..t.num_links())
+            .map(|i| t.link_length(crate::LinkId::new(i as u32)))
+            .collect();
+        let long = lengths.iter().filter(|&&l| l > 1).count();
+        assert!(long <= 1, "at most one non-unit link, got {lengths:?}");
+    }
+
+    #[test]
+    fn cycle_order_visits_every_tile_once() {
+        let grid = Grid::new(5, 4);
+        let order = cycle_order(grid);
+        assert_eq!(order.len(), grid.num_tiles());
+        let unique: std::collections::HashSet<_> = order.iter().collect();
+        assert_eq!(unique.len(), grid.num_tiles());
+    }
+}

@@ -1,0 +1,169 @@
+//! SlimNoC generator (Fig. 1f): the MMS-graph-based low-diameter topology.
+//!
+//! SlimNoC \[26\] requires `R·C = 2q²` tiles for a prime power `q`
+//! (Table I footnote ‡). MMS vertices `(s, g, e)` are placed on the grid
+//! group-by-group: group `(s, g)` occupies a contiguous vertical strip so
+//! that intra-group links stay column-aligned, mirroring the grouped
+//! layout of the SlimNoC paper. Cross-group links generally change both
+//! row and column, which is why SlimNoC scores ✘ on the aligned-links and
+//! uniform-link-density criteria of design principle ❷.
+
+use crate::grid::{Grid, TileCoord, TileId};
+use crate::mms::{BuildMmsError, MmsGraph};
+use crate::topology::{Link, Topology, TopologyKind};
+
+/// Error returned when SlimNoC is not applicable to a grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildSlimNocError {
+    /// `R·C ≠ 2q²` for any prime power `q`.
+    NotTwoQSquared {
+        /// Number of tiles in the grid.
+        tiles: usize,
+    },
+    /// The underlying MMS graph could not be constructed.
+    Mms(BuildMmsError),
+}
+
+impl std::fmt::Display for BuildSlimNocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotTwoQSquared { tiles } => {
+                write!(f, "SlimNoC requires R·C = 2q² for a prime power q, got {tiles} tiles")
+            }
+            Self::Mms(e) => write!(f, "MMS construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildSlimNocError {}
+
+impl From<BuildMmsError> for BuildSlimNocError {
+    fn from(e: BuildMmsError) -> Self {
+        Self::Mms(e)
+    }
+}
+
+/// Checks SlimNoC applicability: returns `q` if `tiles = 2q²` for a prime
+/// power `q`.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::generators::slim_noc;
+/// use shg_topology::Grid;
+///
+/// assert!(slim_noc(Grid::new(16, 8)).is_ok()); // 128 = 2·8²
+/// assert!(slim_noc(Grid::new(8, 8)).is_err()); // 64 ≠ 2q²
+/// ```
+#[must_use]
+pub(crate) fn slim_noc_q(tiles: usize) -> Option<usize> {
+    if tiles % 2 != 0 {
+        return None;
+    }
+    let half = tiles / 2;
+    let q = (half as f64).sqrt().round() as usize;
+    if q * q != half {
+        return None;
+    }
+    crate::gf::Field::new(q).ok().map(|_| q)
+}
+
+/// Builds a SlimNoC topology over the grid.
+///
+/// Router radix ≈ √(R·C) (the MMS degree `(3q−ε)/2`), diameter 2.
+///
+/// # Errors
+///
+/// Returns [`BuildSlimNocError`] if the tile count is not `2q²` for a prime
+/// power `q`, or the MMS construction fails.
+pub fn slim_noc(grid: Grid) -> Result<Topology, BuildSlimNocError> {
+    let tiles = grid.num_tiles();
+    let q = slim_noc_q(tiles).ok_or(BuildSlimNocError::NotTwoQSquared { tiles })?;
+    let mms = MmsGraph::new(q)?;
+    let place = placement(grid, q);
+    let links = mms
+        .edges()
+        .into_iter()
+        .map(|(u, v)| Link::new(place[u], place[v]));
+    Ok(Topology::new(grid, TopologyKind::SlimNoc, links))
+}
+
+/// Maps dense MMS vertex indices to tiles: group `(s, g)` fills a vertical
+/// strip of `q` consecutive tiles in column-major order.
+fn placement(grid: Grid, q: usize) -> Vec<TileId> {
+    let n = 2 * q * q;
+    let mut place = Vec::with_capacity(n);
+    for idx in 0..n {
+        // Flatten (part, group) into a strip number, then fill strips in
+        // column-major order across the grid.
+        let strip = idx / q;
+        let offset = idx % q;
+        let flat = strip * q + offset;
+        let col = (flat / grid.rows() as usize) as u16;
+        let row = (flat % grid.rows() as usize) as u16;
+        place.push(grid.id(TileCoord::new(row, col)));
+    }
+    place
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn applicability_check() {
+        assert_eq!(slim_noc_q(128), Some(8)); // 2·8²
+        assert_eq!(slim_noc_q(50), Some(5)); // 2·5²
+        assert_eq!(slim_noc_q(64), None);
+        assert_eq!(slim_noc_q(72), None); // 72 = 2·6², but 6 is not a prime power
+        assert_eq!(slim_noc_q(2), None); // 2 = 2·1², but GF(1) does not exist
+    }
+
+    #[test]
+    fn slimnoc_128_tiles() {
+        // The paper's scenarios c/d: 128 tiles on 16×8, q = 8.
+        let t = slim_noc(Grid::new(16, 8)).expect("128 = 2·8²");
+        assert_eq!(t.num_tiles(), 128);
+        assert_eq!(metrics::diameter(&t), 2, "SlimNoC has diameter 2 (Table I)");
+        // Radix ≈ √(R·C): (3·8 − 0)/2 = 12 vs √128 ≈ 11.3.
+        assert_eq!(t.max_degree(), 12);
+    }
+
+    #[test]
+    fn slimnoc_50_tiles() {
+        let t = slim_noc(Grid::new(10, 5)).expect("50 = 2·5²");
+        assert_eq!(metrics::diameter(&t), 2);
+        assert_eq!(t.max_degree(), 7); // (3·5 − 1)/2
+    }
+
+    #[test]
+    fn slimnoc_rejects_64_tiles() {
+        // Table I footnote ‡ and Fig. 6: SlimNoC is only applicable for
+        // scenarios c/d (128 tiles), not a/b (64 tiles).
+        assert!(matches!(
+            slim_noc(Grid::new(8, 8)),
+            Err(BuildSlimNocError::NotTwoQSquared { tiles: 64 })
+        ));
+    }
+
+    #[test]
+    fn placement_is_a_bijection() {
+        let grid = Grid::new(16, 8);
+        let place = placement(grid, 8);
+        let unique: std::collections::HashSet<_> = place.iter().collect();
+        assert_eq!(unique.len(), 128);
+    }
+
+    #[test]
+    fn intra_group_links_are_column_aligned() {
+        let t = slim_noc(Grid::new(16, 8)).expect("128 tiles");
+        // Count aligned links: all 2q² intra-group links are vertical by
+        // construction; cross links mostly are not.
+        let aligned = (0..t.num_links())
+            .filter(|&i| t.link_aligned(crate::LinkId::new(i as u32)))
+            .count();
+        // Intra-group links: 2 parts × q groups × q·|X|/2 edges = 2·8·16 = 256.
+        assert!(aligned >= 256, "at least the intra-group links are aligned");
+    }
+}

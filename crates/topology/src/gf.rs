@@ -1,0 +1,410 @@
+//! Small finite fields GF(p^k) for the McKay–Miller–Širáň construction.
+//!
+//! SlimNoC \[26\] builds its topology from MMS graphs over GF(q) for a prime
+//! power q. The fields needed here are tiny (q ≤ a few dozen), so the
+//! implementation favors clarity: elements are represented by their index
+//! into precomputed addition/multiplication tables built from polynomial
+//! arithmetic over GF(p).
+
+use serde::{Deserialize, Serialize};
+
+/// An element of a [`Field`], identified by its index in the field's tables.
+pub type Element = usize;
+
+/// A finite field GF(p^k) with precomputed operation tables.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::gf::Field;
+///
+/// let f = Field::new(8).expect("8 = 2^3 is a prime power");
+/// assert_eq!(f.order(), 8);
+/// let x = f.primitive_element();
+/// // A primitive element generates all q-1 nonzero elements.
+/// let mut seen = std::collections::HashSet::new();
+/// let mut y = f.one();
+/// for _ in 0..7 {
+///     seen.insert(y);
+///     y = f.mul(y, x);
+/// }
+/// assert_eq!(seen.len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    p: usize,
+    k: u32,
+    q: usize,
+    add: Vec<Vec<Element>>,
+    mul: Vec<Vec<Element>>,
+    neg: Vec<Element>,
+    primitive: Element,
+}
+
+/// Error returned when a [`Field`] cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildFieldError {
+    q: usize,
+}
+
+impl std::fmt::Display for BuildFieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} is not a prime power", self.q)
+    }
+}
+
+impl std::error::Error for BuildFieldError {}
+
+fn factor_prime_power(q: usize) -> Option<(usize, u32)> {
+    if q < 2 {
+        return None;
+    }
+    let mut p = 2;
+    while p * p <= q {
+        if q % p == 0 {
+            let mut n = q;
+            let mut k = 0;
+            while n % p == 0 {
+                n /= p;
+                k += 1;
+            }
+            return (n == 1).then_some((p, k));
+        }
+        p += 1;
+    }
+    Some((q, 1)) // q itself is prime
+}
+
+/// Multiplies two polynomials over GF(p), reducing modulo `modulus`
+/// (a monic polynomial of degree k, coefficients little-endian).
+fn poly_mulmod(a: &[usize], b: &[usize], modulus: &[usize], p: usize) -> Vec<usize> {
+    let k = modulus.len() - 1;
+    let mut prod = vec![0usize; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            prod[i + j] = (prod[i + j] + ai * bj) % p;
+        }
+    }
+    // Reduce: repeatedly cancel the leading term using the monic modulus.
+    for d in (k..prod.len()).rev() {
+        let coef = prod[d];
+        if coef == 0 {
+            continue;
+        }
+        prod[d] = 0;
+        for (i, &mi) in modulus.iter().enumerate().take(k) {
+            let idx = d - k + i;
+            prod[idx] = (prod[idx] + coef * (p - mi % p)) % p;
+        }
+    }
+    prod.truncate(k.max(1));
+    prod.resize(k.max(1), 0);
+    prod
+}
+
+/// Finds a monic irreducible polynomial of degree k over GF(p) by brute
+/// force (k and p are tiny here).
+fn find_irreducible(p: usize, k: u32) -> Vec<usize> {
+    let k = k as usize;
+    // Candidate: x^k + c_{k-1} x^{k-1} + … + c_0, encoded little-endian
+    // with the implicit leading 1 appended.
+    let total = p.pow(k as u32);
+    'cand: for code in 0..total {
+        let mut coeffs = Vec::with_capacity(k + 1);
+        let mut c = code;
+        for _ in 0..k {
+            coeffs.push(c % p);
+            c /= p;
+        }
+        coeffs.push(1);
+        // Irreducible ⇔ no root expansion works for our sizes only if we
+        // check divisibility by all monic polynomials of degree 1..=k/2.
+        for deg in 1..=k / 2 {
+            let dtotal = p.pow(deg as u32);
+            for dcode in 0..dtotal {
+                let mut div = Vec::with_capacity(deg + 1);
+                let mut dc = dcode;
+                for _ in 0..deg {
+                    div.push(dc % p);
+                    dc /= p;
+                }
+                div.push(1);
+                if poly_divisible(&coeffs, &div, p) {
+                    continue 'cand;
+                }
+            }
+        }
+        return coeffs;
+    }
+    unreachable!("an irreducible polynomial of degree {k} over GF({p}) always exists")
+}
+
+/// `true` if polynomial `a` is divisible by monic polynomial `d` over GF(p).
+fn poly_divisible(a: &[usize], d: &[usize], p: usize) -> bool {
+    let mut rem: Vec<usize> = a.to_vec();
+    let dd = d.len() - 1;
+    while rem.len() > dd {
+        let lead = *rem.last().expect("nonempty");
+        let shift = rem.len() - 1 - dd;
+        if lead != 0 {
+            for (i, &di) in d.iter().enumerate() {
+                let idx = shift + i;
+                rem[idx] = (rem[idx] + lead * (p - di % p)) % p;
+            }
+        }
+        rem.pop();
+    }
+    rem.iter().all(|&c| c == 0)
+}
+
+impl Field {
+    /// Constructs GF(q) for a prime power `q = p^k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildFieldError`] if `q` is not a prime power.
+    pub fn new(q: usize) -> Result<Self, BuildFieldError> {
+        let (p, k) = factor_prime_power(q).ok_or(BuildFieldError { q })?;
+        // Elements are polynomials of degree < k over GF(p), encoded as
+        // base-p digit strings: element e has coefficients e % p, (e/p) % p…
+        let decode = |e: usize| -> Vec<usize> {
+            let mut coeffs = Vec::with_capacity(k as usize);
+            let mut v = e;
+            for _ in 0..k {
+                coeffs.push(v % p);
+                v /= p;
+            }
+            coeffs
+        };
+        let encode = |coeffs: &[usize]| -> usize {
+            coeffs
+                .iter()
+                .rev()
+                .fold(0usize, |acc, &c| acc * p + (c % p))
+        };
+        let modulus = if k == 1 {
+            vec![0, 1] // x (unused for k = 1; arithmetic is mod p)
+        } else {
+            find_irreducible(p, k)
+        };
+        let mut add = vec![vec![0; q]; q];
+        let mut mul = vec![vec![0; q]; q];
+        let mut neg = vec![0; q];
+        for x in 0..q {
+            let cx = decode(x);
+            let negc: Vec<usize> = cx.iter().map(|&c| (p - c) % p).collect();
+            neg[x] = encode(&negc);
+            for y in 0..q {
+                let cy = decode(y);
+                let sum: Vec<usize> = cx.iter().zip(&cy).map(|(&a, &b)| (a + b) % p).collect();
+                add[x][y] = encode(&sum);
+                if k == 1 {
+                    mul[x][y] = (x * y) % p;
+                } else {
+                    let prod = poly_mulmod(&cx, &cy, &modulus, p);
+                    mul[x][y] = encode(&prod);
+                }
+            }
+        }
+        let mut field = Self {
+            p,
+            k,
+            q,
+            add,
+            mul,
+            neg,
+            primitive: 0,
+        };
+        field.primitive = field
+            .find_primitive()
+            .expect("every finite field has a primitive element");
+        Ok(field)
+    }
+
+    fn find_primitive(&self) -> Option<Element> {
+        (1..self.q).find(|&g| {
+            let mut x = g;
+            let mut count = 1;
+            while x != 1 {
+                x = self.mul[x][g];
+                count += 1;
+                if count > self.q {
+                    return false;
+                }
+            }
+            count == self.q - 1
+        })
+    }
+
+    /// The field order q.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.q
+    }
+
+    /// The field characteristic p.
+    #[must_use]
+    pub fn characteristic(&self) -> usize {
+        self.p
+    }
+
+    /// The additive identity.
+    #[must_use]
+    pub fn zero(&self) -> Element {
+        0
+    }
+
+    /// The multiplicative identity.
+    #[must_use]
+    pub fn one(&self) -> Element {
+        1.min(self.q - 1)
+    }
+
+    /// A fixed primitive element (generator of the multiplicative group).
+    #[must_use]
+    pub fn primitive_element(&self) -> Element {
+        self.primitive
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(&self, x: Element, y: Element) -> Element {
+        self.add[x][y]
+    }
+
+    /// Field subtraction `x − y`.
+    #[must_use]
+    pub fn sub(&self, x: Element, y: Element) -> Element {
+        self.add[x][self.neg[y]]
+    }
+
+    /// Additive inverse.
+    #[must_use]
+    pub fn neg(&self, x: Element) -> Element {
+        self.neg[x]
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, x: Element, y: Element) -> Element {
+        self.mul[x][y]
+    }
+
+    /// `x` raised to the power `e`.
+    #[must_use]
+    pub fn pow(&self, x: Element, e: u32) -> Element {
+        let mut result = self.one();
+        for _ in 0..e {
+            result = self.mul(result, x);
+        }
+        result
+    }
+
+    /// All field elements, `0..q`.
+    pub fn elements(&self) -> impl Iterator<Item = Element> {
+        0..self.q
+    }
+
+    /// The nonzero squares (quadratic residues) of the field.
+    #[must_use]
+    pub fn quadratic_residues(&self) -> Vec<Element> {
+        let mut set: Vec<Element> = (1..self.q).map(|x| self.mul(x, x)).collect();
+        set.sort_unstable();
+        set.dedup();
+        set.retain(|&x| x != 0);
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_power_factoring() {
+        assert_eq!(factor_prime_power(8), Some((2, 3)));
+        assert_eq!(factor_prime_power(9), Some((3, 2)));
+        assert_eq!(factor_prime_power(13), Some((13, 1)));
+        assert_eq!(factor_prime_power(12), None);
+        assert_eq!(factor_prime_power(1), None);
+    }
+
+    #[test]
+    fn gf5_is_integers_mod_5() {
+        let f = Field::new(5).expect("prime");
+        assert_eq!(f.add(3, 4), 2);
+        assert_eq!(f.mul(3, 4), 2);
+        assert_eq!(f.sub(1, 3), 3);
+        assert_eq!(f.neg(2), 3);
+    }
+
+    #[test]
+    fn gf8_has_characteristic_2() {
+        let f = Field::new(8).expect("prime power");
+        assert_eq!(f.characteristic(), 2);
+        for x in f.elements() {
+            assert_eq!(f.add(x, x), 0, "x + x must vanish in char 2");
+            assert_eq!(f.neg(x), x);
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold_for_small_fields() {
+        for q in [2, 3, 4, 5, 7, 8, 9, 13] {
+            let f = Field::new(q).expect("prime power");
+            for x in f.elements() {
+                for y in f.elements() {
+                    // Commutativity.
+                    assert_eq!(f.add(x, y), f.add(y, x));
+                    assert_eq!(f.mul(x, y), f.mul(y, x));
+                    // Identity and inverse.
+                    assert_eq!(f.add(x, f.zero()), x);
+                    assert_eq!(f.mul(x, f.one()), x);
+                    assert_eq!(f.add(x, f.neg(x)), f.zero());
+                    // No zero divisors.
+                    if x != 0 && y != 0 {
+                        assert_ne!(f.mul(x, y), 0, "zero divisor in GF({q}): {x}·{y}");
+                    }
+                }
+            }
+            // Distributivity (spot-check all triples for small q).
+            for x in f.elements() {
+                for y in f.elements() {
+                    for z in f.elements() {
+                        assert_eq!(f.mul(x, f.add(y, z)), f.add(f.mul(x, y), f.mul(x, z)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primitive_element_generates_group() {
+        for q in [4, 5, 8, 9] {
+            let f = Field::new(q).expect("prime power");
+            let g = f.primitive_element();
+            let mut seen = std::collections::HashSet::new();
+            let mut x = f.one();
+            for _ in 0..q - 1 {
+                assert!(seen.insert(x), "cycle shorter than q-1 in GF({q})");
+                x = f.mul(x, g);
+            }
+            assert_eq!(x, f.one());
+        }
+    }
+
+    #[test]
+    fn quadratic_residues_count() {
+        // Odd q: exactly (q-1)/2 residues; even q: squaring is a bijection.
+        let f5 = Field::new(5).expect("prime");
+        assert_eq!(f5.quadratic_residues().len(), 2);
+        let f8 = Field::new(8).expect("prime power");
+        assert_eq!(f8.quadratic_residues().len(), 7);
+    }
+
+    #[test]
+    fn non_prime_power_is_rejected() {
+        assert!(Field::new(6).is_err());
+        assert!(Field::new(12).is_err());
+    }
+}

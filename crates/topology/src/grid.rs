@@ -1,0 +1,252 @@
+//! The R×C tile grid underlying every topology.
+//!
+//! The paper assumes a chip organized as an `R × C` grid of identical tiles
+//! (Section II-A). Tiles are identified either by [`TileCoord`] (row,
+//! column) or by a dense row-major [`TileId`] used as an index into
+//! per-tile arrays.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Dense, row-major tile identifier: `id = row * cols + col`.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{Grid, TileCoord};
+///
+/// let grid = Grid::new(4, 8);
+/// let id = grid.id(TileCoord::new(1, 2));
+/// assert_eq!(id.index(), 10);
+/// assert_eq!(grid.coord(id), TileCoord::new(1, 2));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TileId(u32);
+
+impl TileId {
+    /// Creates a tile id from a raw row-major index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The raw row-major index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A (row, column) tile coordinate.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TileCoord {
+    /// Row index, `0 ≤ row < R`.
+    pub row: u16,
+    /// Column index, `0 ≤ col < C`.
+    pub col: u16,
+}
+
+impl TileCoord {
+    /// Creates a coordinate from row and column indices.
+    #[must_use]
+    pub const fn new(row: u16, col: u16) -> Self {
+        Self { row, col }
+    }
+
+    /// Manhattan distance to `other`, in tile units.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shg_topology::TileCoord;
+    /// let a = TileCoord::new(0, 0);
+    /// let b = TileCoord::new(2, 3);
+    /// assert_eq!(a.manhattan(b), 5);
+    /// ```
+    #[must_use]
+    pub fn manhattan(self, other: Self) -> u32 {
+        self.row.abs_diff(other.row) as u32 + self.col.abs_diff(other.col) as u32
+    }
+
+    /// `true` if both coordinates lie in the same row.
+    #[must_use]
+    pub fn same_row(self, other: Self) -> bool {
+        self.row == other.row
+    }
+
+    /// `true` if both coordinates lie in the same column.
+    #[must_use]
+    pub fn same_col(self, other: Self) -> bool {
+        self.col == other.col
+    }
+}
+
+impl fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+/// An `R × C` grid of tiles.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::Grid;
+///
+/// let grid = Grid::new(8, 8);
+/// assert_eq!(grid.num_tiles(), 64);
+/// assert_eq!(grid.tiles().count(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Grid {
+    rows: u16,
+    cols: u16,
+}
+
+impl Grid {
+    /// Creates an `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: u16, cols: u16) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        Self { rows, cols }
+    }
+
+    /// Number of rows `R`.
+    #[must_use]
+    pub const fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of columns `C`.
+    #[must_use]
+    pub const fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Total number of tiles `R × C`.
+    #[must_use]
+    pub const fn num_tiles(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// Converts a coordinate into the dense row-major id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate lies outside the grid.
+    #[must_use]
+    pub fn id(&self, coord: TileCoord) -> TileId {
+        assert!(
+            coord.row < self.rows && coord.col < self.cols,
+            "coordinate {coord} outside {self}"
+        );
+        TileId::new(coord.row as u32 * self.cols as u32 + coord.col as u32)
+    }
+
+    /// Converts a dense id back into its coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id lies outside the grid.
+    #[must_use]
+    pub fn coord(&self, id: TileId) -> TileCoord {
+        assert!(id.index() < self.num_tiles(), "{id} outside {self}");
+        TileCoord::new(
+            (id.index() / self.cols as usize) as u16,
+            (id.index() % self.cols as usize) as u16,
+        )
+    }
+
+    /// Iterates over all tile ids in row-major order.
+    pub fn tiles(&self) -> impl Iterator<Item = TileId> {
+        (0..self.num_tiles() as u32).map(TileId::new)
+    }
+
+    /// Iterates over all coordinates in row-major order.
+    pub fn coords(&self) -> impl Iterator<Item = TileCoord> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |r| (0..cols).map(move |c| TileCoord::new(r, c)))
+    }
+
+    /// Manhattan distance between two tiles, in tile units.
+    #[must_use]
+    pub fn manhattan(&self, a: TileId, b: TileId) -> u32 {
+        self.coord(a).manhattan(self.coord(b))
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} grid", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let grid = Grid::new(5, 7);
+        for coord in grid.coords() {
+            assert_eq!(grid.coord(grid.id(coord)), coord);
+        }
+    }
+
+    #[test]
+    fn row_major_order() {
+        let grid = Grid::new(3, 4);
+        assert_eq!(grid.id(TileCoord::new(0, 0)).index(), 0);
+        assert_eq!(grid.id(TileCoord::new(0, 3)).index(), 3);
+        assert_eq!(grid.id(TileCoord::new(1, 0)).index(), 4);
+        assert_eq!(grid.id(TileCoord::new(2, 3)).index(), 11);
+    }
+
+    #[test]
+    fn tiles_iterator_covers_grid() {
+        let grid = Grid::new(4, 4);
+        let ids: Vec<_> = grid.tiles().collect();
+        assert_eq!(ids.len(), 16);
+        assert_eq!(ids[0], TileId::new(0));
+        assert_eq!(ids[15], TileId::new(15));
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let grid = Grid::new(6, 6);
+        let a = grid.id(TileCoord::new(1, 2));
+        let b = grid.id(TileCoord::new(4, 0));
+        assert_eq!(grid.manhattan(a, b), grid.manhattan(b, a));
+        assert_eq!(grid.manhattan(a, b), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_coord_panics() {
+        let grid = Grid::new(2, 2);
+        let _ = grid.id(TileCoord::new(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        let _ = Grid::new(0, 4);
+    }
+}

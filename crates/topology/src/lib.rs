@@ -1,0 +1,47 @@
+//! NoC topology library: graph core, established topology generators,
+//! metrics, routing tables and design-principle compliance analysis.
+//!
+//! This crate provides the topological substrate of the Sparse Hamming
+//! Graph reproduction:
+//!
+//! * [`Grid`], [`TileId`], [`TileCoord`] — the R×C tile grid of
+//!   Section II-A of the paper,
+//! * [`Topology`] — a connected graph of bidirectional [`Link`]s with
+//!   directed [`Channel`]s for the simulator,
+//! * [`generators`] — ring, 2D mesh, 2D torus, folded 2D torus, hypercube,
+//!   SlimNoC (MMS graphs over GF(q)), flattened butterfly, Ruche, and the
+//!   generic row/column skip-link construction underlying sparse Hamming
+//!   graphs (Fig. 1 and Section III),
+//! * [`metrics`] — diameter, average hops, physical path lengths and link
+//!   statistics (design principles ❸/❹),
+//! * [`routing`] — deterministic hop-minimal, deadlock-free routing tables
+//!   with virtual-channel classes,
+//! * [`compliance`] — the computed Table I compliance matrix.
+//!
+//! # Examples
+//!
+//! ```
+//! use shg_topology::{generators, metrics, routing, Grid};
+//!
+//! let grid = Grid::new(8, 8);
+//! let sr = [4].into_iter().collect();
+//! let sc = [2, 5].into_iter().collect();
+//! let shg = generators::row_column_skip(grid, &sr, &sc).expect("scenario a");
+//!
+//! assert!(metrics::diameter(&shg) < metrics::diameter(&generators::mesh(grid)));
+//! let routes = routing::default_routes(&shg).expect("row-column routing");
+//! assert!(routes.is_deadlock_free(&shg));
+//! ```
+
+pub mod compliance;
+pub mod draw;
+pub mod generators;
+pub mod gf;
+mod grid;
+pub mod metrics;
+pub mod mms;
+pub mod routing;
+mod topology;
+
+pub use grid::{Grid, TileCoord, TileId};
+pub use topology::{Channel, ChannelId, Link, LinkId, Topology, TopologyKind};

@@ -1,0 +1,439 @@
+//! Graph metrics for topologies: hop distances, diameter, physical path
+//! lengths, and link statistics.
+//!
+//! These metrics feed design principle ❸ (network diameter) and ❹
+//! (physical path length) as well as the Table I compliance analysis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::TileId;
+use crate::topology::Topology;
+
+/// All-pairs hop-distance matrix.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators, metrics::DistanceMatrix, Grid, TileId};
+///
+/// let mesh = generators::mesh(Grid::new(4, 4));
+/// let dist = DistanceMatrix::hops(&mesh);
+/// assert_eq!(dist.distance(TileId::new(0), TileId::new(15)), 6);
+/// assert_eq!(dist.diameter(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Computes hop distances by BFS from every tile.
+    #[must_use]
+    pub fn hops(topology: &Topology) -> Self {
+        let n = topology.num_tiles();
+        let mut dist = Vec::with_capacity(n * n);
+        for source in topology.grid().tiles() {
+            dist.extend(topology.bfs_distances(source));
+        }
+        Self { n, dist }
+    }
+
+    /// Computes *physical* distances: the shortest path where each link
+    /// costs its physical length (Manhattan distance between endpoints).
+    ///
+    /// Uses Dijkstra per source; link weights are small non-negative
+    /// integers.
+    #[must_use]
+    pub fn physical(topology: &Topology) -> Self {
+        let n = topology.num_tiles();
+        let mut dist = Vec::with_capacity(n * n);
+        for source in topology.grid().tiles() {
+            dist.extend(dijkstra_physical(topology, source));
+        }
+        Self { n, dist }
+    }
+
+    /// Distance from `a` to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[must_use]
+    pub fn distance(&self, a: TileId, b: TileId) -> u32 {
+        self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// The largest pairwise distance — for hop distances this is the
+    /// *network diameter* of design principle ❸.
+    #[must_use]
+    pub fn diameter(&self) -> u32 {
+        self.dist.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean distance over all ordered pairs of distinct tiles.
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let total: u64 = self.dist.iter().map(|&d| d as u64).sum();
+        total as f64 / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Number of tiles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the matrix covers no tiles.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+fn dijkstra_physical(topology: &Topology, source: TileId) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = topology.num_tiles();
+    let mut dist = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0;
+    heap.push(Reverse((0u32, source)));
+    while let Some(Reverse((d, t))) = heap.pop() {
+        if d > dist[t.index()] {
+            continue;
+        }
+        for &(neighbor, link) in topology.neighbors(t) {
+            let nd = d + topology.link_length(link);
+            if nd < dist[neighbor.index()] {
+                dist[neighbor.index()] = nd;
+                heap.push(Reverse((nd, neighbor)));
+            }
+        }
+    }
+    dist
+}
+
+/// Network diameter in router-to-router hops (design principle ❸).
+#[must_use]
+pub fn diameter(topology: &Topology) -> u32 {
+    DistanceMatrix::hops(topology).diameter()
+}
+
+/// Average hop distance over all ordered pairs.
+#[must_use]
+pub fn average_hops(topology: &Topology) -> f64 {
+    DistanceMatrix::hops(topology).average()
+}
+
+/// `true` if for *every* pair of tiles there exists a path whose physical
+/// length equals the Manhattan distance between the tiles — the
+/// "minimal paths present" column of Table I (design principle ❹a).
+#[must_use]
+pub fn minimal_paths_present(topology: &Topology) -> bool {
+    let phys = DistanceMatrix::physical(topology);
+    let grid = topology.grid();
+    grid.tiles().all(|a| {
+        grid.tiles()
+            .all(|b| phys.distance(a, b) == grid.manhattan(a, b))
+    })
+}
+
+/// Fraction of ordered tile pairs whose physically shortest path through
+/// the topology equals their Manhattan distance.
+///
+/// `1.0` means minimal paths are present for all pairs; useful as a
+/// quantitative refinement of [`minimal_paths_present`].
+#[must_use]
+pub fn minimal_path_coverage(topology: &Topology) -> f64 {
+    let phys = DistanceMatrix::physical(topology);
+    let grid = topology.grid();
+    let mut minimal = 0usize;
+    let mut total = 0usize;
+    for a in grid.tiles() {
+        for b in grid.tiles() {
+            if a != b {
+                total += 1;
+                if phys.distance(a, b) == grid.manhattan(a, b) {
+                    minimal += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        minimal as f64 / total as f64
+    }
+}
+
+/// Summary statistics over the links of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Number of bidirectional links.
+    pub count: usize,
+    /// Total physical length, in tile units.
+    pub total_length: u64,
+    /// Longest link, in tile units.
+    pub max_length: u32,
+    /// Mean link length, in tile units.
+    pub mean_length: f64,
+    /// Fraction of links connecting grid-adjacent tiles (length 1).
+    pub short_fraction: f64,
+    /// Fraction of links that stay within one row or column.
+    pub aligned_fraction: f64,
+}
+
+/// Computes [`LinkStats`] for a topology.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators, metrics, Grid};
+///
+/// let stats = metrics::link_stats(&generators::mesh(Grid::new(4, 4)));
+/// assert_eq!(stats.short_fraction, 1.0);
+/// assert_eq!(stats.aligned_fraction, 1.0);
+/// ```
+#[must_use]
+pub fn link_stats(topology: &Topology) -> LinkStats {
+    let count = topology.num_links();
+    let mut total_length = 0u64;
+    let mut max_length = 0u32;
+    let mut short = 0usize;
+    let mut aligned = 0usize;
+    for i in 0..count {
+        let id = crate::topology::LinkId::new(i as u32);
+        let len = topology.link_length(id);
+        total_length += len as u64;
+        max_length = max_length.max(len);
+        if len <= 1 {
+            short += 1;
+        }
+        if topology.link_aligned(id) {
+            aligned += 1;
+        }
+    }
+    LinkStats {
+        count,
+        total_length,
+        max_length,
+        mean_length: if count == 0 {
+            0.0
+        } else {
+            total_length as f64 / count as f64
+        },
+        short_fraction: if count == 0 {
+            1.0
+        } else {
+            short as f64 / count as f64
+        },
+        aligned_fraction: if count == 0 {
+            1.0
+        } else {
+            aligned as f64 / count as f64
+        },
+    }
+}
+
+/// Per-gap parallel-link counts used by the uniform-link-density analysis.
+///
+/// For every horizontal gap between two adjacent rows (and vertical gap
+/// between two adjacent columns), counts the aligned links that must cross
+/// that gap when routed in their own row/column channel. Non-aligned links
+/// are charged to the gaps their bounding box crosses in both dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapDensity {
+    /// `row_gaps[r]` = links crossing the horizontal channel below row `r`…
+    /// indexed per (row gap, column position): `[gap][col]`.
+    pub row_gaps: Vec<Vec<u32>>,
+    /// `col_gaps[c][row]` = links crossing the vertical channel right of
+    /// column `c` at row position `row`.
+    pub col_gaps: Vec<Vec<u32>>,
+}
+
+impl GapDensity {
+    /// Ratio of the maximum to the mean channel-segment load, per
+    /// direction, combined by taking the worse of the two. `1.0` is
+    /// perfectly uniform.
+    #[must_use]
+    pub fn max_to_mean(&self) -> f64 {
+        fn ratio(gaps: &[Vec<u32>]) -> f64 {
+            let all: Vec<u32> = gaps.iter().flatten().copied().collect();
+            if all.is_empty() {
+                return 1.0;
+            }
+            let max = *all.iter().max().expect("nonempty") as f64;
+            let mean = all.iter().map(|&x| x as f64).sum::<f64>() / all.len() as f64;
+            if mean == 0.0 {
+                1.0
+            } else {
+                max / mean
+            }
+        }
+        ratio(&self.row_gaps).max(ratio(&self.col_gaps))
+    }
+}
+
+/// Computes the gap-density profile of a topology.
+///
+/// A row link from `(r, c1)` to `(r, c2)` loads the vertical channel
+/// segments right of columns `c1..c2` in row `r`'s horizontal track; we
+/// model it as loading the *horizontal* channel segments it passes over.
+/// The model here is intentionally simple — the real congestion analysis
+/// happens in the floorplan crate — but it suffices to distinguish uniform
+/// (mesh, torus) from clustered (SlimNoC) densities as in Table I.
+#[must_use]
+pub fn gap_density(topology: &Topology) -> GapDensity {
+    let grid = topology.grid();
+    let (rows, cols) = (grid.rows() as usize, grid.cols() as usize);
+    // Row links travel in the horizontal channel *below* their row
+    // (except the last row, which uses the channel above): the channel is
+    // shared by all links of that row. We track, per channel and per
+    // column-gap crossed, how many links pass.
+    let mut row_gaps = vec![vec![0u32; cols.saturating_sub(1)]; rows];
+    let mut col_gaps = vec![vec![0u32; rows.saturating_sub(1)]; cols];
+    for link in topology.links() {
+        let (ca, cb) = (grid.coord(link.a), grid.coord(link.b));
+        if ca.same_row(cb) {
+            let (c1, c2) = (ca.col.min(cb.col) as usize, ca.col.max(cb.col) as usize);
+            if c2 - c1 > 1 {
+                // Skip links occupy the row channel across the gaps they span.
+                for c in c1..c2 {
+                    if c < cols - 1 {
+                        row_gaps[ca.row as usize][c] += 1;
+                    }
+                }
+            }
+        } else if ca.same_col(cb) {
+            let (r1, r2) = (ca.row.min(cb.row) as usize, ca.row.max(cb.row) as usize);
+            if r2 - r1 > 1 {
+                for r in r1..r2 {
+                    if r < rows - 1 {
+                        col_gaps[ca.col as usize][r] += 1;
+                    }
+                }
+            }
+        } else {
+            // Diagonal link: charge both dimensions of its bounding box.
+            let (c1, c2) = (ca.col.min(cb.col) as usize, ca.col.max(cb.col) as usize);
+            let (r1, r2) = (ca.row.min(cb.row) as usize, ca.row.max(cb.row) as usize);
+            for c in c1..c2 {
+                if c < cols - 1 {
+                    row_gaps[r1][c] += 1;
+                }
+            }
+            for r in r1..r2 {
+                if r < rows - 1 {
+                    col_gaps[c2][r] += 1;
+                }
+            }
+        }
+    }
+    GapDensity { row_gaps, col_gaps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::grid::Grid;
+
+    #[test]
+    fn mesh_distances_are_manhattan() {
+        let grid = Grid::new(5, 5);
+        let mesh = generators::mesh(grid);
+        let dist = DistanceMatrix::hops(&mesh);
+        for a in grid.tiles() {
+            for b in grid.tiles() {
+                assert_eq!(dist.distance(a, b), grid.manhattan(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn average_hops_mesh_vs_fb() {
+        let grid = Grid::new(8, 8);
+        let mesh = generators::mesh(grid);
+        let fb = generators::flattened_butterfly(grid);
+        assert!(average_hops(&fb) < average_hops(&mesh));
+        // FB average is below its diameter of 2.
+        assert!(average_hops(&fb) < 2.0);
+    }
+
+    #[test]
+    fn minimal_paths_present_per_table1() {
+        let grid = Grid::new(8, 8);
+        assert!(minimal_paths_present(&generators::mesh(grid)));
+        assert!(minimal_paths_present(&generators::torus(grid)));
+        assert!(minimal_paths_present(&generators::flattened_butterfly(grid)));
+        assert!(minimal_paths_present(
+            &generators::hypercube(grid).expect("8x8")
+        ));
+        assert!(!minimal_paths_present(&generators::ring(grid)));
+        assert!(!minimal_paths_present(&generators::folded_torus(grid)));
+    }
+
+    #[test]
+    fn sparse_hamming_minimal_paths_present() {
+        // SHG contains the mesh ⇒ minimal paths are always present
+        // (Table I: ✓ unconditionally in the "present" column).
+        let grid = Grid::new(8, 8);
+        let sr = [4].into_iter().collect();
+        let sc = [2, 5].into_iter().collect();
+        let shg = generators::row_column_skip(grid, &sr, &sc).expect("valid");
+        assert!(minimal_paths_present(&shg));
+    }
+
+    #[test]
+    fn minimal_path_coverage_bounds() {
+        let grid = Grid::new(6, 6);
+        let ring = generators::ring(grid);
+        let cov = minimal_path_coverage(&ring);
+        assert!(cov > 0.0 && cov < 1.0, "ring coverage {cov}");
+        assert_eq!(minimal_path_coverage(&generators::mesh(grid)), 1.0);
+    }
+
+    #[test]
+    fn link_stats_mesh() {
+        let stats = link_stats(&generators::mesh(Grid::new(4, 4)));
+        assert_eq!(stats.count, 24);
+        assert_eq!(stats.max_length, 1);
+        assert_eq!(stats.total_length, 24);
+    }
+
+    #[test]
+    fn gap_density_uniform_for_torus_like() {
+        // Mesh has no skip links at all: densities are all zero → ratio 1.
+        let mesh_density = gap_density(&generators::mesh(Grid::new(8, 8)));
+        assert!((mesh_density.max_to_mean() - 1.0).abs() < 1e-9);
+        // SlimNoC clusters links: ratio should be clearly worse than the
+        // sparse Hamming graph's.
+        let slim = generators::slim_noc(Grid::new(16, 8)).expect("128 tiles");
+        let sr = [3].into_iter().collect();
+        let sc = [2, 5].into_iter().collect();
+        let shg =
+            generators::row_column_skip(Grid::new(16, 8), &sr, &sc).expect("valid");
+        let slim_ratio = gap_density(&slim).max_to_mean();
+        let shg_ratio = gap_density(&shg).max_to_mean();
+        assert!(
+            slim_ratio > shg_ratio,
+            "SlimNoC {slim_ratio} should be less uniform than SHG {shg_ratio}"
+        );
+    }
+
+    #[test]
+    fn physical_distance_on_folded_torus_exceeds_manhattan() {
+        let grid = Grid::new(8, 8);
+        let ft = generators::folded_torus(grid);
+        let phys = DistanceMatrix::physical(&ft);
+        // Grid-adjacent interior tiles have Manhattan distance 1 but need
+        // length-2 links.
+        let a = grid.id(crate::grid::TileCoord::new(3, 3));
+        let b = grid.id(crate::grid::TileCoord::new(3, 4));
+        assert!(phys.distance(a, b) > 1);
+    }
+}

@@ -1,0 +1,416 @@
+//! McKay–Miller–Širáň (MMS) graphs for SlimNoC.
+//!
+//! SlimNoC \[26\] uses MMS graphs: vertex-rich, diameter-2 graphs on
+//! `N = 2q²` vertices for a prime power `q`, with degree `(3q − ε)/2` where
+//! `ε ∈ {1, 0, −1}` depends on `q mod 4`.
+//!
+//! Structure: vertices are triples `(s, g, e)` with part `s ∈ {0, 1}`,
+//! group `g ∈ F_q`, element `e ∈ F_q`.
+//!
+//! * part-0 intra-group edges: `(0, x, y) ~ (0, x, y')` iff `y − y' ∈ X`,
+//! * part-1 intra-group edges: `(1, m, c) ~ (1, m, c')` iff `c − c' ∈ X'`,
+//! * cross edges: `(0, x, y) ~ (1, m, c)` iff `y = m·x + c`.
+//!
+//! For `q ≡ 1 (mod 4)` the classic choice `X` = quadratic residues,
+//! `X'` = non-residues yields diameter 2 (this is the construction from the
+//! original MMS paper). For other `q` (notably `q = 8`, needed for the
+//! paper's 128-tile scenarios) we select symmetric generator sets by a
+//! deterministic search and *verify* the diameter-2 property by BFS at
+//! construction — see `DESIGN.md`, substitution #5.
+
+use crate::gf::{Element, Field};
+
+/// An MMS graph instance on `2q²` vertices.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::mms::MmsGraph;
+///
+/// let g = MmsGraph::new(5).expect("q = 5 is a prime power with q ≡ 1 mod 4");
+/// assert_eq!(g.num_vertices(), 50);
+/// assert_eq!(g.diameter(), 2);
+/// // Degree (3q − 1)/2 = 7 for q = 5.
+/// assert!(g.degrees().iter().all(|&d| d == 7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MmsGraph {
+    q: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+/// Error returned when an MMS graph cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildMmsError {
+    /// `q` is not a prime power.
+    NotPrimePower(usize),
+    /// No generator sets achieving diameter 2 were found (should not occur
+    /// for prime powers in the supported range).
+    NoGeneratorSets(usize),
+}
+
+impl std::fmt::Display for BuildMmsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotPrimePower(q) => write!(f, "{q} is not a prime power"),
+            Self::NoGeneratorSets(q) => {
+                write!(f, "no diameter-2 generator sets found for q = {q}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildMmsError {}
+
+/// A vertex of the MMS graph: `(part, group, element)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MmsVertex {
+    /// Part `s ∈ {0, 1}`.
+    pub part: u8,
+    /// Group `g ∈ F_q` (column `x` for part 0, slope `m` for part 1).
+    pub group: usize,
+    /// Element `e ∈ F_q` (row `y` for part 0, intercept `c` for part 1).
+    pub element: usize,
+}
+
+impl MmsGraph {
+    /// Builds the MMS graph for prime power `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q` is not a prime power or no diameter-2
+    /// generator sets exist in the searched family.
+    pub fn new(q: usize) -> Result<Self, BuildMmsError> {
+        let field = Field::new(q).map_err(|_| BuildMmsError::NotPrimePower(q))?;
+        // Preferred generator sets: quadratic residues / non-residues
+        // (exact MMS construction for q ≡ 1 mod 4).
+        let candidates = Self::generator_candidates(&field);
+        for (x_set, xp_set) in candidates {
+            let graph = Self::build(&field, &x_set, &xp_set);
+            if graph.has_diameter_at_most_two() {
+                return Ok(graph);
+            }
+        }
+        Err(BuildMmsError::NoGeneratorSets(q))
+    }
+
+    /// Vertex index of `(part, group, element)` in `0..2q²`.
+    #[must_use]
+    pub fn vertex_index(&self, v: MmsVertex) -> usize {
+        (v.part as usize) * self.q * self.q + v.group * self.q + v.element
+    }
+
+    /// The vertex corresponding to a dense index.
+    #[must_use]
+    pub fn vertex(&self, index: usize) -> MmsVertex {
+        let q2 = self.q * self.q;
+        MmsVertex {
+            part: (index / q2) as u8,
+            group: (index % q2) / self.q,
+            element: index % self.q,
+        }
+    }
+
+    /// The field order `q`.
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of vertices `2q²`.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        2 * self.q * self.q
+    }
+
+    /// Adjacency lists, indexed by dense vertex index.
+    #[must_use]
+    pub fn adjacency(&self) -> &[Vec<usize>] {
+        &self.adjacency
+    }
+
+    /// All edges as `(u, v)` pairs with `u < v`.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for (u, nbrs) in self.adjacency.iter().enumerate() {
+            for &v in nbrs {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Per-vertex degrees.
+    #[must_use]
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adjacency.iter().map(Vec::len).collect()
+    }
+
+    /// Fast check that every pair of vertices is within two hops.
+    ///
+    /// Uses 128-bit adjacency bitmasks when the graph fits (`n ≤ 128`,
+    /// which covers every SlimNoC instance in the paper's scenarios), and
+    /// falls back to BFS otherwise.
+    #[must_use]
+    pub fn has_diameter_at_most_two(&self) -> bool {
+        let n = self.num_vertices();
+        if n <= 128 {
+            let masks: Vec<u128> = self
+                .adjacency
+                .iter()
+                .enumerate()
+                .map(|(u, nbrs)| {
+                    nbrs.iter()
+                        .fold(1u128 << u, |mask, &v| mask | (1u128 << v))
+                })
+                .collect();
+            let all = if n == 128 {
+                u128::MAX
+            } else {
+                (1u128 << n) - 1
+            };
+            masks.iter().enumerate().all(|(u, &direct)| {
+                let two_hop = self.adjacency[u]
+                    .iter()
+                    .fold(direct, |mask, &v| mask | masks[v]);
+                two_hop == all
+            })
+        } else {
+            self.diameter() <= 2
+        }
+    }
+
+    /// Graph diameter by all-pairs BFS.
+    #[must_use]
+    pub fn diameter(&self) -> u32 {
+        let n = self.num_vertices();
+        let mut diameter = 0;
+        for s in 0..n {
+            let mut dist = vec![u32::MAX; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[s] = 0;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adjacency[u] {
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            let ecc = *dist.iter().max().expect("nonempty");
+            if ecc == u32::MAX {
+                return u32::MAX; // disconnected
+            }
+            diameter = diameter.max(ecc);
+        }
+        diameter
+    }
+
+    /// Candidate `(X, X')` generator-set pairs, best-first.
+    fn generator_candidates(field: &Field) -> Vec<(Vec<Element>, Vec<Element>)> {
+        let q = field.order();
+        let mut candidates = Vec::new();
+        if q % 4 == 1 {
+            // Exact construction: X = quadratic residues, X' = non-residues.
+            let residues = field.quadratic_residues();
+            let non_residues: Vec<Element> = (1..q)
+                .filter(|e| !residues.contains(e))
+                .collect();
+            candidates.push((residues, non_residues));
+        }
+        // Search fallback: symmetric subsets of size ⌈(q−ε)/2⌉ where the
+        // target degree is (3q−ε)/2. For even q every subset is symmetric
+        // (char 2); for odd q we enumerate unions of {±a} pairs.
+        let target = match q % 4 {
+            1 => (q - 1) / 2,
+            3 => (q + 1) / 2,
+            _ => q / 2, // even q: ε = 0
+        };
+        if field.characteristic() == 2 {
+            let nonzero: Vec<Element> = (1..q).collect();
+            let subsets = k_subsets(&nonzero, target);
+            // Deterministic, lexicographic pairing of subsets.
+            for x_set in &subsets {
+                for xp_set in &subsets {
+                    candidates.push((x_set.clone(), xp_set.clone()));
+                    if candidates.len() > 4096 {
+                        return candidates;
+                    }
+                }
+            }
+        } else if q % 4 != 1 {
+            // Odd q ≢ 1 (mod 4): enumerate inverse-closed subsets built
+            // from {a, −a} pairs.
+            let mut pairs = Vec::new();
+            let mut used = vec![false; q];
+            for a in 1..q {
+                if !used[a] {
+                    let na = field.neg(a);
+                    used[a] = true;
+                    used[na] = true;
+                    pairs.push(if a <= na { (a, na) } else { (na, a) });
+                }
+            }
+            let pair_count = target / 2;
+            if pair_count * 2 == target {
+                let pair_sets = k_subsets(&pairs, pair_count);
+                let expand = |set: &Vec<(Element, Element)>| -> Vec<Element> {
+                    let mut out = Vec::new();
+                    for &(a, b) in set {
+                        out.push(a);
+                        if b != a {
+                            out.push(b);
+                        }
+                    }
+                    out.sort_unstable();
+                    out.dedup();
+                    out
+                };
+                for xs in &pair_sets {
+                    for xps in &pair_sets {
+                        candidates.push((expand(xs), expand(xps)));
+                        if candidates.len() > 4096 {
+                            return candidates;
+                        }
+                    }
+                }
+            }
+        }
+        candidates
+    }
+
+    fn build(field: &Field, x_set: &[Element], xp_set: &[Element]) -> Self {
+        let q = field.order();
+        let n = 2 * q * q;
+        let index = |s: usize, g: usize, e: usize| s * q * q + g * q + e;
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let push_edge = |adj: &mut Vec<Vec<usize>>, u: usize, v: usize| {
+            if !adj[u].contains(&v) {
+                adj[u].push(v);
+                adj[v].push(u);
+            }
+        };
+        // Intra-group edges.
+        for g in 0..q {
+            for y in 0..q {
+                for yp in 0..q {
+                    if y < yp {
+                        let diff = field.sub(y, yp);
+                        if x_set.contains(&diff) || x_set.contains(&field.neg(diff)) {
+                            push_edge(&mut adjacency, index(0, g, y), index(0, g, yp));
+                        }
+                        if xp_set.contains(&diff) || xp_set.contains(&field.neg(diff)) {
+                            push_edge(&mut adjacency, index(1, g, y), index(1, g, yp));
+                        }
+                    }
+                }
+            }
+        }
+        // Cross edges: (0, x, y) ~ (1, m, c) iff y = m·x + c.
+        for x in 0..q {
+            for m in 0..q {
+                for c in 0..q {
+                    let y = field.add(field.mul(m, x), c);
+                    push_edge(&mut adjacency, index(0, x, y), index(1, m, c));
+                }
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        Self { q, adjacency }
+    }
+}
+
+/// All k-element subsets of `items`, in lexicographic order.
+fn k_subsets<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    let mut result = Vec::new();
+    let n = items.len();
+    if k > n {
+        return result;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        result.push(idx.iter().map(|&i| items[i].clone()).collect());
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return result;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_subsets_counts() {
+        let items = [1, 2, 3, 4];
+        assert_eq!(k_subsets(&items, 2).len(), 6);
+        assert_eq!(k_subsets(&items, 0).len(), 1);
+        assert_eq!(k_subsets(&items, 5).len(), 0);
+    }
+
+    #[test]
+    fn mms_q5_matches_theory() {
+        // q = 5 ≡ 1 mod 4: N = 50, degree (3·5−1)/2 = 7, diameter 2.
+        // This is the Hoffman–Singleton graph.
+        let g = MmsGraph::new(5).expect("q = 5");
+        assert_eq!(g.num_vertices(), 50);
+        assert!(g.degrees().iter().all(|&d| d == 7));
+        assert_eq!(g.diameter(), 2);
+    }
+
+    #[test]
+    fn mms_q8_has_diameter_two() {
+        // q = 8 (needed for 128-tile SlimNoC): N = 128, degree 3·8/2 = 12.
+        let g = MmsGraph::new(8).expect("q = 8");
+        assert_eq!(g.num_vertices(), 128);
+        assert_eq!(g.diameter(), 2);
+        let degrees = g.degrees();
+        assert!(
+            degrees.iter().all(|&d| d == 12),
+            "expected uniform degree 12, got {:?}",
+            degrees.iter().collect::<std::collections::HashSet<_>>()
+        );
+    }
+
+    #[test]
+    fn mms_rejects_non_prime_power() {
+        assert!(matches!(
+            MmsGraph::new(6),
+            Err(BuildMmsError::NotPrimePower(6))
+        ));
+    }
+
+    #[test]
+    fn vertex_index_roundtrip() {
+        let g = MmsGraph::new(5).expect("q = 5");
+        for i in 0..g.num_vertices() {
+            assert_eq!(g.vertex_index(g.vertex(i)), i);
+        }
+    }
+
+    #[test]
+    fn edges_are_consistent_with_adjacency() {
+        let g = MmsGraph::new(5).expect("q = 5");
+        let edges = g.edges();
+        let degree_sum: usize = g.degrees().iter().sum();
+        assert_eq!(edges.len() * 2, degree_sum);
+    }
+}

@@ -1,0 +1,896 @@
+//! Deterministic, deadlock-free, hop-minimal routing tables.
+//!
+//! The paper evaluates all topologies with "a routing algorithm that
+//! minimizes the number of router-to-router hops" (Fig. 6 caption). This
+//! module provides per-topology minimal routing that is *also* provably
+//! deadlock-free via virtual-channel classes:
+//!
+//! * [`RoutingAlgorithm::RowColumn`] — route within the source row to the
+//!   destination column, then within that column (mesh/XY, sparse Hamming,
+//!   flattened butterfly). Within each 1D phase, paths are hop-minimal with
+//!   at most two direction reversals; each reversal escalates the VC class,
+//!   which makes the channel-dependency graph acyclic.
+//! * [`RoutingAlgorithm::RingDateline`] — shorter way around the cycle,
+//!   with a dateline VC-class bump (ring).
+//! * [`RoutingAlgorithm::TorusDateline`] — dimension-ordered routing over
+//!   the row/column cycles with a dateline class per dimension (torus,
+//!   folded torus).
+//! * [`RoutingAlgorithm::ECube`] — dimension-ordered bit-fixing (hypercube).
+//! * [`RoutingAlgorithm::HopEscalation`] — generic minimal routing where
+//!   the VC class equals the hop index (SlimNoC: diameter 2 ⇒ 2 classes).
+//!
+//! Every built [`Routes`] can be checked with [`Routes::is_deadlock_free`],
+//! which constructs the channel/VC-class dependency graph and verifies
+//! acyclicity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generators;
+use crate::grid::{TileCoord, TileId};
+use crate::topology::{ChannelId, Topology, TopologyKind};
+
+/// One hop of a routed path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hop {
+    /// The directed channel taken.
+    pub channel: ChannelId,
+    /// The tile reached after the hop.
+    pub to: TileId,
+    /// The virtual-channel class the flit must use on this channel.
+    pub vc_class: u8,
+}
+
+/// The routing algorithm families provided by [`build_routes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingAlgorithm {
+    /// Row phase then column phase; reversal-escalating VC classes.
+    RowColumn,
+    /// Shorter way around the Hamiltonian cycle; dateline class.
+    RingDateline,
+    /// Dimension-ordered routing over row/column cycles; dateline classes.
+    TorusDateline,
+    /// Dimension-ordered bit fixing on the hypercube.
+    ECube,
+    /// Generic BFS-minimal paths; VC class = hop index.
+    HopEscalation,
+}
+
+/// The natural deadlock-free minimal algorithm for each topology kind.
+#[must_use]
+pub fn default_algorithm(kind: TopologyKind) -> RoutingAlgorithm {
+    match kind {
+        TopologyKind::Ring => RoutingAlgorithm::RingDateline,
+        TopologyKind::Torus | TopologyKind::FoldedTorus => RoutingAlgorithm::TorusDateline,
+        TopologyKind::Hypercube => RoutingAlgorithm::ECube,
+        TopologyKind::SlimNoc | TopologyKind::Custom => RoutingAlgorithm::HopEscalation,
+        TopologyKind::Mesh
+        | TopologyKind::FlattenedButterfly
+        | TopologyKind::Ruche
+        | TopologyKind::SparseHamming => RoutingAlgorithm::RowColumn,
+    }
+}
+
+/// Error returned when a routing table cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildRoutesError {
+    /// The algorithm does not apply to this topology (e.g. `RowColumn` on a
+    /// graph whose rows are not connected within themselves).
+    NotApplicable {
+        /// The algorithm that failed.
+        algorithm: RoutingAlgorithm,
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for BuildRoutesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotApplicable { algorithm, reason } => {
+                write!(f, "{algorithm:?} routing not applicable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildRoutesError {}
+
+/// A complete deterministic routing table: one path per ordered tile pair.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators, routing, Grid, TileId};
+///
+/// let mesh = generators::mesh(Grid::new(4, 4));
+/// let routes = routing::build_routes(&mesh, routing::RoutingAlgorithm::RowColumn)
+///     .expect("mesh routes");
+/// assert_eq!(routes.path(TileId::new(0), TileId::new(15)).len(), 6);
+/// assert!(routes.is_deadlock_free(&mesh));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Routes {
+    n: usize,
+    algorithm: RoutingAlgorithm,
+    num_vc_classes: u8,
+    paths: Vec<Vec<Hop>>,
+}
+
+impl Routes {
+    /// The path from `src` to `dst` (empty when `src == dst`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[must_use]
+    pub fn path(&self, src: TileId, dst: TileId) -> &[Hop] {
+        &self.paths[src.index() * self.n + dst.index()]
+    }
+
+    /// Number of VC classes the table requires. The simulator partitions
+    /// its virtual channels into this many classes.
+    #[must_use]
+    pub fn num_vc_classes(&self) -> u8 {
+        self.num_vc_classes
+    }
+
+    /// The algorithm that produced this table.
+    #[must_use]
+    pub fn algorithm(&self) -> RoutingAlgorithm {
+        self.algorithm
+    }
+
+    /// Hop count from `src` to `dst`.
+    #[must_use]
+    pub fn hop_count(&self, src: TileId, dst: TileId) -> usize {
+        self.path(src, dst).len()
+    }
+
+    /// Maximum hop count over all pairs (the routed diameter).
+    #[must_use]
+    pub fn max_hops(&self) -> usize {
+        self.paths.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean hop count over all ordered pairs of distinct tiles.
+    #[must_use]
+    pub fn average_hops(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let total: usize = self.paths.iter().map(Vec::len).sum();
+        total as f64 / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Physical length of the routed path, in tile units.
+    #[must_use]
+    pub fn physical_length(&self, topology: &Topology, src: TileId, dst: TileId) -> u32 {
+        self.path(src, dst)
+            .iter()
+            .map(|hop| topology.link_length(hop.channel.link()))
+            .sum()
+    }
+
+    /// `true` if every routed path is hop-minimal (equals the BFS
+    /// distance).
+    #[must_use]
+    pub fn is_hop_minimal(&self, topology: &Topology) -> bool {
+        for src in topology.grid().tiles() {
+            let dist = topology.bfs_distances(src);
+            for dst in topology.grid().tiles() {
+                if self.hop_count(src, dst) as u32 != dist[dst.index()] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if every routed path's physical length equals the Manhattan
+    /// distance between its endpoints — the "minimal paths used" column of
+    /// Table I (design principle ❹b).
+    #[must_use]
+    pub fn minimal_paths_used(&self, topology: &Topology) -> bool {
+        let grid = topology.grid();
+        grid.tiles().all(|src| {
+            grid.tiles()
+                .all(|dst| self.physical_length(topology, src, dst) == grid.manhattan(src, dst))
+        })
+    }
+
+    /// Number of routed paths crossing each directed channel. Under
+    /// uniform random traffic this is proportional to the expected channel
+    /// load; the maximum entry bounds the saturation throughput.
+    #[must_use]
+    pub fn channel_loads(&self, topology: &Topology) -> Vec<u32> {
+        let mut loads = vec![0u32; topology.num_channels()];
+        for path in &self.paths {
+            for hop in path {
+                loads[hop.channel.index()] += 1;
+            }
+        }
+        loads
+    }
+
+    /// Verifies the structural integrity of every path: hops traverse real
+    /// channels, consecutive hops connect, the path starts at `src` and
+    /// ends at `dst`, and VC classes stay below `num_vc_classes`.
+    #[must_use]
+    pub fn validate(&self, topology: &Topology) -> bool {
+        for src in topology.grid().tiles() {
+            for dst in topology.grid().tiles() {
+                let path = self.path(src, dst);
+                if src == dst {
+                    if !path.is_empty() {
+                        return false;
+                    }
+                    continue;
+                }
+                let mut at = src;
+                for hop in path {
+                    let channel = topology.channel(hop.channel);
+                    if channel.from != at
+                        || channel.to != hop.to
+                        || hop.vc_class >= self.num_vc_classes
+                    {
+                        return false;
+                    }
+                    at = hop.to;
+                }
+                if at != dst {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds the channel/VC-class dependency graph induced by all paths
+    /// and checks it for cycles. Acyclicity implies the routing cannot
+    /// deadlock under wormhole/VC flow control (Dally & Towles).
+    #[must_use]
+    pub fn is_deadlock_free(&self, topology: &Topology) -> bool {
+        let classes = self.num_vc_classes as usize;
+        let nodes = topology.num_channels() * classes;
+        let key = |c: ChannelId, class: u8| c.index() * classes + class as usize;
+        let mut edges: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); nodes];
+        for path in &self.paths {
+            for pair in path.windows(2) {
+                edges[key(pair[0].channel, pair[0].vc_class)]
+                    .insert(key(pair[1].channel, pair[1].vc_class));
+            }
+        }
+        // Iterative three-color DFS cycle detection.
+        let mut state = vec![0u8; nodes]; // 0 = white, 1 = gray, 2 = black
+        for start in 0..nodes {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, false)];
+            while let Some((node, processed)) = stack.pop() {
+                if processed {
+                    state[node] = 2;
+                    continue;
+                }
+                if state[node] == 1 {
+                    continue;
+                }
+                state[node] = 1;
+                stack.push((node, true));
+                for &next in &edges[node] {
+                    match state[next] {
+                        0 => stack.push((next, false)),
+                        1 => return false, // back edge: cycle
+                        _ => {}
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Builds a deterministic routing table for `topology` with `algorithm`.
+///
+/// # Errors
+///
+/// Returns [`BuildRoutesError`] if the algorithm does not apply to the
+/// topology's structure.
+pub fn build_routes(
+    topology: &Topology,
+    algorithm: RoutingAlgorithm,
+) -> Result<Routes, BuildRoutesError> {
+    match algorithm {
+        RoutingAlgorithm::RowColumn => build_row_column(topology),
+        RoutingAlgorithm::RingDateline => build_ring_dateline(topology),
+        RoutingAlgorithm::TorusDateline => build_torus_dateline(topology),
+        RoutingAlgorithm::ECube => build_ecube(topology),
+        RoutingAlgorithm::HopEscalation => Ok(build_hop_escalation(topology)),
+    }
+}
+
+/// Builds the default routing for the topology's kind.
+///
+/// # Errors
+///
+/// Returns [`BuildRoutesError`] if the default algorithm fails, which only
+/// happens for custom topologies with exotic structure.
+pub fn default_routes(topology: &Topology) -> Result<Routes, BuildRoutesError> {
+    build_routes(topology, default_algorithm(topology.kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Row-column routing (mesh, sparse Hamming, flattened butterfly, Ruche).
+// ---------------------------------------------------------------------------
+
+const MAX_REVERSALS: u8 = 2;
+const CLASSES_PER_PHASE: u8 = MAX_REVERSALS as u8 + 1;
+
+/// A 1D move along a row or column.
+#[derive(Debug, Clone, Copy)]
+struct Move1D {
+    to_pos: u16,
+    reversals: u8,
+}
+
+/// Hop-minimal 1D paths with at most [`MAX_REVERSALS`] direction changes,
+/// computed by Dijkstra over `(position, direction)` states with
+/// lexicographic `(hops, reversals)` cost.
+fn min_1d_paths(adjacency: &[Vec<u16>], from: u16) -> Vec<Option<Vec<Move1D>>> {
+    let n = adjacency.len();
+    // State: (pos, dir) with dir: 0 = none yet, 1 = increasing, 2 = decreasing.
+    let state = |pos: u16, dir: u8| pos as usize * 3 + dir as usize;
+    let mut best = vec![(u32::MAX, u8::MAX); n * 3];
+    let mut parent: Vec<Option<(u16, u8)>> = vec![None; n * 3];
+    let mut heap = std::collections::BinaryHeap::new();
+    best[state(from, 0)] = (0, 0);
+    heap.push(std::cmp::Reverse((0u32, 0u8, from, 0u8)));
+    while let Some(std::cmp::Reverse((hops, revs, pos, dir))) = heap.pop() {
+        if (hops, revs) > best[state(pos, dir)] {
+            continue;
+        }
+        for &next in &adjacency[pos as usize] {
+            let ndir = if next > pos { 1 } else { 2 };
+            let nrevs = if dir != 0 && ndir != dir {
+                revs + 1
+            } else {
+                revs
+            };
+            if nrevs > MAX_REVERSALS {
+                continue;
+            }
+            let cost = (hops + 1, nrevs);
+            if cost < best[state(next, ndir)] {
+                best[state(next, ndir)] = cost;
+                parent[state(next, ndir)] = Some((pos, dir));
+                heap.push(std::cmp::Reverse((hops + 1, nrevs, next, ndir)));
+            }
+        }
+    }
+    (0..n as u16)
+        .map(|target| {
+            if target == from {
+                return Some(Vec::new());
+            }
+            // Best terminal state for this target.
+            let (dir, &(hops, _)) = [1u8, 2u8]
+                .iter()
+                .map(|&d| (d, &best[state(target, d)]))
+                .min_by_key(|&(_, cost)| *cost)?;
+            if hops == u32::MAX {
+                return None;
+            }
+            // Walk parents back to the source.
+            let mut moves = Vec::new();
+            let (mut pos, mut d) = (target, dir);
+            while pos != from || d != 0 {
+                let (ppos, pdir) = parent[state(pos, d)]?;
+                // Reversal count at this state, relative to the parent.
+                let revs_here = best[state(pos, d)].1;
+                moves.push(Move1D {
+                    to_pos: pos,
+                    reversals: revs_here,
+                });
+                pos = ppos;
+                d = pdir;
+            }
+            moves.reverse();
+            Some(moves)
+        })
+        .collect()
+}
+
+fn build_row_column(topology: &Topology) -> Result<Routes, BuildRoutesError> {
+    let grid = topology.grid();
+    let (rows, cols) = (grid.rows(), grid.cols());
+    let not_applicable = |reason: String| BuildRoutesError::NotApplicable {
+        algorithm: RoutingAlgorithm::RowColumn,
+        reason,
+    };
+    // 1D adjacency per row (positions = columns) and per column.
+    let mut row_adj: Vec<Vec<Vec<u16>>> = vec![vec![Vec::new(); cols as usize]; rows as usize];
+    let mut col_adj: Vec<Vec<Vec<u16>>> = vec![vec![Vec::new(); rows as usize]; cols as usize];
+    for link in topology.links() {
+        let (ca, cb) = (grid.coord(link.a), grid.coord(link.b));
+        if ca.same_row(cb) {
+            row_adj[ca.row as usize][ca.col as usize].push(cb.col);
+            row_adj[ca.row as usize][cb.col as usize].push(ca.col);
+        } else if ca.same_col(cb) {
+            col_adj[ca.col as usize][ca.row as usize].push(cb.row);
+            col_adj[ca.col as usize][cb.row as usize].push(ca.row);
+        } else {
+            return Err(not_applicable(format!(
+                "link {ca} ↔ {cb} is not row/column aligned"
+            )));
+        }
+    }
+    let n = topology.num_tiles();
+    let mut paths = vec![Vec::new(); n * n];
+    for src_coord in grid.coords() {
+        let src = grid.id(src_coord);
+        // Row phase paths from the source column within the source row.
+        let row_paths = min_1d_paths(&row_adj[src_coord.row as usize], src_coord.col);
+        for dst_col in 0..cols {
+            let Some(row_moves) = &row_paths[dst_col as usize] else {
+                return Err(not_applicable(format!(
+                    "row {} disconnected between columns {} and {dst_col}",
+                    src_coord.row, src_coord.col
+                )));
+            };
+            // Column phase within the destination column.
+            let col_paths = min_1d_paths(&col_adj[dst_col as usize], src_coord.row);
+            for dst_row in 0..rows {
+                let dst = grid.id(TileCoord::new(dst_row, dst_col));
+                if dst == src {
+                    continue;
+                }
+                let Some(col_moves) = &col_paths[dst_row as usize] else {
+                    return Err(not_applicable(format!(
+                        "column {dst_col} disconnected between rows {} and {dst_row}",
+                        src_coord.row
+                    )));
+                };
+                let mut hops = Vec::with_capacity(row_moves.len() + col_moves.len());
+                let mut at = src;
+                for mv in row_moves {
+                    let next = grid.id(TileCoord::new(src_coord.row, mv.to_pos));
+                    hops.push(make_hop(topology, at, next, mv.reversals.min(MAX_REVERSALS)));
+                    at = next;
+                }
+                for mv in col_moves {
+                    let next = grid.id(TileCoord::new(mv.to_pos, dst_col));
+                    hops.push(make_hop(
+                        topology,
+                        at,
+                        next,
+                        CLASSES_PER_PHASE + mv.reversals.min(MAX_REVERSALS),
+                    ));
+                    at = next;
+                }
+                paths[src.index() * n + dst.index()] = hops;
+            }
+        }
+    }
+    Ok(Routes {
+        n,
+        algorithm: RoutingAlgorithm::RowColumn,
+        num_vc_classes: CLASSES_PER_PHASE * 2,
+        paths,
+    })
+}
+
+fn make_hop(topology: &Topology, from: TileId, to: TileId, vc_class: u8) -> Hop {
+    let (_, link) = topology
+        .neighbors(from)
+        .iter()
+        .find(|&&(n, _)| n == to)
+        .copied()
+        .unwrap_or_else(|| panic!("no link {from} → {to}"));
+    let channel = topology.channel_from(from, link);
+    Hop {
+        channel: channel.id,
+        to,
+        vc_class,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring routing with a dateline.
+// ---------------------------------------------------------------------------
+
+fn build_ring_dateline(topology: &Topology) -> Result<Routes, BuildRoutesError> {
+    let grid = topology.grid();
+    let order = generators::cycle_order_of(topology).ok_or_else(|| {
+        BuildRoutesError::NotApplicable {
+            algorithm: RoutingAlgorithm::RingDateline,
+            reason: "topology is not a single cycle".to_owned(),
+        }
+    })?;
+    let n = topology.num_tiles();
+    // position of each tile along the cycle
+    let mut pos = vec![0usize; n];
+    for (i, &coord) in order.iter().enumerate() {
+        pos[grid.id(coord).index()] = i;
+    }
+    let mut paths = vec![Vec::new(); n * n];
+    for src in grid.tiles() {
+        for dst in grid.tiles() {
+            if src == dst {
+                continue;
+            }
+            let (ps, pd) = (pos[src.index()], pos[dst.index()]);
+            let forward = (pd + n - ps) % n;
+            let backward = n - forward;
+            let step: isize = if forward <= backward { 1 } else { -1 };
+            let mut hops = Vec::new();
+            let mut at = src;
+            let mut p = ps as isize;
+            let mut class = 0u8;
+            while at != dst {
+                let np = (p + step).rem_euclid(n as isize) as usize;
+                // Crossing the dateline (cycle position 0 boundary) bumps
+                // the VC class.
+                if (step == 1 && np == 0) || (step == -1 && p == 0) {
+                    class = 1;
+                }
+                let next = grid.id(order[np]);
+                hops.push(make_hop(topology, at, next, class));
+                at = next;
+                p = np as isize;
+            }
+            paths[src.index() * n + dst.index()] = hops;
+        }
+    }
+    Ok(Routes {
+        n,
+        algorithm: RoutingAlgorithm::RingDateline,
+        num_vc_classes: 2,
+        paths,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Torus routing: dimension order over row/column cycles with datelines.
+// ---------------------------------------------------------------------------
+
+fn build_torus_dateline(topology: &Topology) -> Result<Routes, BuildRoutesError> {
+    let grid = topology.grid();
+    let (rows, cols) = (grid.rows() as usize, grid.cols() as usize);
+    // The cycle order of each row/column in *physical positions*: natural
+    // order for the torus, interleaved order for the folded torus.
+    let (row_cycle, col_cycle): (Vec<u16>, Vec<u16>) =
+        if topology.kind() == TopologyKind::FoldedTorus {
+            (
+                generators::folded_cycle_order(grid.cols()),
+                generators::folded_cycle_order(grid.rows()),
+            )
+        } else {
+            ((0..grid.cols()).collect(), (0..grid.rows()).collect())
+        };
+    // Logical index of each physical position along its cycle.
+    let invert = |cycle: &[u16]| {
+        let mut inv = vec![0usize; cycle.len()];
+        for (logical, &phys) in cycle.iter().enumerate() {
+            inv[phys as usize] = logical;
+        }
+        inv
+    };
+    let row_logical = invert(&row_cycle);
+    let col_logical = invert(&col_cycle);
+    let n = topology.num_tiles();
+    let mut paths = vec![Vec::new(); n * n];
+    // Route along a 1D cycle from logical position a to b, shorter way,
+    // bumping the class when wrapping past logical 0.
+    let route_cycle = |a: usize, b: usize, len: usize| -> Vec<(usize, bool)> {
+        if len <= 1 || a == b {
+            return Vec::new();
+        }
+        let forward = (b + len - a) % len;
+        let backward = len - forward;
+        let step_fwd = forward <= backward;
+        let mut moves = Vec::new();
+        let mut p = a;
+        while p != b {
+            let np = if step_fwd {
+                (p + 1) % len
+            } else {
+                (p + len - 1) % len
+            };
+            let crossed = (step_fwd && np == 0) || (!step_fwd && p == 0);
+            moves.push((np, crossed));
+            p = np;
+        }
+        moves
+    };
+    for src_coord in grid.coords() {
+        let src = grid.id(src_coord);
+        for dst_coord in grid.coords() {
+            let dst = grid.id(dst_coord);
+            if src == dst {
+                continue;
+            }
+            let mut hops = Vec::new();
+            let mut at = src;
+            let mut class = 0u8;
+            // Row dimension first (move along the row cycle).
+            let a = row_logical[src_coord.col as usize];
+            let b = row_logical[dst_coord.col as usize];
+            for (logical, crossed) in route_cycle(a, b, cols) {
+                if crossed {
+                    class = 1;
+                }
+                let next = grid.id(TileCoord::new(src_coord.row, row_cycle[logical]));
+                hops.push(make_hop(topology, at, next, class));
+                at = next;
+            }
+            // Column dimension second.
+            class = 2;
+            let a = col_logical[src_coord.row as usize];
+            let b = col_logical[dst_coord.row as usize];
+            for (logical, crossed) in route_cycle(a, b, rows) {
+                if crossed {
+                    class = 3;
+                }
+                let next = grid.id(TileCoord::new(col_cycle[logical], dst_coord.col));
+                hops.push(make_hop(topology, at, next, class));
+                at = next;
+            }
+            paths[src.index() * n + dst.index()] = hops;
+        }
+    }
+    Ok(Routes {
+        n,
+        algorithm: RoutingAlgorithm::TorusDateline,
+        num_vc_classes: 4,
+        paths,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Hypercube e-cube routing.
+// ---------------------------------------------------------------------------
+
+fn build_ecube(topology: &Topology) -> Result<Routes, BuildRoutesError> {
+    let grid = topology.grid();
+    if !grid.rows().is_power_of_two() || !grid.cols().is_power_of_two() {
+        return Err(BuildRoutesError::NotApplicable {
+            algorithm: RoutingAlgorithm::ECube,
+            reason: "grid dimensions are not powers of two".to_owned(),
+        });
+    }
+    let col_bits = grid.cols().trailing_zeros();
+    let hid = |coord: TileCoord| -> u32 {
+        ((generators::gray(coord.row) as u32) << col_bits) | generators::gray(coord.col) as u32
+    };
+    let mut by_hid = vec![TileId::new(0); grid.num_tiles()];
+    for coord in grid.coords() {
+        by_hid[hid(coord) as usize] = grid.id(coord);
+    }
+    let n = topology.num_tiles();
+    let mut paths = vec![Vec::new(); n * n];
+    for src_coord in grid.coords() {
+        let src = grid.id(src_coord);
+        for dst_coord in grid.coords() {
+            let dst = grid.id(dst_coord);
+            if src == dst {
+                continue;
+            }
+            let mut hops = Vec::new();
+            let mut at = src;
+            let mut h = hid(src_coord);
+            let target = hid(dst_coord);
+            // Fix differing bits from least to most significant.
+            while h != target {
+                let bit = (h ^ target).trailing_zeros();
+                h ^= 1 << bit;
+                let next = by_hid[h as usize];
+                hops.push(make_hop(topology, at, next, 0));
+                at = next;
+            }
+            paths[src.index() * n + dst.index()] = hops;
+        }
+    }
+    Ok(Routes {
+        n,
+        algorithm: RoutingAlgorithm::ECube,
+        num_vc_classes: 1,
+        paths,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Generic minimal routing with hop-index VC escalation.
+// ---------------------------------------------------------------------------
+
+fn build_hop_escalation(topology: &Topology) -> Routes {
+    let n = topology.num_tiles();
+    let mut paths = vec![Vec::new(); n * n];
+    let mut max_len = 0usize;
+    for src in topology.grid().tiles() {
+        // BFS with deterministic parent choice (lowest tile id first, which
+        // the sorted adjacency lists provide).
+        let mut parent: Vec<Option<TileId>> = vec![None; n];
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.index()] = 0;
+        queue.push_back(src);
+        while let Some(t) = queue.pop_front() {
+            for &(next, _) in topology.neighbors(t) {
+                if dist[next.index()] == u32::MAX {
+                    dist[next.index()] = dist[t.index()] + 1;
+                    parent[next.index()] = Some(t);
+                    queue.push_back(next);
+                }
+            }
+        }
+        for dst in topology.grid().tiles() {
+            if dst == src {
+                continue;
+            }
+            let mut rev = Vec::new();
+            let mut at = dst;
+            while at != src {
+                let p = parent[at.index()].expect("topology is connected");
+                rev.push((p, at));
+                at = p;
+            }
+            rev.reverse();
+            let hops: Vec<Hop> = rev
+                .into_iter()
+                .enumerate()
+                .map(|(i, (from, to))| {
+                    let mut hop = make_hop(topology, from, to, 0);
+                    hop.vc_class = i.min(u8::MAX as usize) as u8;
+                    hop
+                })
+                .collect();
+            max_len = max_len.max(hops.len());
+            paths[src.index() * n + dst.index()] = hops;
+        }
+    }
+    Routes {
+        n,
+        algorithm: RoutingAlgorithm::HopEscalation,
+        num_vc_classes: max_len.max(1) as u8,
+        paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::grid::Grid;
+
+    fn all_checks(topology: &Topology, routes: &Routes) {
+        assert!(routes.validate(topology), "{topology}: invalid paths");
+        assert!(
+            routes.is_hop_minimal(topology),
+            "{topology}: paths are not hop-minimal"
+        );
+        assert!(
+            routes.is_deadlock_free(topology),
+            "{topology}: channel dependency cycle"
+        );
+    }
+
+    #[test]
+    fn mesh_row_column_is_xy() {
+        let grid = Grid::new(4, 4);
+        let mesh = generators::mesh(grid);
+        let routes = build_routes(&mesh, RoutingAlgorithm::RowColumn).expect("mesh");
+        all_checks(&mesh, &routes);
+        assert!(routes.minimal_paths_used(&mesh), "XY on mesh is minimal");
+    }
+
+    #[test]
+    fn sparse_hamming_routes() {
+        let grid = Grid::new(8, 8);
+        let sr = [4].into_iter().collect();
+        let sc = [2, 5].into_iter().collect();
+        let shg = generators::row_column_skip(grid, &sr, &sc).expect("valid");
+        let routes = build_routes(&shg, RoutingAlgorithm::RowColumn).expect("shg");
+        all_checks(&shg, &routes);
+    }
+
+    #[test]
+    fn flattened_butterfly_routes_use_minimal_paths() {
+        let grid = Grid::new(8, 8);
+        let fb = generators::flattened_butterfly(grid);
+        let routes = build_routes(&fb, RoutingAlgorithm::RowColumn).expect("fb");
+        all_checks(&fb, &routes);
+        // Table I: minimal paths used ✓ for the flattened butterfly.
+        assert!(routes.minimal_paths_used(&fb));
+        assert_eq!(routes.max_hops(), 2);
+    }
+
+    #[test]
+    fn ring_routes() {
+        let grid = Grid::new(4, 4);
+        let ring = generators::ring(grid);
+        let routes = build_routes(&ring, RoutingAlgorithm::RingDateline).expect("ring");
+        all_checks(&ring, &routes);
+        assert_eq!(routes.max_hops(), 8); // R·C/2
+        assert!(!routes.minimal_paths_used(&ring));
+    }
+
+    #[test]
+    fn torus_routes() {
+        let grid = Grid::new(4, 4);
+        let torus = generators::torus(grid);
+        let routes = build_routes(&torus, RoutingAlgorithm::TorusDateline).expect("torus");
+        all_checks(&torus, &routes);
+        assert_eq!(routes.max_hops(), 4); // R/2 + C/2
+        // Table I: torus min-hop routing does not use physically minimal
+        // paths (wrap links are physically long).
+        assert!(!routes.minimal_paths_used(&torus));
+    }
+
+    #[test]
+    fn folded_torus_routes() {
+        let grid = Grid::new(8, 8);
+        let ft = generators::folded_torus(grid);
+        let routes = build_routes(&ft, RoutingAlgorithm::TorusDateline).expect("folded");
+        all_checks(&ft, &routes);
+        assert_eq!(routes.max_hops(), 8);
+    }
+
+    #[test]
+    fn hypercube_routes() {
+        let grid = Grid::new(8, 8);
+        let hc = generators::hypercube(grid).expect("8x8");
+        let routes = build_routes(&hc, RoutingAlgorithm::ECube).expect("ecube");
+        all_checks(&hc, &routes);
+        assert_eq!(routes.max_hops(), 6); // log2(64)
+    }
+
+    #[test]
+    fn slimnoc_routes() {
+        let grid = Grid::new(16, 8);
+        let slim = generators::slim_noc(grid).expect("128 tiles");
+        let routes = build_routes(&slim, RoutingAlgorithm::HopEscalation).expect("slim");
+        all_checks(&slim, &routes);
+        assert_eq!(routes.max_hops(), 2);
+        assert_eq!(routes.num_vc_classes(), 2);
+    }
+
+    #[test]
+    fn default_algorithms_cover_all_kinds() {
+        let grid = Grid::new(8, 8);
+        for topology in [
+            generators::ring(grid),
+            generators::mesh(grid),
+            generators::torus(grid),
+            generators::folded_torus(grid),
+            generators::hypercube(grid).expect("8x8"),
+            generators::flattened_butterfly(grid),
+        ] {
+            let routes = default_routes(&topology).expect("default routing");
+            all_checks(&topology, &routes);
+        }
+    }
+
+    #[test]
+    fn channel_loads_sum_to_total_hops() {
+        let grid = Grid::new(4, 4);
+        let mesh = generators::mesh(grid);
+        let routes = default_routes(&mesh).expect("mesh");
+        let loads = routes.channel_loads(&mesh);
+        let total: u32 = loads.iter().sum();
+        let hops: usize = grid
+            .tiles()
+            .flat_map(|a| grid.tiles().map(move |b| (a, b)))
+            .map(|(a, b)| routes.hop_count(a, b))
+            .sum();
+        assert_eq!(total as usize, hops);
+    }
+
+    #[test]
+    fn average_hops_matches_metric() {
+        let grid = Grid::new(6, 6);
+        let mesh = generators::mesh(grid);
+        let routes = default_routes(&mesh).expect("mesh");
+        let metric = crate::metrics::average_hops(&mesh);
+        assert!((routes.average_hops() - metric).abs() < 1e-9);
+    }
+}

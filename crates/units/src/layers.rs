@@ -1,0 +1,186 @@
+//! Metal-layer stack abstraction.
+//!
+//! The paper (Section IV-B.1) represents multiple physical metal layers with
+//! different wire pitches as a single abstract layer per routing direction:
+//! the channel width needed for `x` wires is `x` divided by the sum of the
+//! reciprocal wire pitches of all layers routing in that direction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::scalar::{Mm, Wires};
+
+/// A single metal layer available for signal routing.
+///
+/// # Examples
+///
+/// ```
+/// use shg_units::MetalLayer;
+/// let m4 = MetalLayer::with_pitch_nm(80.0);
+/// assert!((m4.pitch_nm() - 80.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct MetalLayer {
+    pitch_nm: f64,
+}
+
+impl MetalLayer {
+    /// Creates a layer with the given wire pitch in nanometers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pitch is not strictly positive and finite.
+    #[must_use]
+    pub fn with_pitch_nm(pitch_nm: f64) -> Self {
+        assert!(
+            pitch_nm.is_finite() && pitch_nm > 0.0,
+            "wire pitch must be positive and finite, got {pitch_nm}"
+        );
+        Self { pitch_nm }
+    }
+
+    /// The wire pitch of this layer in nanometers.
+    #[must_use]
+    pub fn pitch_nm(&self) -> f64 {
+        self.pitch_nm
+    }
+
+    /// Wires per nanometer of channel width on this layer
+    /// (the reciprocal pitch).
+    #[must_use]
+    pub fn wires_per_nm(&self) -> f64 {
+        1.0 / self.pitch_nm
+    }
+}
+
+/// The set of metal layers available for horizontal and for vertical signal
+/// routing.
+///
+/// Each metal layer has a predefined routing direction (paper assumption,
+/// Section II-A), so the stack is split into a horizontal and a vertical
+/// group, each reduced to one abstract layer.
+///
+/// # Examples
+///
+/// ```
+/// use shg_units::{LayerStack, MetalLayer, Wires};
+///
+/// let stack = LayerStack::new(
+///     vec![MetalLayer::with_pitch_nm(40.0), MetalLayer::with_pitch_nm(50.0)],
+///     vec![MetalLayer::with_pitch_nm(45.0)],
+/// );
+/// let width = stack.h_wires_to_mm(Wires::new(900));
+/// assert!(width.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerStack {
+    horizontal: Vec<MetalLayer>,
+    vertical: Vec<MetalLayer>,
+}
+
+impl LayerStack {
+    /// Creates a stack from the layers routing horizontally and vertically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either direction has no layer: the model requires at least
+    /// one routing layer per direction.
+    #[must_use]
+    pub fn new(horizontal: Vec<MetalLayer>, vertical: Vec<MetalLayer>) -> Self {
+        assert!(
+            !horizontal.is_empty() && !vertical.is_empty(),
+            "layer stack needs at least one horizontal and one vertical layer"
+        );
+        Self {
+            horizontal,
+            vertical,
+        }
+    }
+
+    /// The layers used for horizontal routing.
+    #[must_use]
+    pub fn horizontal(&self) -> &[MetalLayer] {
+        &self.horizontal
+    }
+
+    /// The layers used for vertical routing.
+    #[must_use]
+    pub fn vertical(&self) -> &[MetalLayer] {
+        &self.vertical
+    }
+
+    fn wires_to_mm(layers: &[MetalLayer], x: Wires) -> Mm {
+        let wires_per_nm: f64 = layers.iter().map(MetalLayer::wires_per_nm).sum();
+        // nm → mm conversion: ×1e-6.
+        Mm::new(x.value() as f64 / wires_per_nm * 1e-6)
+    }
+
+    /// `f^H_wires→mm`: channel width needed for `x` parallel horizontal
+    /// wires.
+    #[must_use]
+    pub fn h_wires_to_mm(&self, x: Wires) -> Mm {
+        Self::wires_to_mm(&self.horizontal, x)
+    }
+
+    /// `f^V_wires→mm`: channel width needed for `x` parallel vertical wires.
+    #[must_use]
+    pub fn v_wires_to_mm(&self, x: Wires) -> Mm {
+        Self::wires_to_mm(&self.vertical, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_wires_need_zero_width() {
+        let stack = LayerStack::new(
+            vec![MetalLayer::with_pitch_nm(40.0)],
+            vec![MetalLayer::with_pitch_nm(45.0)],
+        );
+        assert_eq!(stack.h_wires_to_mm(Wires::new(0)).value(), 0.0);
+        assert_eq!(stack.v_wires_to_mm(Wires::new(0)).value(), 0.0);
+    }
+
+    #[test]
+    fn more_layers_need_less_width() {
+        let one = LayerStack::new(
+            vec![MetalLayer::with_pitch_nm(40.0)],
+            vec![MetalLayer::with_pitch_nm(45.0)],
+        );
+        let two = LayerStack::new(
+            vec![
+                MetalLayer::with_pitch_nm(40.0),
+                MetalLayer::with_pitch_nm(40.0),
+            ],
+            vec![MetalLayer::with_pitch_nm(45.0)],
+        );
+        let x = Wires::new(1000);
+        assert!(two.h_wires_to_mm(x) < one.h_wires_to_mm(x));
+        // Two identical layers exactly halve the required channel width.
+        assert!((two.h_wires_to_mm(x).value() - one.h_wires_to_mm(x).value() / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_layer_width_is_pitch_times_count() {
+        let stack = LayerStack::new(
+            vec![MetalLayer::with_pitch_nm(100.0)],
+            vec![MetalLayer::with_pitch_nm(100.0)],
+        );
+        // 10 wires at 100 nm pitch = 1000 nm = 1e-3 mm.
+        let w = stack.h_wires_to_mm(Wires::new(10));
+        assert!((w.value() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one horizontal and one vertical")]
+    fn empty_direction_panics() {
+        let _ = LayerStack::new(vec![], vec![MetalLayer::with_pitch_nm(45.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire pitch must be positive")]
+    fn zero_pitch_panics() {
+        let _ = MetalLayer::with_pitch_nm(0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Physical-quantity newtypes and technology-function bundles for NoC cost
+//! modeling.
+//!
+//! The prediction model of the Sparse Hamming Graph paper (Table II) is
+//! parameterized by a set of *technology functions* such as
+//! `f_GE→mm²` (silicon area of a number of gate equivalents) or
+//! `f_mm→s` (signal delay along a buffered wire). This crate provides
+//!
+//! * strongly-typed scalar quantities ([`Mm`], [`Mm2`], [`Watts`],
+//!   [`Seconds`], [`GateEquivalents`], …) so that, e.g., an area can never be
+//!   accidentally passed where a length is expected, and
+//! * the technology/transport parameter bundles ([`Technology`],
+//!   [`Transport`], [`RouterAreaModel`]) that implement the paper's
+//!   functions on top of those quantities.
+//!
+//! # Examples
+//!
+//! ```
+//! use shg_units::{GateEquivalents, Mm2, Technology};
+//!
+//! let tech = Technology::example_22nm();
+//! let area: Mm2 = tech.ge_to_mm2(GateEquivalents::mega(35.0));
+//! assert!(area.value() > 5.0 && area.value() < 20.0);
+//! ```
+
+mod layers;
+mod scalar;
+mod transport;
+
+pub use layers::{LayerStack, MetalLayer};
+pub use scalar::{
+    AspectRatio, BitsPerCycle, Cycles, GateEquivalents, Hertz, Mm, Mm2, Seconds, Watts, Wires,
+};
+pub use transport::{RouterAreaModel, Transport};
+
+use serde::{Deserialize, Serialize};
+
+/// A bundle of technology-node parameters implementing the technology
+/// functions of Table II of the paper.
+///
+/// All functions are linear in their argument with coefficients captured by
+/// this struct; this keeps the bundle serializable and deterministic while
+/// matching the shapes the paper describes (area and power are linear in GE
+/// count / mm², wire delay is linear in distance for buffered wires).
+///
+/// # Examples
+///
+/// ```
+/// use shg_units::{Mm, Technology};
+///
+/// let tech = Technology::example_22nm();
+/// // A signal needs ~150 ps to cross 1 mm of buffered wire at 22 nm.
+/// let d = tech.wire_delay(Mm::new(1.0));
+/// assert!((d.value() - 150e-12).abs() < 1e-13);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Human-readable node name, e.g. `"22nm"`.
+    pub name: String,
+    /// Placed silicon area per gate equivalent, in mm²/GE
+    /// (includes placement utilization overhead).
+    pub mm2_per_ge: f64,
+    /// Metal layers available for inter-tile signal routing.
+    pub layers: LayerStack,
+    /// Power density of logic-dominated area, in W/mm² (`f^L_mm²→W`).
+    pub logic_watts_per_mm2: f64,
+    /// Power density of wire-dominated area, in W/mm² (`f^W_mm²→W`).
+    pub wire_watts_per_mm2: f64,
+    /// Signal propagation delay along a buffered wire, in s/mm (`f_mm→s`).
+    pub wire_seconds_per_mm: f64,
+}
+
+impl Technology {
+    /// `f_GE→mm²`: silicon area needed to synthesize `ge` gate equivalents.
+    #[must_use]
+    pub fn ge_to_mm2(&self, ge: GateEquivalents) -> Mm2 {
+        Mm2::new(ge.value() * self.mm2_per_ge)
+    }
+
+    /// Inverse of [`Technology::ge_to_mm2`]: how many gate equivalents fit
+    /// into `area`.
+    #[must_use]
+    pub fn mm2_to_ge(&self, area: Mm2) -> GateEquivalents {
+        GateEquivalents::new(area.value() / self.mm2_per_ge)
+    }
+
+    /// `f^H_wires→mm`: channel width needed for `x` parallel horizontal wires.
+    #[must_use]
+    pub fn h_wires_to_mm(&self, x: Wires) -> Mm {
+        self.layers.h_wires_to_mm(x)
+    }
+
+    /// `f^V_wires→mm`: channel width needed for `x` parallel vertical wires.
+    #[must_use]
+    pub fn v_wires_to_mm(&self, x: Wires) -> Mm {
+        self.layers.v_wires_to_mm(x)
+    }
+
+    /// `f^L_mm²→W`: approximate power consumption of logic-dominated area.
+    #[must_use]
+    pub fn logic_power(&self, area: Mm2) -> Watts {
+        Watts::new(area.value() * self.logic_watts_per_mm2)
+    }
+
+    /// `f^W_mm²→W`: approximate power consumption of wire-dominated area.
+    #[must_use]
+    pub fn wire_power(&self, area: Mm2) -> Watts {
+        Watts::new(area.value() * self.wire_watts_per_mm2)
+    }
+
+    /// `f_mm→s`: time for a signal to travel `distance` along a buffered wire.
+    #[must_use]
+    pub fn wire_delay(&self, distance: Mm) -> Seconds {
+        Seconds::new(distance.value() * self.wire_seconds_per_mm)
+    }
+
+    /// Latency, in whole clock cycles (minimum 1), of a wire of length
+    /// `distance` clocked at `frequency`.
+    ///
+    /// Whenever a link is too long to be operated at the target clock
+    /// frequency, the paper inserts as many pipeline registers as necessary;
+    /// the resulting latency is the wire delay expressed in (rounded-up)
+    /// cycles.
+    #[must_use]
+    pub fn wire_latency(&self, distance: Mm, frequency: Hertz) -> Cycles {
+        let cycles = self.wire_delay(distance).value() * frequency.value();
+        Cycles::new((cycles.ceil() as u64).max(1))
+    }
+
+    /// A plausible 22 nm bulk technology bundle.
+    ///
+    /// Numbers are public-ballpark figures chosen so that a KNC-like chip
+    /// (64 tiles × 35 MGE) lands near the published ~700 mm² die size:
+    /// 0.3 µm²/GE placed density; 3 horizontal + 2 vertical *global*
+    /// signal layers with 160–400 nm pitches (inter-tile links route on
+    /// the coarse upper metals, not the dense local layers); 150 ps/mm
+    /// buffered-wire delay; 0.32 W/mm² logic and 0.06 W/mm² wire power
+    /// density.
+    #[must_use]
+    pub fn example_22nm() -> Self {
+        Self {
+            name: "22nm".to_owned(),
+            mm2_per_ge: 0.3e-6,
+            layers: LayerStack::new(
+                vec![
+                    MetalLayer::with_pitch_nm(160.0),
+                    MetalLayer::with_pitch_nm(200.0),
+                    MetalLayer::with_pitch_nm(400.0),
+                ],
+                vec![
+                    MetalLayer::with_pitch_nm(180.0),
+                    MetalLayer::with_pitch_nm(360.0),
+                ],
+            ),
+            logic_watts_per_mm2: 0.32,
+            wire_watts_per_mm2: 0.06,
+            wire_seconds_per_mm: 150e-12,
+        }
+    }
+
+    /// The 10-metal-layer example from Section IV-B.1 of the paper:
+    /// 3 horizontal layers with 40/50/60 nm pitch and 2 vertical layers with
+    /// 45/55 nm pitch. Useful for validating the wire-channel math against
+    /// the formulas printed in the paper.
+    #[must_use]
+    pub fn paper_example() -> Self {
+        Self {
+            name: "paper-example".to_owned(),
+            mm2_per_ge: 0.2e-6,
+            layers: LayerStack::new(
+                vec![
+                    MetalLayer::with_pitch_nm(40.0),
+                    MetalLayer::with_pitch_nm(50.0),
+                    MetalLayer::with_pitch_nm(60.0),
+                ],
+                vec![
+                    MetalLayer::with_pitch_nm(45.0),
+                    MetalLayer::with_pitch_nm(55.0),
+                ],
+            ),
+            logic_watts_per_mm2: 0.32,
+            wire_watts_per_mm2: 0.11,
+            wire_seconds_per_mm: 150e-12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ge_to_mm2_roundtrip() {
+        let tech = Technology::example_22nm();
+        let ge = GateEquivalents::mega(35.0);
+        let back = tech.mm2_to_ge(tech.ge_to_mm2(ge));
+        assert!((back.value() - ge.value()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_example_wire_channel_matches_formula() {
+        // Paper: f^H_wires→mm(x) = x·1e-6 / (1/40 + 1/50 + 1/60)
+        let tech = Technology::paper_example();
+        let x = 1000;
+        let expect = x as f64 * 1e-6 / (1.0 / 40.0 + 1.0 / 50.0 + 1.0 / 60.0);
+        let got = tech.h_wires_to_mm(Wires::new(x)).value();
+        assert!((got - expect).abs() < 1e-12, "got {got}, expected {expect}");
+        let expect_v = x as f64 * 1e-6 / (1.0 / 45.0 + 1.0 / 55.0);
+        let got_v = tech.v_wires_to_mm(Wires::new(x)).value();
+        assert!((got_v - expect_v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knc_like_die_area_is_plausible() {
+        // 64 tiles × 35 MGE should land in the vicinity of the published
+        // ~700 mm² KNC die.
+        let tech = Technology::example_22nm();
+        let area = tech.ge_to_mm2(GateEquivalents::mega(35.0 * 64.0));
+        assert!(area.value() > 400.0 && area.value() < 1000.0, "{area}");
+    }
+
+    #[test]
+    fn wire_latency_is_at_least_one_cycle() {
+        let tech = Technology::example_22nm();
+        let lat = tech.wire_latency(Mm::new(0.01), Hertz::giga(1.2));
+        assert_eq!(lat.value(), 1);
+    }
+
+    #[test]
+    fn wire_latency_grows_with_distance() {
+        let tech = Technology::example_22nm();
+        let f = Hertz::giga(1.2);
+        let short = tech.wire_latency(Mm::new(1.0), f);
+        let long = tech.wire_latency(Mm::new(30.0), f);
+        assert!(long > short);
+        // 30 mm × 150 ps/mm = 4.5 ns ≈ 5.4 cycles at 1.2 GHz → 6 cycles.
+        assert_eq!(long.value(), 6);
+    }
+
+    #[test]
+    fn logic_power_scales_linearly() {
+        let tech = Technology::example_22nm();
+        let p1 = tech.logic_power(Mm2::new(1.0));
+        let p2 = tech.logic_power(Mm2::new(2.0));
+        assert!((p2.value() - 2.0 * p1.value()).abs() < 1e-12);
+    }
+}

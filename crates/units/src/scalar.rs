@@ -1,0 +1,469 @@
+//! Scalar quantity newtypes.
+//!
+//! Each quantity wraps a single number and exists purely to give the type
+//! system a handle on the unit. Quantities of the same kind support
+//! addition/subtraction and scaling by dimensionless factors; a few
+//! physically meaningful cross-type operations ([`Mm`] × [`Mm`] = [`Mm2`])
+//! are provided explicitly.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! float_quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value expressed in the quantity's base unit.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero quantity.
+            #[must_use]
+            pub const fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns the raw value in the quantity's base unit.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the maximum of two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the minimum of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.6} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two quantities of the same kind (dimensionless).
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+float_quantity!(
+    /// A length in millimeters.
+    Mm,
+    "mm"
+);
+
+float_quantity!(
+    /// An area in square millimeters.
+    Mm2,
+    "mm^2"
+);
+
+float_quantity!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+
+float_quantity!(
+    /// A time in seconds.
+    Seconds,
+    "s"
+);
+
+float_quantity!(
+    /// A logic size in gate equivalents (GE; two-input NAND gates).
+    GateEquivalents,
+    "GE"
+);
+
+float_quantity!(
+    /// A frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+impl Mul for Mm {
+    type Output = Mm2;
+    fn mul(self, rhs: Mm) -> Mm2 {
+        Mm2::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Mm> for Mm2 {
+    type Output = Mm;
+    fn div(self, rhs: Mm) -> Mm {
+        Mm::new(self.value() / rhs.value())
+    }
+}
+
+impl GateEquivalents {
+    /// Constructs a quantity from a count of mega-gate-equivalents (MGE).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shg_units::GateEquivalents;
+    /// assert_eq!(GateEquivalents::mega(35.0).value(), 35.0e6);
+    /// ```
+    #[must_use]
+    pub fn mega(mge: f64) -> Self {
+        Self::new(mge * 1e6)
+    }
+
+    /// This quantity expressed in MGE.
+    #[must_use]
+    pub fn as_mega(self) -> f64 {
+        self.value() / 1e6
+    }
+}
+
+impl Hertz {
+    /// Constructs a frequency from gigahertz.
+    #[must_use]
+    pub fn giga(ghz: f64) -> Self {
+        Self::new(ghz * 1e9)
+    }
+
+    /// The clock period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn period(self) -> Seconds {
+        assert!(self.value() > 0.0, "cannot take the period of 0 Hz");
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+/// A count of parallel wires.
+///
+/// # Examples
+///
+/// ```
+/// use shg_units::Wires;
+/// let w = Wires::new(512) + Wires::new(64);
+/// assert_eq!(w.value(), 576);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Wires(u64);
+
+impl Wires {
+    /// Wraps a wire count.
+    #[must_use]
+    pub const fn new(count: u64) -> Self {
+        Self(count)
+    }
+
+    /// The raw wire count.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Wires {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} wires", self.0)
+    }
+}
+
+impl Add for Wires {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Mul<u64> for Wires {
+    type Output = Self;
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+/// A link bandwidth in bits per clock cycle.
+///
+/// # Examples
+///
+/// ```
+/// use shg_units::BitsPerCycle;
+/// assert_eq!(BitsPerCycle::new(512).value(), 512);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct BitsPerCycle(u64);
+
+impl BitsPerCycle {
+    /// Wraps a bandwidth expressed in bits per cycle.
+    #[must_use]
+    pub const fn new(bits: u64) -> Self {
+        Self(bits)
+    }
+
+    /// The raw bandwidth in bits per cycle.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BitsPerCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bits/cycle", self.0)
+    }
+}
+
+/// A duration in whole clock cycles.
+///
+/// # Examples
+///
+/// ```
+/// use shg_units::Cycles;
+/// let total = Cycles::new(3) + Cycles::new(4);
+/// assert_eq!(total.value(), 7);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Wraps a cycle count.
+    #[must_use]
+    pub const fn new(cycles: u64) -> Self {
+        Self(cycles)
+    }
+
+    /// One clock cycle.
+    #[must_use]
+    pub const fn one() -> Self {
+        Self(1)
+    }
+
+    /// The raw cycle count.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|c| c.0).sum())
+    }
+}
+
+/// An aspect ratio (height : width) of a rectangular tile.
+///
+/// # Examples
+///
+/// ```
+/// use shg_units::AspectRatio;
+/// let square = AspectRatio::square();
+/// assert_eq!(square.value(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AspectRatio(f64);
+
+impl AspectRatio {
+    /// Wraps a height:width ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not strictly positive and finite.
+    #[must_use]
+    pub fn new(ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "aspect ratio must be positive and finite, got {ratio}"
+        );
+        Self(ratio)
+    }
+
+    /// The 1:1 (square) aspect ratio.
+    #[must_use]
+    pub const fn square() -> Self {
+        Self(1.0)
+    }
+
+    /// The raw height:width ratio.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for AspectRatio {
+    fn default() -> Self {
+        Self::square()
+    }
+}
+
+impl fmt::Display for AspectRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:1", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_times_mm_is_mm2() {
+        let area = Mm::new(2.0) * Mm::new(3.0);
+        assert_eq!(area, Mm2::new(6.0));
+    }
+
+    #[test]
+    fn mm2_divided_by_mm_is_mm() {
+        let len = Mm2::new(6.0) / Mm::new(3.0);
+        assert!((len.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantities_sum() {
+        let total: Mm = [Mm::new(1.0), Mm::new(2.5)].into_iter().sum();
+        assert!((total.value() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_of_same_kind_is_dimensionless() {
+        let ratio = Watts::new(3.0) / Watts::new(1.5);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hertz_period() {
+        let p = Hertz::giga(1.0).period();
+        assert!((p.value() - 1e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of 0 Hz")]
+    fn zero_frequency_period_panics() {
+        let _ = Hertz::new(0.0).period();
+    }
+
+    #[test]
+    #[should_panic(expected = "aspect ratio must be positive")]
+    fn negative_aspect_ratio_panics() {
+        let _ = AspectRatio::new(-1.0);
+    }
+
+    #[test]
+    fn cycles_accumulate() {
+        let mut c = Cycles::new(1);
+        c += Cycles::new(2);
+        assert_eq!(c, Cycles::new(3));
+    }
+
+    #[test]
+    fn mge_conversion() {
+        let ge = GateEquivalents::mega(1.5);
+        assert!((ge.as_mega() - 1.5).abs() < 1e-12);
+    }
+}

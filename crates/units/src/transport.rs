@@ -1,0 +1,181 @@
+//! On-chip transport protocol parameters (Table II, bottom section).
+//!
+//! Two functions describe the transport protocol:
+//!
+//! * `f_bw→wires(x)`: how many physical wires a link of bandwidth `x`
+//!   bits/cycle needs (e.g. AXI requires separate request/response channels
+//!   plus handshake signals), and
+//! * `f_AR(m, s, B)`: the area in gate equivalents of a NoC router with `m`
+//!   manager ports, `s` subordinate ports and per-link bandwidth `B`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::scalar::{BitsPerCycle, GateEquivalents, Wires};
+
+/// Wire-count model of an on-chip transport protocol (`f_bw→wires`).
+///
+/// The wire count is affine in the link bandwidth:
+/// `wires = ceil(factor × B) + constant`. For an AXI-style protocol the
+/// factor is ≈ 2.1 (read + write data paths plus address/response overhead)
+/// and the constant covers the handshake signals.
+///
+/// # Examples
+///
+/// ```
+/// use shg_units::{BitsPerCycle, Transport};
+///
+/// let axi = Transport::axi_like();
+/// let wires = axi.bw_to_wires(BitsPerCycle::new(512));
+/// assert!(wires.value() > 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transport {
+    /// Human-readable protocol name, e.g. `"AXI"`.
+    pub name: String,
+    /// Wires per bit/cycle of bandwidth.
+    pub wires_per_bit: f64,
+    /// Bandwidth-independent wires (handshake, IDs, QoS, …).
+    pub constant_wires: u64,
+}
+
+impl Transport {
+    /// `f_bw→wires`: number of wires needed for a link with bandwidth `bw`.
+    #[must_use]
+    pub fn bw_to_wires(&self, bw: BitsPerCycle) -> Wires {
+        Wires::new((self.wires_per_bit * bw.value() as f64).ceil() as u64 + self.constant_wires)
+    }
+
+    /// An AXI-like protocol (five channels: AW, W, B, AR, R) as used by the
+    /// paper's evaluation (Kurth et al. AXI NoC components): roughly 2.1
+    /// wires per payload bit plus 80 handshake/sideband wires.
+    #[must_use]
+    pub fn axi_like() -> Self {
+        Self {
+            name: "AXI".to_owned(),
+            wires_per_bit: 2.1,
+            constant_wires: 80,
+        }
+    }
+
+    /// A minimal single-channel protocol (one wire per payload bit plus a
+    /// small handshake) — useful for latency-optimized designs such as
+    /// MemPool's fully-combinational interconnect.
+    #[must_use]
+    pub fn lean() -> Self {
+        Self {
+            name: "lean".to_owned(),
+            wires_per_bit: 1.0,
+            constant_wires: 8,
+        }
+    }
+}
+
+/// Router-area model (`f_AR(m, s, B)`).
+///
+/// The dominant terms of an input-queued virtual-channel router are
+///
+/// * the crossbar, whose area grows with `m × s × B` (quadratic in the
+///   radix, matching design principle ❶: *"the area of most router
+///   architectures scales quadratically with the router radix"*),
+/// * the input buffers, linear in `m × vcs × buffer_depth × B`, and
+/// * per-port allocation/control logic, linear in `m + s`.
+///
+/// # Examples
+///
+/// ```
+/// use shg_units::{BitsPerCycle, RouterAreaModel};
+///
+/// let model = RouterAreaModel::input_queued(8, 32);
+/// let radix4 = model.area(5, 5, BitsPerCycle::new(512));
+/// let radix8 = model.area(9, 9, BitsPerCycle::new(512));
+/// assert!(radix8.value() > radix4.value());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterAreaModel {
+    /// Number of virtual channels per input port.
+    pub virtual_channels: u32,
+    /// Buffer depth per virtual channel, in flits.
+    pub buffer_depth: u32,
+    /// Crossbar GE per (input × output × bit).
+    pub crossbar_ge_per_bit: f64,
+    /// Buffer GE per stored bit.
+    pub buffer_ge_per_bit: f64,
+    /// Control/allocator GE per port.
+    pub control_ge_per_port: f64,
+}
+
+impl RouterAreaModel {
+    /// An input-queued router with `virtual_channels` VCs of `buffer_depth`
+    /// flits each, using typical standard-cell cost coefficients
+    /// (0.07 GE/crosspoint-bit for a mux-based crossbar, 1.2 GE per
+    /// flip-flop-stored buffer bit, 2 kGE control per port).
+    #[must_use]
+    pub fn input_queued(virtual_channels: u32, buffer_depth: u32) -> Self {
+        Self {
+            virtual_channels,
+            buffer_depth,
+            crossbar_ge_per_bit: 0.07,
+            buffer_ge_per_bit: 1.2,
+            control_ge_per_port: 2_000.0,
+        }
+    }
+
+    /// `f_AR(m, s, B)`: router area in gate equivalents for `m` manager
+    /// (input) ports, `s` subordinate (output) ports and link bandwidth `bw`.
+    #[must_use]
+    pub fn area(&self, m: u32, s: u32, bw: BitsPerCycle) -> GateEquivalents {
+        let b = bw.value() as f64;
+        let crossbar = self.crossbar_ge_per_bit * m as f64 * s as f64 * b;
+        let buffers = self.buffer_ge_per_bit
+            * m as f64
+            * self.virtual_channels as f64
+            * self.buffer_depth as f64
+            * b;
+        let control = self.control_ge_per_port * (m + s) as f64;
+        GateEquivalents::new(crossbar + buffers + control)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axi_wire_count_is_affine() {
+        let axi = Transport::axi_like();
+        let w0 = axi.bw_to_wires(BitsPerCycle::new(0));
+        assert_eq!(w0.value(), 80);
+        let w512 = axi.bw_to_wires(BitsPerCycle::new(512));
+        assert_eq!(w512.value(), (2.1f64 * 512.0).ceil() as u64 + 80);
+    }
+
+    #[test]
+    fn router_area_superlinear_in_radix() {
+        // Doubling the radix should more than double the area
+        // (crossbar term is quadratic).
+        let model = RouterAreaModel::input_queued(8, 32);
+        let bw = BitsPerCycle::new(512);
+        let a5 = model.area(5, 5, bw).value();
+        let a10 = model.area(10, 10, bw).value();
+        assert!(a10 > 2.0 * a5, "a5={a5}, a10={a10}");
+    }
+
+    #[test]
+    fn router_area_linear_in_buffering() {
+        let shallow = RouterAreaModel::input_queued(8, 16);
+        let deep = RouterAreaModel::input_queued(8, 32);
+        let bw = BitsPerCycle::new(512);
+        assert!(deep.area(5, 5, bw).value() > shallow.area(5, 5, bw).value());
+    }
+
+    #[test]
+    fn paper_router_is_small_fraction_of_knc_tile() {
+        // A radix-5 router with 8 VCs × 32-flit buffers at 512 bits/cycle
+        // should be a single-digit percentage of a 35 MGE KNC tile.
+        let model = RouterAreaModel::input_queued(8, 32);
+        let a = model.area(5, 5, BitsPerCycle::new(512)).value();
+        let tile = 35.0e6;
+        let frac = a / tile;
+        assert!(frac > 0.005 && frac < 0.2, "router/tile fraction {frac}");
+    }
+}

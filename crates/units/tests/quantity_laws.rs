@@ -1,0 +1,83 @@
+//! Property tests: the quantity newtypes obey the expected algebraic laws
+//! and the technology functions are monotone.
+
+use proptest::prelude::*;
+
+use shg_units::{
+    BitsPerCycle, GateEquivalents, Hertz, LayerStack, MetalLayer, Mm, Mm2, RouterAreaModel,
+    Technology, Transport, Watts, Wires,
+};
+
+fn finite() -> impl Strategy<Value = f64> {
+    (0.0f64..1e6).prop_map(|x| x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_is_commutative(a in finite(), b in finite()) {
+        prop_assert_eq!(Mm::new(a) + Mm::new(b), Mm::new(b) + Mm::new(a));
+        prop_assert_eq!(Watts::new(a) + Watts::new(b), Watts::new(b) + Watts::new(a));
+    }
+
+    #[test]
+    fn scaling_distributes_over_addition(a in finite(), b in finite(), k in 0.0f64..100.0) {
+        let left = (Mm2::new(a) + Mm2::new(b)) * k;
+        let right = Mm2::new(a) * k + Mm2::new(b) * k;
+        prop_assert!((left.value() - right.value()).abs() <= 1e-6 * left.value().abs().max(1.0));
+    }
+
+    #[test]
+    fn area_factorizes(w in 0.001f64..1e3, h in 0.001f64..1e3) {
+        let area = Mm::new(w) * Mm::new(h);
+        let back = area / Mm::new(w);
+        prop_assert!((back.value() - h).abs() <= 1e-9 * h.max(1.0));
+    }
+
+    #[test]
+    fn ge_to_mm2_is_monotone(a in finite(), b in finite()) {
+        let tech = Technology::example_22nm();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            tech.ge_to_mm2(GateEquivalents::new(lo)) <= tech.ge_to_mm2(GateEquivalents::new(hi))
+        );
+    }
+
+    #[test]
+    fn wire_channel_width_is_additive(x in 0u64..100_000, y in 0u64..100_000) {
+        let stack = LayerStack::new(
+            vec![MetalLayer::with_pitch_nm(160.0), MetalLayer::with_pitch_nm(400.0)],
+            vec![MetalLayer::with_pitch_nm(180.0)],
+        );
+        let both = stack.h_wires_to_mm(Wires::new(x + y));
+        let split = stack.h_wires_to_mm(Wires::new(x)) + stack.h_wires_to_mm(Wires::new(y));
+        prop_assert!((both.value() - split.value()).abs() <= 1e-9 * both.value().max(1.0));
+    }
+
+    #[test]
+    fn wire_latency_is_monotone_in_distance(a in 0.0f64..500.0, b in 0.0f64..500.0) {
+        let tech = Technology::example_22nm();
+        let f = Hertz::giga(1.2);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(tech.wire_latency(Mm::new(lo), f) <= tech.wire_latency(Mm::new(hi), f));
+    }
+
+    #[test]
+    fn transport_wires_monotone_in_bandwidth(a in 0u64..4096, b in 0u64..4096) {
+        let axi = Transport::axi_like();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(axi.bw_to_wires(BitsPerCycle::new(lo)) <= axi.bw_to_wires(BitsPerCycle::new(hi)));
+    }
+
+    #[test]
+    fn router_area_monotone_in_ports(m in 1u32..20, s in 1u32..20) {
+        let model = RouterAreaModel::input_queued(8, 32);
+        let bw = BitsPerCycle::new(512);
+        let base = model.area(m, s, bw);
+        let more_in = model.area(m + 1, s, bw);
+        let more_out = model.area(m, s + 1, bw);
+        prop_assert!(more_in > base);
+        prop_assert!(more_out > base);
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 6-style comparison of all applicable topologies on one scenario,
+//! using the full prediction toolchain (floorplan model + cycle-accurate
+//! simulation).
+//!
+//! Run with: `cargo run --release --example compare_topologies [-- <scenario>]`
+//! where `<scenario>` is one of `a`, `b`, `c`, `d` (default `a`).
+//! Expect a few minutes for the 128-tile scenarios.
+
+use sparse_hamming_graph::core::{report, Evaluation, Scenario, Toolchain};
+use sparse_hamming_graph::topology::{generators, Topology};
+
+fn applicable_topologies(scenario: &Scenario) -> Vec<Topology> {
+    let grid = scenario.params.grid;
+    let mut topologies = vec![
+        generators::ring(grid),
+        generators::mesh(grid),
+        generators::torus(grid),
+        generators::folded_torus(grid),
+    ];
+    if let Ok(hc) = generators::hypercube(grid) {
+        topologies.push(hc);
+    }
+    if let Ok(slim) = generators::slim_noc(grid) {
+        topologies.push(slim);
+    }
+    topologies.push(generators::flattened_butterfly(grid));
+    topologies.push(scenario.shg.build());
+    topologies
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "a".to_owned());
+    let scenario =
+        Scenario::by_name(&name).ok_or_else(|| format!("unknown scenario '{name}'"))?;
+    println!(
+        "Scenario ({}): {} — uniform random traffic, hop-minimal routing",
+        scenario.name, scenario.description
+    );
+    let toolchain = Toolchain::default();
+    let mut evaluations: Vec<Evaluation> = Vec::new();
+    for topology in applicable_topologies(&scenario) {
+        eprintln!("evaluating {topology}…");
+        evaluations.push(toolchain.evaluate(&scenario.params, &topology)?);
+    }
+    println!("\n{}", report::evaluation_table(&evaluations));
+
+    // The paper's headline: among all topologies within the 40% area
+    // budget, the customized sparse Hamming graph has the highest
+    // saturation throughput.
+    let within_budget: Vec<&Evaluation> = evaluations
+        .iter()
+        .filter(|e| e.area_overhead <= scenario.area_budget)
+        .collect();
+    if let Some(best) = within_budget.iter().max_by(|a, b| {
+        a.saturation_throughput
+            .partial_cmp(&b.saturation_throughput)
+            .expect("finite")
+    }) {
+        println!(
+            "Highest throughput within the {:.0}% area budget: {} ({:.1}%)",
+            scenario.area_budget * 100.0,
+            best.name,
+            best.saturation_throughput * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The sparse Hamming graph construction scheme of Fig. 2, rendered as
+//! ASCII art: the mesh base plus the skip-link classes added by SR and SC.
+//!
+//! Run with: `cargo run --example construction`
+
+use sparse_hamming_graph::core::SparseHammingConfig;
+use sparse_hamming_graph::topology::{metrics, TileCoord};
+
+/// Draws one row of the grid with its row links as ASCII arcs.
+fn draw_row_links(config: &SparseHammingConfig) {
+    let cols = config.cols() as usize;
+    println!("Row links (mesh base '-' plus each x ∈ SR):");
+    // Mesh base.
+    let mut base = String::new();
+    for c in 0..cols {
+        base.push('o');
+        if c + 1 < cols {
+            base.push_str("---");
+        }
+    }
+    println!("  x=1: {base}");
+    for &x in config.sr() {
+        let mut line = String::from("  x=");
+        line.push_str(&x.to_string());
+        line.push_str(": ");
+        for start in 0..cols.saturating_sub(x as usize) {
+            let mut arc = " ".repeat(4 * start);
+            arc.push('o');
+            arc.push_str(&"~".repeat(4 * x as usize - 1));
+            arc.push('o');
+            println!("{line}{arc}");
+            line = " ".repeat(7);
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The example configuration of Fig. 2: a small grid with one row skip
+    // class and one column skip class.
+    let config = SparseHammingConfig::new(4, 6, [3], [2])?;
+    println!("Construction: {config}");
+    println!(
+        "Design space for this grid: 2^(R+C-4) = {} configurations\n",
+        SparseHammingConfig::design_space_size(4, 6)
+    );
+    draw_row_links(&config);
+
+    let topology = config.build();
+    println!("\nResulting topology: {topology}");
+    println!("  router radix: {}", topology.max_degree());
+    println!("  diameter:     {}", metrics::diameter(&topology));
+    println!(
+        "  avg hops:     {:.2}",
+        metrics::average_hops(&topology)
+    );
+    let stats = metrics::link_stats(&topology);
+    println!(
+        "  links:        {} (mean length {:.2} tiles, all aligned: {})",
+        stats.count,
+        stats.mean_length,
+        stats.aligned_fraction == 1.0
+    );
+
+    // Every link of a sparse Hamming graph is row- or column-aligned: the
+    // topology is a subgraph of the 2D Hamming graph over the grid.
+    let sample = TileCoord::new(1, 0);
+    let id = topology.grid().id(sample);
+    println!("\nNeighbors of tile {sample}:");
+    for &(neighbor, _) in topology.neighbors(id) {
+        println!("  ↔ {}", topology.coord(neighbor));
+    }
+    Ok(())
+}

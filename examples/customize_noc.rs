@@ -1,0 +1,62 @@
+//! The NoC customization strategy of Section V-a, end to end.
+//!
+//! Starts from the simplest sparse Hamming graph (a mesh), and repeatedly
+//! grows the skip sets SR/SC — guided by the prediction toolchain — until
+//! the 40% area budget is exhausted, maximizing saturation throughput
+//! (priority 1) and minimizing zero-load latency (priority 2).
+//!
+//! Run with: `cargo run --release --example customize_noc [-- <scenario>]`
+//! where `<scenario>` is one of `a`, `b`, `c`, `d` (default `a`).
+
+use sparse_hamming_graph::core::{customize, DesignGoals, Scenario, Toolchain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "a".to_owned());
+    let scenario =
+        Scenario::by_name(&name).ok_or_else(|| format!("unknown scenario '{name}'"))?;
+    println!(
+        "Customizing a sparse Hamming graph for scenario ({}): {}",
+        scenario.name, scenario.description
+    );
+    println!(
+        "Design goal: max throughput, then min latency, area overhead ≤ {:.0}%\n",
+        scenario.area_budget * 100.0
+    );
+
+    // The customization loop ranks thousands of candidates, so it uses the
+    // fast preset: analytic saturation bound + coarse detailed routing.
+    let toolchain = Toolchain::fast();
+    let goals = DesignGoals {
+        area_budget: scenario.area_budget,
+    };
+    let trace = customize(&toolchain, &scenario.params, goals)?;
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>12}",
+        "Configuration", "Links", "AreaOvh[%]", "ZLL[cycles]", "SatThr[%]"
+    );
+    println!("{}", "-".repeat(78));
+    for step in &trace.steps {
+        println!(
+            "{:<28} {:>10} {:>10.1} {:>12.1} {:>12.1}",
+            step.config.to_string(),
+            step.config.build().num_links(),
+            step.evaluation.area_overhead * 100.0,
+            step.evaluation.zero_load_latency,
+            step.evaluation.saturation_throughput * 100.0,
+        );
+    }
+    let best = trace.best();
+    println!(
+        "\nSelected configuration: {} at {:.1}% area overhead",
+        best.config,
+        best.evaluation.area_overhead * 100.0
+    );
+    println!("Paper's choice for this scenario: {}", scenario.shg);
+    println!(
+        "(Differences are expected: the paper customized against its own\n\
+         calibrated 22 nm model; the strategy and the trade-off curve are\n\
+         what this reproduction validates.)"
+    );
+    Ok(())
+}

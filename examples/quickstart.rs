@@ -1,0 +1,41 @@
+//! Quickstart: build a sparse Hamming graph, predict its cost and
+//! performance on a KNC-like 22 nm architecture, and compare it to the
+//! mesh and flattened-butterfly extremes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sparse_hamming_graph::core::{report, Scenario, Toolchain};
+use sparse_hamming_graph::topology::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Scenario (a) of the paper: 64 tiles of 35 MGE, 512 bits/cycle
+    // links, 1.2 GHz, AXI transport.
+    let scenario = Scenario::knc_a();
+    println!(
+        "Scenario ({}): {} — budget {}% NoC area overhead",
+        scenario.name,
+        scenario.description,
+        scenario.area_budget * 100.0
+    );
+    println!("Paper's customized configuration: {}\n", scenario.shg);
+
+    let toolchain = Toolchain::default();
+    let grid = scenario.params.grid;
+
+    let mesh = generators::mesh(grid);
+    let shg = scenario.shg.build();
+    let fb = generators::flattened_butterfly(grid);
+
+    let evaluations = vec![
+        toolchain.evaluate(&scenario.params, &mesh)?,
+        toolchain.evaluate(&scenario.params, &shg)?,
+        toolchain.evaluate(&scenario.params, &fb)?,
+    ];
+    println!("{}", report::evaluation_table(&evaluations));
+    println!(
+        "The sparse Hamming graph sits between the mesh (cheap, slow) and\n\
+         the flattened butterfly (fast, expensive) — and its position on\n\
+         that spectrum is set by the SR/SC parameters."
+    );
+    Ok(())
+}

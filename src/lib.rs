@@ -1,0 +1,29 @@
+//! Umbrella crate for the Sparse Hamming Graph NoC reproduction.
+//!
+//! This crate re-exports the sub-crates of the workspace so that downstream
+//! users can depend on a single crate:
+//!
+//! * [`units`] — physical-quantity newtypes and technology functions,
+//! * [`topology`] — the NoC topology library (graph core, established
+//!   topologies, metrics, design-principle compliance),
+//! * [`floorplan`] — the approximate floorplanning and link-routing model
+//!   for area, power and link-latency prediction,
+//! * [`sim`] — the cycle-accurate NoC simulator,
+//! * [`core`] — the sparse Hamming graph topology, the prediction toolchain
+//!   and the customization strategy.
+//!
+//! # Examples
+//!
+//! ```
+//! use sparse_hamming_graph::core::SparseHammingConfig;
+//!
+//! // Scenario (a) of the paper: 8×8 tiles, SR = {4}, SC = {2, 5}.
+//! let config = SparseHammingConfig::new(8, 8, [4], [2, 5]).expect("valid configuration");
+//! assert_eq!(config.rows(), 8);
+//! ```
+
+pub use shg_core as core;
+pub use shg_floorplan as floorplan;
+pub use shg_sim as sim;
+pub use shg_topology as topology;
+pub use shg_units as units;
