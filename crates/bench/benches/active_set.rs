@@ -1,0 +1,64 @@
+//! Criterion bench: the active-set simulator core vs. the seed's
+//! exhaustive full scan. The acceptance bar for the refactor: ≥1.5× at
+//! low load on a 16×16 mesh zero-load run (in practice the gap is much
+//! larger because almost every router is idle almost every cycle).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shg_sim::{Network, ScanPolicy, SimConfig, TrafficPattern};
+use shg_topology::{generators, routing, Grid};
+use shg_units::Cycles;
+
+fn bench_active_set(c: &mut Criterion) {
+    let mesh = generators::mesh(Grid::new(16, 16));
+    let routes = routing::default_routes(&mesh).expect("mesh routes");
+    let latencies = vec![Cycles::one(); mesh.num_links()];
+    let config = SimConfig {
+        warmup: 500,
+        measure: 2_000,
+        drain_limit: 6_000,
+        ..SimConfig::default()
+    };
+    let mut group = c.benchmark_group("scan_policy_mesh_16x16");
+    group.sample_size(10);
+    // Zero-load regime (rate 0.005) and a moderate-load point (0.10):
+    // the active set wins big at low load and must not lose at load.
+    for rate in [0.005f64, 0.10] {
+        for (name, policy) in [
+            ("active_set", ScanPolicy::ActiveSet),
+            ("full_scan", ScanPolicy::FullScan),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, rate),
+                &(rate, policy),
+                |b, &(rate, policy)| {
+                    b.iter(|| {
+                        let mut network = Network::new(&mesh, &routes, &latencies, config.clone());
+                        network.run_with_policy(rate, TrafficPattern::UniformRandom, policy)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Print the headline ratio directly so the acceptance criterion is
+    // visible without comparing groups by hand.
+    let measure = |policy: ScanPolicy| {
+        let mut network = Network::new(&mesh, &routes, &latencies, config.clone());
+        let start = std::time::Instant::now();
+        let outcome = network.run_with_policy(0.005, TrafficPattern::UniformRandom, policy);
+        (start.elapsed().as_secs_f64(), outcome)
+    };
+    let (_, _) = measure(ScanPolicy::ActiveSet); // warm up
+    let (active, active_outcome) = measure(ScanPolicy::ActiveSet);
+    let (full, full_outcome) = measure(ScanPolicy::FullScan);
+    assert_eq!(active_outcome, full_outcome, "policies must agree");
+    println!(
+        "\nzero-load 16x16 mesh: full scan / active set = {:.2}x (target >= 1.5x)",
+        full / active
+    );
+}
+
+criterion_group!(benches, bench_active_set);
+criterion_main!(benches);

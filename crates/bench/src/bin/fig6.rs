@@ -1,12 +1,15 @@
 //! E3–E6 — regenerates Fig. 6: cost and performance comparison of all
-//! topologies for the four KNC-like scenarios.
+//! topologies for the four KNC-like scenarios, widened from the paper's
+//! uniform-random-only evaluation to all seven traffic patterns via the
+//! shared sweep engine.
 //!
 //! Run with:
 //! `cargo run --release -p shg-bench --bin fig6 -- [--scenario a|b|c|d|all] [--fast] [--customize]`
 //!
 //! `--fast` replaces the cycle-accurate saturation search with the
-//! analytic channel-load bound and coarsens the detailed-routing grid
-//! (seconds instead of minutes; same orderings).
+//! analytic channel-load bound, coarsens the detailed-routing grid and
+//! shrinks the pattern sweep's simulator windows (seconds instead of
+//! minutes; same orderings).
 //!
 //! `--customize` additionally re-runs the paper's Section V-a
 //! customization loop against *this* model and appends the resulting
@@ -14,9 +17,11 @@
 //! customized against the authors' calibrated model; re-customizing is
 //! the faithful way to reproduce the methodology on a different substrate.
 
-use shg_bench::{arg_value, evaluate_all, has_flag};
+use shg_bench::sweep::{pattern_saturation_table, scenario_sweep};
+use shg_bench::{arg_value, evaluate_all, has_flag, named_topologies};
 use shg_core::{customize, report, DesignGoals, PerformanceMode, Scenario, Toolchain};
 use shg_floorplan::ModelOptions;
+use shg_sim::SimConfig;
 
 fn main() {
     let which = arg_value("--scenario").unwrap_or_else(|| "all".to_owned());
@@ -45,13 +50,13 @@ fn main() {
             ..Toolchain::default()
         }
     };
-    for scenario in scenarios {
+    for mut scenario in scenarios {
         println!(
             "=== Fig. 6{} — {} (SHG: {}) ===",
             scenario.name, scenario.description, scenario.shg
         );
         println!(
-            "Uniform random traffic, hop-minimal routing, {} throughput\n",
+            "Hop-minimal routing, {} throughput\n",
             if fast { "analytic" } else { "simulated" }
         );
         let mut evaluations = evaluate_all(&scenario, &toolchain);
@@ -111,5 +116,24 @@ fn main() {
                 within.len()
             );
         }
+        // The widened evaluation: every topology × all seven traffic
+        // patterns on the shared sweep engine.
+        let rate_points = if fast { 5 } else { 10 };
+        if fast {
+            scenario.sim = SimConfig::fast_test();
+        }
+        let topologies = named_topologies(&scenario);
+        let result = scenario_sweep(
+            &scenario,
+            &toolchain.model_options,
+            &topologies,
+            rate_points,
+        );
+        println!(
+            "Seven-pattern simulated sweep ({} points, resolution {:.0}%):\n",
+            result.points.len(),
+            100.0 / rate_points as f64
+        );
+        println!("{}", pattern_saturation_table(&result, 0.05));
     }
 }

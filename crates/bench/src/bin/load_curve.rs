@@ -1,14 +1,33 @@
 //! Latency-vs-offered-load curves — the raw simulator data underlying the
-//! saturation-throughput points of Fig. 6.
+//! saturation-throughput points of Fig. 6, for every traffic pattern.
 //!
 //! Run with:
-//! `cargo run --release -p shg-bench --bin load_curve -- [--scenario a] [--topology shg|mesh|torus|fb]`
+//! `cargo run --release -p shg-bench --bin load_curve -- [--scenario a]
+//!  [--topology shg|mesh|torus|fb|ring] [--pattern all|uniform|transpose|...]
+//!  [--json]`
+//!
+//! `--json` prints the full `SweepResult` as JSON instead of tables —
+//! the machine-readable output downstream plotting consumes.
 
-use shg_bench::arg_value;
+use shg_bench::{arg_value, has_flag};
 use shg_core::{AnnotatedTopology, Scenario};
 use shg_floorplan::ModelOptions;
-use shg_sim::{load_sweep, SimConfig, TrafficPattern};
+use shg_sim::sweep::ALL_PATTERNS;
+use shg_sim::{Experiment, SimConfig, SweepCase, SweepSpec, TrafficPattern};
 use shg_topology::{generators, routing};
+
+fn pattern_by_name(name: &str) -> Option<TrafficPattern> {
+    match name {
+        "uniform" | "uniform-random" => Some(TrafficPattern::UniformRandom),
+        "transpose" => Some(TrafficPattern::Transpose),
+        "bit-complement" | "bitcomp" => Some(TrafficPattern::BitComplement),
+        "reverse" => Some(TrafficPattern::Reverse),
+        "tornado" => Some(TrafficPattern::Tornado),
+        "neighbor" => Some(TrafficPattern::Neighbor),
+        "hotspot" => Some(TrafficPattern::Hotspot(20)),
+        _ => None,
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let which = arg_value("--scenario").unwrap_or_else(|| "a".to_owned());
@@ -24,10 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "shg" => scenario.shg.build(),
         other => return Err(format!("unknown topology '{other}'").into()),
     };
-    println!(
-        "Load sweep: {} on scenario ({}), uniform random traffic",
-        topology, scenario.name
-    );
+    let patterns: Vec<TrafficPattern> = match arg_value("--pattern").as_deref() {
+        None | Some("all") => ALL_PATTERNS.to_vec(),
+        Some(name) => {
+            vec![pattern_by_name(name).ok_or_else(|| format!("unknown pattern '{name}'"))?]
+        }
+    };
     let annotated = AnnotatedTopology::annotate(
         &scenario.params,
         topology,
@@ -43,33 +64,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         drain_limit: 20_000,
         ..SimConfig::default()
     };
-    let rates: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
-    let outcomes = load_sweep(
+    let spec = SweepSpec::new(config)
+        .rates((1..=19).map(|i| f64::from(i) * 0.05))
+        .patterns(patterns);
+    let experiment = Experiment::new(spec).with_case(SweepCase::annotated(
+        topology_name.clone(),
         &annotated.topology,
-        &routes,
-        &annotated.link_latencies,
-        &config,
-        TrafficPattern::UniformRandom,
-        &rates,
-    );
+        routes,
+        annotated.link_latencies.clone(),
+    ));
+    let result = experiment.run_parallel();
+    if has_flag("--json") {
+        println!("{}", result.to_json());
+        return Ok(());
+    }
     println!(
-        "\n{:>10} {:>10} {:>14} {:>14} {:>8}",
-        "Offered", "Accepted", "AvgLat[cyc]", "MaxLat[cyc]", "Stable"
+        "Load sweep: {} on scenario ({}), {} pattern(s), {} points",
+        annotated.topology,
+        scenario.name,
+        experiment.spec().patterns.len(),
+        result.points.len()
     );
-    println!("{}", "-".repeat(62));
-    for (rate, outcome) in rates.iter().zip(&outcomes) {
-        println!(
-            "{:>10.2} {:>10.3} {:>14.1} {:>14.0} {:>8}",
-            rate,
-            outcome.accepted_rate,
-            outcome.avg_packet_latency,
-            outcome.max_packet_latency,
-            outcome.stable
-        );
-        // Stop printing deep into saturation: the curve is vertical there.
-        if !outcome.stable && outcome.accepted_rate < rate * 0.7 {
-            println!("… (saturated)");
-            break;
+    println!("\n{}", result.table());
+    for &pattern in &experiment.spec().patterns {
+        match result.saturation_estimate(&topology_name, pattern, 0.05) {
+            Some(sat) => println!(
+                "{pattern}: sustains {:.0}% of injection capacity",
+                sat * 100.0
+            ),
+            None => println!("{pattern}: saturates below the lowest swept rate"),
         }
     }
     Ok(())

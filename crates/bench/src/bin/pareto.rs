@@ -4,13 +4,21 @@
 //! topology's trade-off is customizable (Section III).
 //!
 //! The space has `2^(R+C−4)` points, so this is feasible for small grids;
-//! the default 6×6 grid has 256 configurations.
+//! the default 6×6 grid has 256 configurations. Ranking uses the fast
+//! analytic toolchain fanned out on the rayon pool; the frontier is then
+//! re-checked in simulation across all seven traffic patterns on the
+//! shared sweep engine.
 //!
 //! Run with: `cargo run --release -p shg-bench --bin pareto -- [--rows 6] [--cols 6]`
 
+use rayon::prelude::*;
+
 use shg_bench::arg_value;
+use shg_bench::sweep::{annotated_experiment, pattern_saturation_table, TopologyCache};
 use shg_core::{Evaluation, PerformanceMode, Scenario, SparseHammingConfig, Toolchain};
 use shg_floorplan::ModelOptions;
+use shg_sim::{SimConfig, SweepSpec};
+use shg_topology::Topology;
 
 /// Enumerates every subset pair (SR, SC) for the grid.
 fn all_configs(rows: u16, cols: u16) -> Vec<SparseHammingConfig> {
@@ -31,9 +39,8 @@ fn all_configs(rows: u16, cols: u16) -> Vec<SparseHammingConfig> {
                 .filter(|(i, _)| sc_mask & (1 << i) != 0)
                 .map(|(_, &x)| x)
                 .collect();
-            configs.push(
-                SparseHammingConfig::new(rows, cols, sr, sc).expect("enumerated in range"),
-            );
+            configs
+                .push(SparseHammingConfig::new(rows, cols, sr, sc).expect("enumerated in range"));
         }
     }
     configs
@@ -70,31 +77,16 @@ fn main() {
         "=== Design-space exploration: {rows}x{cols}, {} configurations ===\n",
         configs.len()
     );
-    let mut evaluated: Vec<(SparseHammingConfig, Evaluation)> = Vec::new();
-    let chunks: Vec<Vec<SparseHammingConfig>> = configs
-        .chunks(configs.len().div_ceil(8).max(1))
-        .map(<[SparseHammingConfig]>::to_vec)
+    // Rank every configuration on the rayon pool (analytic toolchain).
+    let evaluated: Vec<(SparseHammingConfig, Evaluation)> = configs
+        .par_iter()
+        .map(|config| {
+            let eval = toolchain
+                .evaluate(&scenario.params, &config.build())
+                .expect("SHG evaluates");
+            (config.clone(), eval)
+        })
         .collect();
-    let mut results: Vec<Vec<(SparseHammingConfig, Evaluation)>> =
-        vec![Vec::new(); chunks.len()];
-    crossbeam::thread::scope(|scope| {
-        for (chunk, out) in chunks.iter().zip(results.iter_mut()) {
-            let toolchain = &toolchain;
-            let params = &scenario.params;
-            scope.spawn(move |_| {
-                for config in chunk {
-                    let eval = toolchain
-                        .evaluate(params, &config.build())
-                        .expect("SHG evaluates");
-                    out.push((config.clone(), eval));
-                }
-            });
-        }
-    })
-    .expect("no worker panicked");
-    for chunk in results {
-        evaluated.extend(chunk);
-    }
     // Pareto frontier.
     let mut frontier: Vec<&(SparseHammingConfig, Evaluation)> = evaluated
         .iter()
@@ -125,4 +117,41 @@ fn main() {
         frontier.len(),
         evaluated.len()
     );
+    // Simulated cross-pattern validation of the frontier on the shared
+    // sweep engine (fast simulator windows; the analytic ranking above
+    // is uniform-random only).
+    const MAX_VALIDATED: usize = 8;
+    if frontier.len() > MAX_VALIDATED {
+        println!(
+            "\nValidating the {MAX_VALIDATED} highest-throughput frontier points \
+             (of {}) across all seven patterns:",
+            frontier.len()
+        );
+    } else {
+        println!("\nValidating the frontier across all seven patterns:");
+    }
+    let mut validated: Vec<&(SparseHammingConfig, Evaluation)> = frontier.clone();
+    validated.sort_by(|a, b| {
+        b.1.saturation_throughput
+            .partial_cmp(&a.1.saturation_throughput)
+            .expect("finite")
+    });
+    validated.truncate(MAX_VALIDATED);
+    let topologies: Vec<(String, Topology)> = validated
+        .iter()
+        .map(|(config, _)| (config.to_string(), config.build()))
+        .collect();
+    let spec = SweepSpec::new(SimConfig::fast_test())
+        .linear_rates(6, 1.0)
+        .all_patterns();
+    let mut cache = TopologyCache::new();
+    let result = annotated_experiment(
+        &scenario.params,
+        &toolchain.model_options,
+        &mut cache,
+        &topologies,
+        spec,
+    )
+    .run_parallel();
+    println!("\n{}", pattern_saturation_table(&result, 0.05));
 }

@@ -3,15 +3,18 @@
 //! the cost-performance trade-off.
 //!
 //! This harness enumerates *every* Ruche configuration (one skip factor
-//! per grid) and compares the best one within the area budget against the
-//! customized sparse Hamming graph.
+//! per grid), compares the best one within the area budget against the
+//! customized sparse Hamming graph, and then puts both head-to-head
+//! across all seven traffic patterns on the shared sweep engine.
 //!
 //! Run with: `cargo run --release -p shg-bench --bin ruche_comparison -- [--scenario a]`
 
 use shg_bench::arg_value;
+use shg_bench::sweep::{annotated_experiment, pattern_saturation_table, TopologyCache};
 use shg_core::{customize, DesignGoals, PerformanceMode, Scenario, Toolchain};
 use shg_floorplan::ModelOptions;
-use shg_topology::generators;
+use shg_sim::{SimConfig, SweepSpec};
+use shg_topology::{generators, Topology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let which = arg_value("--scenario").unwrap_or_else(|| "a".to_owned());
@@ -60,7 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     // The customized SHG.
-    let trace = customize(&toolchain, &scenario.params, DesignGoals { area_budget: budget })?;
+    let trace = customize(
+        &toolchain,
+        &scenario.params,
+        DesignGoals {
+            area_budget: budget,
+        },
+    )?;
     let best_shg = trace.best();
     println!(
         "{:<30} {:>11.1} {:>12.1} {:>11.1}",
@@ -70,22 +79,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best_shg.evaluation.saturation_throughput * 100.0,
     );
     println!();
-    match best_ruche {
-        Some((factor, ruche)) => {
-            println!(
-                "Best Ruche within budget: factor {factor} at {:.1}% throughput.",
-                ruche.saturation_throughput * 100.0
-            );
-            println!(
-                "Customized SHG: {:.1}% throughput — the superset's extra degrees\n\
-                 of freedom ({} Ruche configs vs 2^(R+C-4) = {} SHG configs) let it\n\
-                 exploit the budget more precisely.",
-                best_shg.evaluation.saturation_throughput * 100.0,
-                max_factor.saturating_sub(2),
-                shg_core::SparseHammingConfig::design_space_size(grid.rows(), grid.cols()),
-            );
-        }
-        None => println!("No Ruche configuration fits the budget."),
-    }
+    let Some((factor, ruche)) = best_ruche else {
+        println!("No Ruche configuration fits the budget.");
+        return Ok(());
+    };
+    println!(
+        "Best Ruche within budget: factor {factor} at {:.1}% throughput.",
+        ruche.saturation_throughput * 100.0
+    );
+    println!(
+        "Customized SHG: {:.1}% throughput — the superset's extra degrees\n\
+         of freedom ({} Ruche configs vs 2^(R+C-4) = {} SHG configs) let it\n\
+         exploit the budget more precisely.",
+        best_shg.evaluation.saturation_throughput * 100.0,
+        max_factor.saturating_sub(2),
+        shg_core::SparseHammingConfig::design_space_size(grid.rows(), grid.cols()),
+    );
+    // Head-to-head across all seven patterns on the shared sweep engine
+    // (the analytic ranking above is uniform-random only).
+    let contenders: Vec<(String, Topology)> = vec![
+        (
+            format!("Ruche factor {factor}"),
+            generators::ruche(grid, factor)?,
+        ),
+        (best_shg.config.to_string(), best_shg.config.build()),
+    ];
+    let spec = SweepSpec::new(SimConfig::fast_test())
+        .linear_rates(8, 1.0)
+        .all_patterns();
+    let mut cache = TopologyCache::new();
+    let result = annotated_experiment(
+        &scenario.params,
+        &toolchain.model_options,
+        &mut cache,
+        &contenders,
+        spec,
+    )
+    .run_parallel();
+    println!(
+        "\nSeven-pattern head-to-head (simulated, resolution 12.5%):\n\n{}",
+        pattern_saturation_table(&result, 0.05)
+    );
     Ok(())
 }

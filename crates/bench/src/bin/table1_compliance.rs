@@ -7,8 +7,10 @@ use shg_core::{report, Scenario, SparseHammingConfig};
 use shg_topology::compliance;
 
 fn main() {
-    for (grid_name, scenario) in [("8x8 (64 tiles)", Scenario::knc_a()),
-                                  ("16x8 (128 tiles)", Scenario::knc_c())] {
+    for (grid_name, scenario) in [
+        ("8x8 (64 tiles)", Scenario::knc_a()),
+        ("16x8 (128 tiles)", Scenario::knc_c()),
+    ] {
         let grid = scenario.params.grid;
         let shg = scenario.shg.build();
         println!("=== Table I — computed compliance matrix, {grid_name} ===");
@@ -17,11 +19,8 @@ fn main() {
         println!("{}", report::compliance_table(&rows));
         // The paper reports intervals for the SHG family; print the two
         // extremes for reference.
-        let mesh_row = compliance::analyze(&SparseHammingConfig::mesh(
-            grid.rows(),
-            grid.cols(),
-        )
-        .build());
+        let mesh_row =
+            compliance::analyze(&SparseHammingConfig::mesh(grid.rows(), grid.cols()).build());
         let fb_row = compliance::analyze(
             &SparseHammingConfig::flattened_butterfly(grid.rows(), grid.cols()).build(),
         );

@@ -28,11 +28,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(58));
     println!(
         "{}",
-        report::validation_row("Area", reference.correct_area_mm2, eval.total_area.value(), "mm2")
+        report::validation_row(
+            "Area",
+            reference.correct_area_mm2,
+            eval.total_area.value(),
+            "mm2"
+        )
     );
     println!(
         "{}",
-        report::validation_row("Power", reference.correct_power_w, eval.total_power.value(), "W")
+        report::validation_row(
+            "Power",
+            reference.correct_power_w,
+            eval.total_power.value(),
+            "W"
+        )
     );
     println!(
         "{}",
@@ -64,8 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "With the paper's 4-cycle correction: {:.1} cycles ({:.0}% off).",
         corrected,
-        ((corrected - reference.correct_latency_cycles) / reference.correct_latency_cycles
-            * 100.0)
+        ((corrected - reference.correct_latency_cycles) / reference.correct_latency_cycles * 100.0)
             .abs()
     );
     Ok(())

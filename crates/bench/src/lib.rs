@@ -3,7 +3,13 @@
 //! The binaries in `src/bin/` regenerate the paper's tables and figures
 //! (see `DESIGN.md` §3 for the experiment index); the Criterion benches
 //! in `benches/` measure the speed claims (the toolchain must run "at the
-//! speed of high-level models").
+//! speed of high-level models"). All simulation-grid work goes through
+//! the shared sweep engine ([`shg_sim::sweep`] plus the scenario layer
+//! in [`sweep`]) instead of per-binary measurement loops.
+
+pub mod sweep;
+
+use rayon::prelude::*;
 
 use shg_core::{Evaluation, Scenario, Toolchain};
 use shg_topology::{generators, Topology};
@@ -32,8 +38,17 @@ pub fn applicable_topologies(scenario: &Scenario) -> Vec<Topology> {
     topologies
 }
 
-/// Evaluates all applicable topologies in parallel (one scoped thread per
-/// topology).
+/// Like [`applicable_topologies`], labelled with their display names
+/// (the form the sweep engine's cases take).
+#[must_use]
+pub fn named_topologies(scenario: &Scenario) -> Vec<(String, Topology)> {
+    applicable_topologies(scenario)
+        .into_iter()
+        .map(|t| (t.kind().to_string(), t))
+        .collect()
+}
+
+/// Evaluates all applicable topologies, fanned out on the rayon pool.
 ///
 /// # Panics
 ///
@@ -41,20 +56,14 @@ pub fn applicable_topologies(scenario: &Scenario) -> Vec<Topology> {
 #[must_use]
 pub fn evaluate_all(scenario: &Scenario, toolchain: &Toolchain) -> Vec<Evaluation> {
     let topologies = applicable_topologies(scenario);
-    let mut results: Vec<Option<Evaluation>> = vec![None; topologies.len()];
-    crossbeam::thread::scope(|scope| {
-        for (topology, slot) in topologies.iter().zip(results.iter_mut()) {
-            scope.spawn(move |_| {
-                *slot = Some(
-                    toolchain
-                        .evaluate(&scenario.params, topology)
-                        .unwrap_or_else(|e| panic!("evaluating {topology}: {e}")),
-                );
-            });
-        }
-    })
-    .expect("no evaluation thread panicked");
-    results.into_iter().map(|r| r.expect("filled")).collect()
+    topologies
+        .par_iter()
+        .map(|topology| {
+            toolchain
+                .evaluate(&scenario.params, topology)
+                .unwrap_or_else(|e| panic!("evaluating {topology}: {e}"))
+        })
+        .collect()
 }
 
 /// Parses `--scenario <name>` style flags out of `std::env::args`.
@@ -88,5 +97,12 @@ mod tests {
         // 128 tiles: SlimNoC applies.
         let topologies = applicable_topologies(&Scenario::knc_c());
         assert_eq!(topologies.len(), 8);
+    }
+
+    #[test]
+    fn named_topologies_have_unique_names() {
+        let named = named_topologies(&Scenario::knc_a());
+        let unique: std::collections::HashSet<&String> = named.iter().map(|(n, _)| n).collect();
+        assert_eq!(unique.len(), named.len());
     }
 }

@@ -1,0 +1,250 @@
+//! Scenario-level sweep support: floorplan-annotated sweep cases with a
+//! topology-keyed cache.
+//!
+//! The sim-level engine ([`shg_sim::sweep`]) shares route tables and
+//! latencies across the (rate × pattern) cells of one case. This layer
+//! adds the scenario dimension: producing those cases *from the
+//! floorplan model* and caching the expensive artifacts — routing
+//! tables and floorplan-predicted per-link latencies — keyed by
+//! topology structure, so a topology evaluated by several experiment
+//! stages (toolchain evaluation, load sweeps, frontier re-checks) pays
+//! for prediction exactly once per binary.
+
+use std::collections::HashMap;
+
+use shg_core::Scenario;
+use shg_floorplan::{predict, ArchParams, ModelOptions};
+use shg_sim::{Experiment, SweepCase, SweepResult, SweepSpec};
+use shg_topology::routing::{self, Routes};
+use shg_topology::Topology;
+use shg_units::Cycles;
+
+/// A structural fingerprint of a topology: grid dimensions, kind and
+/// the (canonically ordered) link list, FNV-1a hashed.
+#[must_use]
+pub fn topology_fingerprint(topology: &Topology) -> u64 {
+    fn mix(hash: &mut u64, value: u64) {
+        for byte in value.to_le_bytes() {
+            *hash ^= u64::from(byte);
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    mix(&mut hash, u64::from(topology.rows()));
+    mix(&mut hash, u64::from(topology.cols()));
+    for byte in topology.kind().to_string().bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for link in topology.links() {
+        mix(&mut hash, link.a.index() as u64);
+        mix(&mut hash, link.b.index() as u64);
+    }
+    hash
+}
+
+/// Cached per-topology artifacts: the routing table and the floorplan
+/// model's per-link latency estimates.
+#[derive(Debug, Clone)]
+pub struct PreparedCase {
+    /// Routing table.
+    pub routes: Routes,
+    /// Floorplan-predicted per-link latencies.
+    pub link_latencies: Vec<Cycles>,
+}
+
+/// The cache. Keyed by [`topology_fingerprint`]; hit/miss counters are
+/// exposed so binaries can report how much work sharing saved.
+#[derive(Debug, Default)]
+pub struct TopologyCache {
+    entries: HashMap<u64, PreparedCase>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TopologyCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Routes and floorplan latencies for `topology`, computed at most
+    /// once per distinct (topology, architecture, model options)
+    /// combination — the prediction inputs are part of the key, so one
+    /// cache can serve several scenarios without stale hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no deadlock-free minimal routing applies (all built-in
+    /// topologies route).
+    pub fn prepare(
+        &mut self,
+        params: &ArchParams,
+        options: &ModelOptions,
+        topology: &Topology,
+    ) -> PreparedCase {
+        let mut key = topology_fingerprint(topology);
+        for input in [
+            serde_json::to_string(params).expect("params serialize"),
+            serde_json::to_string(options).expect("options serialize"),
+        ] {
+            for byte in input.bytes() {
+                key ^= u64::from(byte);
+                key = key.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        if let Some(prepared) = self.entries.get(&key) {
+            self.hits += 1;
+            return prepared.clone();
+        }
+        self.misses += 1;
+        let routes =
+            routing::default_routes(topology).unwrap_or_else(|e| panic!("routing {topology}: {e}"));
+        let prediction = predict(params, topology, options);
+        let prepared = PreparedCase {
+            routes,
+            link_latencies: prediction.estimates.link_latencies,
+        };
+        self.entries.insert(key, prepared.clone());
+        prepared
+    }
+
+    /// `(hits, misses)` so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Builds an [`Experiment`] whose cases are the given named topologies,
+/// each annotated with floorplan latencies through `cache`.
+pub fn annotated_experiment<'a>(
+    params: &ArchParams,
+    options: &ModelOptions,
+    cache: &mut TopologyCache,
+    topologies: &'a [(String, Topology)],
+    spec: SweepSpec,
+) -> Experiment<'a> {
+    let mut experiment = Experiment::new(spec);
+    for (name, topology) in topologies {
+        let prepared = cache.prepare(params, options, topology);
+        experiment.push_case(SweepCase::annotated(
+            name.clone(),
+            topology,
+            prepared.routes,
+            prepared.link_latencies,
+        ));
+    }
+    experiment
+}
+
+/// The standard wide sweep of a scenario: every applicable topology ×
+/// all seven traffic patterns × a linear rate grid, floorplan-annotated
+/// and run in parallel.
+#[must_use]
+pub fn scenario_sweep(
+    scenario: &Scenario,
+    options: &ModelOptions,
+    topologies: &[(String, Topology)],
+    rate_points: usize,
+) -> SweepResult {
+    let spec = SweepSpec::new(scenario.sim.clone())
+        .linear_rates(rate_points, 1.0)
+        .all_patterns();
+    let mut cache = TopologyCache::new();
+    annotated_experiment(&scenario.params, options, &mut cache, topologies, spec).run_parallel()
+}
+
+/// Renders a per-pattern saturation summary of a sweep: one row per
+/// case, one column per traffic pattern *actually swept*, entries in
+/// percent of injection capacity (`-` where even the lowest swept rate
+/// saturates).
+#[must_use]
+pub fn pattern_saturation_table(result: &SweepResult, slack: f64) -> String {
+    let mut cases: Vec<String> = Vec::new();
+    // Columns come from the patterns present in the result (first-seen
+    // order = spec order), so unswept patterns never render as `-`.
+    let mut patterns: Vec<shg_sim::TrafficPattern> = Vec::new();
+    for p in &result.points {
+        if !cases.contains(&p.case) {
+            cases.push(p.case.clone());
+        }
+        if !patterns.contains(&p.pattern) {
+            patterns.push(p.pattern);
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:<26}", "SatThr[%] by pattern"));
+    for pattern in &patterns {
+        out.push_str(&format!(" {:>13}", pattern.to_string()));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(26 + 14 * patterns.len()));
+    out.push('\n');
+    for case in &cases {
+        out.push_str(&format!("{case:<26}"));
+        for &pattern in &patterns {
+            match result.saturation_estimate(case, pattern, slack) {
+                Some(sat) => out.push_str(&format!(" {:>13.1}", sat * 100.0)),
+                None => out.push_str(&format!(" {:>13}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shg_topology::{generators, Grid};
+
+    #[test]
+    fn fingerprint_distinguishes_topologies_and_matches_itself() {
+        let grid = Grid::new(4, 4);
+        let mesh = generators::mesh(grid);
+        let torus = generators::torus(grid);
+        assert_eq!(topology_fingerprint(&mesh), topology_fingerprint(&mesh));
+        assert_ne!(topology_fingerprint(&mesh), topology_fingerprint(&torus));
+        let mesh2 = generators::mesh(Grid::new(4, 5));
+        assert_ne!(topology_fingerprint(&mesh), topology_fingerprint(&mesh2));
+    }
+
+    #[test]
+    fn cache_computes_each_topology_once() {
+        let scenario = Scenario::knc_a();
+        let options = ModelOptions {
+            cell_scale: 6.0,
+            ..ModelOptions::default()
+        };
+        let mesh = generators::mesh(scenario.params.grid);
+        let mut cache = TopologyCache::new();
+        let a = cache.prepare(&scenario.params, &options, &mesh);
+        let b = cache.prepare(&scenario.params, &options, &mesh);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(a.link_latencies, b.link_latencies);
+        assert_eq!(a.link_latencies.len(), mesh.num_links());
+    }
+
+    #[test]
+    fn scenario_sweep_covers_the_full_grid() {
+        let mut scenario = Scenario::knc_a();
+        // Shrink for test speed.
+        scenario.params.grid = Grid::new(4, 4);
+        scenario.sim = shg_sim::SimConfig::fast_test();
+        let options = ModelOptions {
+            cell_scale: 6.0,
+            ..ModelOptions::default()
+        };
+        let topologies = vec![
+            ("mesh".to_owned(), generators::mesh(scenario.params.grid)),
+            ("torus".to_owned(), generators::torus(scenario.params.grid)),
+        ];
+        let result = scenario_sweep(&scenario, &options, &topologies, 2);
+        assert_eq!(result.points.len(), 2 * 7 * 2);
+        let table = pattern_saturation_table(&result, 0.05);
+        assert!(table.contains("mesh"));
+        assert!(table.contains("tornado"));
+    }
+}

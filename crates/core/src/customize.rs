@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use shg_floorplan::ArchParams;
 
 use crate::sparse_hamming::SparseHammingConfig;
-use crate::toolchain::{Evaluation, EvaluateError, Toolchain};
+use crate::toolchain::{EvaluateError, Evaluation, Toolchain};
 
 /// The optimization goal, mirroring the paper's evaluation: maximize
 /// saturation throughput (priority 1) and minimize zero-load latency
@@ -106,9 +106,7 @@ pub fn customize(
             }
         }
         match best {
-            Some((config, eval))
-                if score(&eval, &goals) > score(&current_eval, &goals) =>
-            {
+            Some((config, eval)) if score(&eval, &goals) > score(&current_eval, &goals) => {
                 current = config;
                 current_eval = eval;
                 steps.push(CustomizationStep {
@@ -169,15 +167,18 @@ mod tests {
         let scenario = Scenario::knc_a();
         let toolchain = fast_toolchain();
         let mesh_eval = toolchain
-            .evaluate(
-                &scenario.params,
-                &SparseHammingConfig::mesh(8, 8).build(),
-            )
+            .evaluate(&scenario.params, &SparseHammingConfig::mesh(8, 8).build())
             .expect("mesh evaluates");
         // Budget barely above the mesh's own overhead: few or no skips fit.
         let budget = mesh_eval.area_overhead + 0.02;
-        let trace = customize(&toolchain, &scenario.params, DesignGoals { area_budget: budget })
-            .expect("customization runs");
+        let trace = customize(
+            &toolchain,
+            &scenario.params,
+            DesignGoals {
+                area_budget: budget,
+            },
+        )
+        .expect("customization runs");
         let last = trace.best();
         assert!(last.evaluation.area_overhead <= budget);
         assert!(last.config.sr().len() + last.config.sc().len() <= 2);

@@ -44,5 +44,6 @@ pub use customize::{customize, CustomizationStep, CustomizationTrace, DesignGoal
 pub use scenario::{MempoolReference, Scenario};
 pub use sparse_hamming::SparseHammingConfig;
 pub use toolchain::{
-    analytic_saturation, AnnotatedTopology, EvaluateError, Evaluation, PerformanceMode, Toolchain,
+    analytic_saturation, AnnotatedTopology, EvaluateError, Evaluation, PatternPerformance,
+    PerformanceMode, Toolchain,
 };

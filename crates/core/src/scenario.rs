@@ -255,10 +255,7 @@ mod tests {
         // MemPool is a ~21 mm² chip; the no-NoC silicon of our stand-in
         // should be in that ballpark (64 MGE endpoint logic total).
         let m = MempoolReference::new();
-        let silicon = m
-            .params
-            .technology
-            .ge_to_mm2(m.params.endpoint_area * 64.0);
+        let silicon = m.params.technology.ge_to_mm2(m.params.endpoint_area * 64.0);
         assert!(
             silicon.value() > 10.0 && silicon.value() < 30.0,
             "MemPool-like silicon {silicon}"

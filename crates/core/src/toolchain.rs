@@ -10,7 +10,8 @@ use serde::{Deserialize, Serialize};
 
 use shg_floorplan::{predict, ArchParams, ModelOptions, Prediction};
 use shg_sim::{
-    saturation_throughput, zero_load_latency, SaturationSearch, SimConfig, TrafficPattern,
+    saturation_throughput, zero_load_latency, Experiment, SaturationSearch, SimConfig, SweepCase,
+    SweepResult, SweepSpec, TrafficPattern,
 };
 use shg_topology::routing::{self, BuildRoutesError, Routes};
 use shg_topology::{Topology, TopologyKind};
@@ -180,6 +181,78 @@ impl Toolchain {
     }
 }
 
+/// Per-pattern performance extracted from a sweep — the wide-traffic
+/// extension of [`Performance`](shg_sim::Performance).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternPerformance {
+    /// The traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Mean packet latency at the lowest swept rate, in cycles.
+    pub low_load_latency: f64,
+    /// Highest swept rate the network sustains (fraction of injection
+    /// capacity), or 0 if even the lowest swept rate saturates.
+    pub saturation_throughput: f64,
+}
+
+impl Toolchain {
+    /// Evaluates one topology across all seven traffic patterns on the
+    /// shared sweep engine: routes and the floorplan prediction are
+    /// computed once, then the (pattern × rate) grid fans out in
+    /// parallel. Returns per-pattern performance plus the raw sweep.
+    ///
+    /// `rate_points` linear rates in `(0, 1]` bound the
+    /// saturation-estimate resolution at `1/rate_points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluateError::Routing`] if no deadlock-free hop-minimal
+    /// routing applies to the topology.
+    pub fn evaluate_patterns(
+        &self,
+        params: &ArchParams,
+        topology: &Topology,
+        rate_points: usize,
+    ) -> Result<(Vec<PatternPerformance>, SweepResult), EvaluateError> {
+        let routes = routing::default_routes(topology)?;
+        let prediction = predict(params, topology, &self.model_options);
+        let name = topology.kind().to_string();
+        let spec = SweepSpec::new(self.sim.clone())
+            .linear_rates(rate_points.max(1), 1.0)
+            .all_patterns();
+        let result = Experiment::new(spec)
+            .with_case(SweepCase::annotated(
+                name.clone(),
+                topology,
+                routes,
+                prediction.estimates.link_latencies,
+            ))
+            .run_parallel();
+        let per_pattern = shg_sim::sweep::ALL_PATTERNS
+            .iter()
+            .map(|&pattern| {
+                let low_load_latency = result
+                    .points_for(&name)
+                    .filter(|p| p.pattern == pattern)
+                    .map(|p| (p.rate, p.outcome.avg_packet_latency))
+                    .fold(None::<(f64, f64)>, |best, (rate, lat)| match best {
+                        Some((r, _)) if r <= rate => best,
+                        _ => Some((rate, lat)),
+                    })
+                    .map_or(0.0, |(_, lat)| lat);
+                let saturation_throughput = result
+                    .saturation_estimate(&name, pattern, self.search.slack)
+                    .unwrap_or(0.0);
+                PatternPerformance {
+                    pattern,
+                    low_load_latency,
+                    saturation_throughput,
+                }
+            })
+            .collect();
+        Ok((per_pattern, result))
+    }
+}
+
 /// Channel-load saturation bound under uniform traffic with deterministic
 /// routing: each of the `N(N−1)` flows carries `λ/(N−1)`; the bottleneck
 /// channel saturates first. Ejection bandwidth caps the result at 1.
@@ -268,9 +341,7 @@ mod tests {
         let toolchain = fast_toolchain();
         let mesh = generators::mesh(scenario.params.grid);
         let shg = scenario.shg.build();
-        let mesh_eval = toolchain
-            .evaluate(&scenario.params, &mesh)
-            .expect("mesh");
+        let mesh_eval = toolchain.evaluate(&scenario.params, &mesh).expect("mesh");
         let shg_eval = toolchain.evaluate(&scenario.params, &shg).expect("shg");
         assert!(shg_eval.zero_load_latency < mesh_eval.zero_load_latency);
         assert!(shg_eval.saturation_throughput > mesh_eval.saturation_throughput);

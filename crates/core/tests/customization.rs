@@ -2,8 +2,8 @@
 //! core-crate level.
 
 use shg_core::{
-    analytic_saturation, customize, DesignGoals, PerformanceMode, Scenario,
-    SparseHammingConfig, Toolchain,
+    analytic_saturation, customize, DesignGoals, PerformanceMode, Scenario, SparseHammingConfig,
+    Toolchain,
 };
 use shg_floorplan::ModelOptions;
 use shg_sim::SimConfig;

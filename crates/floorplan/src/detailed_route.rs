@@ -327,25 +327,26 @@ impl<'a> AStar<'a> {
                 path.reverse();
                 return path;
             }
-            let mut try_move = |nx: usize,
-                                ny: usize,
-                                horizontal: bool,
-                                heap: &mut BinaryHeap<Reverse<(u32, u32)>>| {
-                if ug.is_blocked(nx, ny) {
-                    return;
-                }
-                let ni = idx(nx, ny);
-                let occ = if horizontal { h_occ[ni] } else { v_occ[ni] };
-                let over = (occ + 1).saturating_sub(capacity) as u32;
-                let step = MOVE_COST + penalty * over;
-                let ng = g_here + step;
-                if self.gen[ni] != self.current || ng < self.g[ni] {
-                    self.gen[ni] = self.current;
-                    self.g[ni] = ng;
-                    self.came[ni] = node as u32;
-                    heap.push(Reverse((ng + heuristic(nx, ny), ni as u32)));
-                }
-            };
+            let mut try_move =
+                |nx: usize,
+                 ny: usize,
+                 horizontal: bool,
+                 heap: &mut BinaryHeap<Reverse<(u32, u32)>>| {
+                    if ug.is_blocked(nx, ny) {
+                        return;
+                    }
+                    let ni = idx(nx, ny);
+                    let occ = if horizontal { h_occ[ni] } else { v_occ[ni] };
+                    let over = (occ + 1).saturating_sub(capacity) as u32;
+                    let step = MOVE_COST + penalty * over;
+                    let ng = g_here + step;
+                    if self.gen[ni] != self.current || ng < self.g[ni] {
+                        self.gen[ni] = self.current;
+                        self.g[ni] = ng;
+                        self.came[ni] = node as u32;
+                        heap.push(Reverse((ng + heuristic(nx, ny), ni as u32)));
+                    }
+                };
             if x + 1 < w {
                 try_move(x + 1, y, true, &mut heap);
             }
@@ -371,8 +372,7 @@ mod tests {
     use crate::spacing::Spacings;
     use shg_topology::{generators, Grid, Topology};
     use shg_units::{
-        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
-        Transport,
+        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology, Transport,
     };
 
     fn params(grid: Grid) -> ArchParams {
@@ -395,10 +395,7 @@ mod tests {
         let global = GlobalRouting::route(topology, options.port_placement);
         let spacings = Spacings::compute(&p, &global.loads);
         let ug = UnitGrid::build(&p, options, &placement, &spacings);
-        (
-            DetailedRoutes::route(topology, &ug, &global, options),
-            ug,
-        )
+        (DetailedRoutes::route(topology, &ug, &global, options), ug)
     }
 
     #[test]
@@ -494,10 +491,7 @@ mod tests {
         let (routes, _) = route_all(&slim, &ModelOptions::default());
         assert_eq!(routes.routes.len(), slim.num_links());
         // Diagonal links have both horizontal and vertical moves.
-        let has_diag = routes
-            .routes
-            .iter()
-            .any(|r| r.h_moves > 0 && r.v_moves > 0);
+        let has_diag = routes.routes.iter().any(|r| r.h_moves > 0 && r.v_moves > 0);
         assert!(has_diag);
     }
 }

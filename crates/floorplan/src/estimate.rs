@@ -42,9 +42,7 @@ impl NocEstimates {
         let cell_area = unit_grid.cell_area();
         // Area (Section IV-B.2.b).
         let total_area = unit_grid.total_area();
-        let area_no_noc = tech.ge_to_mm2(
-            params.endpoint_area * params.grid.num_tiles() as f64,
-        );
+        let area_no_noc = tech.ge_to_mm2(params.endpoint_area * params.grid.num_tiles() as f64);
         let area_overhead = (total_area.value() - area_no_noc.value()) / total_area.value();
         // Power (Section IV-B.2.c).
         let logic_area = cell_area * unit_grid.logic_cells() as f64;
@@ -129,8 +127,7 @@ mod tests {
     use crate::spacing::Spacings;
     use shg_topology::{generators, Grid};
     use shg_units::{
-        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
-        Transport,
+        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology, Transport,
     };
 
     fn params(grid: Grid) -> ArchParams {

@@ -77,24 +77,40 @@ impl ChannelLoads {
     /// step-3 spacing formula).
     #[must_use]
     pub fn max_horizontal(&self, gap: u16) -> u32 {
-        self.horizontal[gap as usize].iter().copied().max().unwrap_or(0)
+        self.horizontal[gap as usize]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum parallel links in vertical channel `g`.
     #[must_use]
     pub fn max_vertical(&self, gap: u16) -> u32 {
-        self.vertical[gap as usize].iter().copied().max().unwrap_or(0)
+        self.vertical[gap as usize]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     fn apply(&mut self, segment: Segment, delta: u32) {
         match segment {
             Segment::Direct => {}
-            Segment::Horizontal { gap, c_start, c_end } => {
+            Segment::Horizontal {
+                gap,
+                c_start,
+                c_end,
+            } => {
                 for c in c_start..=c_end {
                     self.horizontal[gap as usize][c as usize] += delta;
                 }
             }
-            Segment::Vertical { gap, r_start, r_end } => {
+            Segment::Vertical {
+                gap,
+                r_start,
+                r_end,
+            } => {
                 for r in r_start..=r_end {
                     self.vertical[gap as usize][r as usize] += delta;
                 }
@@ -107,13 +123,21 @@ impl ChannelLoads {
         for segment in segments {
             match *segment {
                 Segment::Direct => {}
-                Segment::Horizontal { gap, c_start, c_end } => {
+                Segment::Horizontal {
+                    gap,
+                    c_start,
+                    c_end,
+                } => {
                     for c in c_start..=c_end {
                         // Quadratic-ish congestion cost: prefer spreading.
                         cost += 1 + self.horizontal[gap as usize][c as usize] as u64;
                     }
                 }
-                Segment::Vertical { gap, r_start, r_end } => {
+                Segment::Vertical {
+                    gap,
+                    r_start,
+                    r_end,
+                } => {
                     for r in r_start..=r_end {
                         cost += 1 + self.vertical[gap as usize][r as usize] as u64;
                     }
@@ -186,11 +210,7 @@ impl GlobalRouting {
 }
 
 /// Enumerates the candidate channel assignments for one link.
-fn candidate_plans(
-    topology: &Topology,
-    id: LinkId,
-    placement: PortPlacement,
-) -> Vec<Vec<Segment>> {
+fn candidate_plans(topology: &Topology, id: LinkId, placement: PortPlacement) -> Vec<Vec<Segment>> {
     let grid = topology.grid();
     let link = topology.link(id);
     let (a, b) = (grid.coord(link.a), grid.coord(link.b));

@@ -113,8 +113,7 @@ mod tests {
     use super::*;
     use shg_topology::{generators, Grid};
     use shg_units::{
-        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
-        Transport,
+        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology, Transport,
     };
 
     fn params(grid: Grid) -> ArchParams {

@@ -77,9 +77,7 @@ impl TilePlacement {
 mod tests {
     use super::*;
     use shg_topology::{generators, Grid};
-    use shg_units::{
-        AspectRatio, BitsPerCycle, Hertz, RouterAreaModel, Technology, Transport,
-    };
+    use shg_units::{AspectRatio, BitsPerCycle, Hertz, RouterAreaModel, Technology, Transport};
 
     fn params(aspect: f64) -> ArchParams {
         ArchParams {

@@ -91,8 +91,7 @@ mod tests {
     use crate::params::PortPlacement;
     use shg_topology::{generators, Grid};
     use shg_units::{
-        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
-        Transport,
+        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology, Transport,
     };
 
     fn params(grid: Grid) -> ArchParams {
@@ -149,11 +148,7 @@ mod tests {
         let t = generators::row_column_skip(grid, &sr, &sc).expect("valid");
         let routing = GlobalRouting::route(&t, PortPlacement::Optimized);
         let spacings = Spacings::compute(&p, &routing.loads);
-        let nonzero = spacings
-            .row_gaps
-            .iter()
-            .filter(|s| s.value() > 0.0)
-            .count();
+        let nonzero = spacings.row_gaps.iter().filter(|s| s.value() > 0.0).count();
         assert!(nonzero >= 1);
         assert_eq!(
             spacings.col_gaps.iter().filter(|s| s.value() > 0.0).count(),

@@ -94,9 +94,9 @@ impl UnitGrid {
         let mut v_gap_x0 = Vec::with_capacity(v_gap_w.len());
         let mut tile_x0 = Vec::with_capacity(grid.cols() as usize);
         let mut x = 0usize;
-        for c in 0..grid.cols() as usize {
+        for &gap in v_gap_w.iter().take(grid.cols() as usize) {
             v_gap_x0.push(x);
-            x += v_gap_w[c];
+            x += gap;
             tile_x0.push(x);
             x += tile_w;
         }
@@ -106,9 +106,9 @@ impl UnitGrid {
         let mut h_gap_y0 = Vec::with_capacity(h_gap_h.len());
         let mut tile_y0 = Vec::with_capacity(grid.rows() as usize);
         let mut y = 0usize;
-        for r in 0..grid.rows() as usize {
+        for &gap in h_gap_h.iter().take(grid.rows() as usize) {
             h_gap_y0.push(y);
-            y += h_gap_h[r];
+            y += gap;
             tile_y0.push(y);
             y += tile_h;
         }
@@ -260,9 +260,8 @@ impl UnitGrid {
             "tile {tile} face {face:?}: adjacent gap has zero width"
         );
         let rect = self.tile_rect(tile);
-        let spread = |lo: usize, size: usize| -> usize {
-            lo + (size * (slot + 1)) / (slots + 1).max(1)
-        };
+        let spread =
+            |lo: usize, size: usize| -> usize { lo + (size * (slot + 1)) / (slots + 1).max(1) };
         match face {
             Face::North => {
                 let gap = coord.row as usize;
@@ -327,8 +326,7 @@ mod tests {
     use crate::params::PortPlacement;
     use shg_topology::{generators, Grid};
     use shg_units::{
-        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology,
-        Transport,
+        AspectRatio, BitsPerCycle, GateEquivalents, Hertz, RouterAreaModel, Technology, Transport,
     };
 
     fn setup(grid: Grid) -> (ArchParams, ModelOptions) {
@@ -392,9 +390,7 @@ mod tests {
     #[test]
     fn logic_cells_match_tile_rects() {
         let ug = build_with_channels(Grid::new(4, 4));
-        let total: usize = (0..16)
-            .map(|i| ug.tile_rect(TileId::new(i)).cells())
-            .sum();
+        let total: usize = (0..16).map(|i| ug.tile_rect(TileId::new(i)).cells()).sum();
         assert_eq!(ug.logic_cells(), total);
     }
 

@@ -70,12 +70,8 @@ fn higher_frequency_raises_link_latencies() {
     p.frequency = Hertz::giga(3.0);
     let fast_clock = predict(&p, &topology, &fast_options());
     // Same wires, shorter cycles ⇒ more pipeline stages per link.
-    assert!(
-        fast_clock.estimates.mean_link_latency() >= slow_clock.estimates.mean_link_latency()
-    );
-    assert!(
-        fast_clock.estimates.max_link_latency() > slow_clock.estimates.max_link_latency()
-    );
+    assert!(fast_clock.estimates.mean_link_latency() >= slow_clock.estimates.mean_link_latency());
+    assert!(fast_clock.estimates.max_link_latency() > slow_clock.estimates.max_link_latency());
 }
 
 #[test]
@@ -99,10 +95,12 @@ fn coarser_cells_approximate_fine_cells() {
     let rel = (coarse.estimates.total_area.value() - fine.estimates.total_area.value()).abs()
         / fine.estimates.total_area.value();
     assert!(rel < 0.10, "coarse vs fine area differ by {rel}");
-    let rel_power = (coarse.estimates.noc_power.value() - fine.estimates.noc_power.value())
-        .abs()
+    let rel_power = (coarse.estimates.noc_power.value() - fine.estimates.noc_power.value()).abs()
         / fine.estimates.noc_power.value().max(1e-9);
-    assert!(rel_power < 0.35, "coarse vs fine NoC power differ by {rel_power}");
+    assert!(
+        rel_power < 0.35,
+        "coarse vs fine NoC power differ by {rel_power}"
+    );
 }
 
 #[test]

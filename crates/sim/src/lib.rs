@@ -41,16 +41,19 @@
 mod config;
 mod flit;
 mod network;
+mod router;
 mod runner;
 mod stats;
+pub mod sweep;
 mod traffic;
 
 pub use config::SimConfig;
 pub use flit::Flit;
-pub use network::Network;
+pub use network::{Network, ScanPolicy};
 pub use runner::{
     load_sweep, measure_performance, measured_zero_load_latency, saturation_throughput,
     zero_load_latency, Performance, SaturationSearch,
 };
 pub use stats::{percentile, SimOutcome};
+pub use sweep::{Experiment, SweepCase, SweepPoint, SweepResult, SweepSpec};
 pub use traffic::TrafficPattern;

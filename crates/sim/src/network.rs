@@ -1,19 +1,29 @@
-//! The cycle-accurate network model: input-queued virtual-channel routers
-//! with credit-based flow control and multi-cycle pipelined links.
+//! The cycle-accurate network model: orchestration of input-queued
+//! virtual-channel routers (see [`crate::router`]) with credit-based
+//! flow control and multi-cycle pipelined links.
 //!
-//! Each router processes, per cycle:
+//! Each cycle:
 //!
-//! 1. **Arrivals** — flits and credits reaching the router this cycle,
-//! 2. **VC allocation** — head flits at buffer fronts acquire an output
-//!    virtual channel of the class their routed path demands,
-//! 3. **Switch allocation** — separable input-first/output-second
-//!    round-robin arbitration with one flit per input and output port,
-//! 4. **Switch traversal** — winning flits enter their output link's
-//!    pipeline (latency = floorplan link latency + router overhead) and a
-//!    credit is returned upstream.
+//! 1. **Injection** — Bernoulli packet generation into injection queues,
+//! 2. **Arrivals** — flits and credits reaching routers this cycle,
+//! 3. **Allocation + traversal** — per-router VC allocation, separable
+//!    switch allocation and switch traversal (the router module).
 //!
 //! Links that are too long for one clock cycle are pipelined (paper
 //! Section II-A): a link of latency `L` holds up to `L` flits in flight.
+//!
+//! # Active-set scheduling
+//!
+//! The dominant cost of low-load and drain phases used to be scanning
+//! *every* router and channel each cycle. The network now keeps an
+//! **active set**: only routers with occupied buffers and channels with
+//! in-flight flits or credits are visited. Activation events (injection,
+//! flit delivery, pipeline pushes) re-insert members; members that go
+//! idle drop out after their visit. Active members are visited in
+//! ascending index order, which makes the schedule — and therefore every
+//! statistic — bit-identical to the exhaustive scan; the full scan is
+//! retained as [`ScanPolicy::FullScan`] for regression tests and
+//! benchmarks.
 
 use std::collections::VecDeque;
 
@@ -25,52 +35,71 @@ use shg_units::Cycles;
 
 use crate::config::SimConfig;
 use crate::flit::Flit;
+use crate::router::{Router, TraversalOutput};
 use crate::stats::SimOutcome;
 use crate::traffic::TrafficPattern;
 
-/// State of one input virtual channel.
-#[derive(Debug, Clone, Copy, Default)]
-struct InVc {
-    /// `true` while a packet holds this VC's output reservation.
-    active: bool,
-    /// Reserved output port.
-    out_port: u8,
-    /// Reserved output VC.
-    out_vc: u8,
+/// How the simulator schedules per-cycle work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanPolicy {
+    /// Visit only routers/channels with pending work (the default).
+    #[default]
+    ActiveSet,
+    /// Visit every router and channel every cycle — the pre-active-set
+    /// behaviour, kept as a reference for equivalence tests and the
+    /// `active_set` Criterion bench.
+    FullScan,
 }
 
-/// One router: buffers, reservations, credits and arbitration state.
+/// An index set over `0..len` with O(1) insertion, deduplication via a
+/// membership bitmap, and deterministic (ascending) iteration order.
 #[derive(Debug)]
-struct Router {
-    /// Incoming channels, defining network input ports `0..k`; port `k`
-    /// is the injection port.
-    in_channels: Vec<ChannelId>,
-    /// Outgoing channels, defining network output ports `0..m`; port `m`
-    /// is the ejection port.
-    out_channels: Vec<ChannelId>,
-    /// `buffers[in_port][vc]`.
-    buffers: Vec<Vec<VecDeque<Flit>>>,
-    /// `in_state[in_port][vc]`.
-    in_state: Vec<Vec<InVc>>,
-    /// `out_owner[out_port][vc]`: which (in_port, vc) holds the output VC.
-    out_owner: Vec<Vec<Option<(u8, u8)>>>,
-    /// `credits[out_port][vc]`: free downstream buffer slots.
-    credits: Vec<Vec<u16>>,
-    /// Round-robin pointer per output port for VC allocation.
-    va_rr: Vec<u8>,
-    /// Round-robin pointer per input port for switch allocation.
-    sa_in_rr: Vec<u8>,
-    /// Round-robin pointer per output port for switch allocation.
-    sa_out_rr: Vec<u8>,
+struct ActiveSet {
+    members: Vec<usize>,
+    is_member: Vec<bool>,
+    /// Last cycle's sweep buffer, recycled so the per-cycle sweep is
+    /// allocation-free in steady state (two buffers ping-pong).
+    scratch: Vec<usize>,
 }
 
-impl Router {
-    fn injection_port(&self) -> usize {
-        self.in_channels.len()
+impl ActiveSet {
+    fn new(len: usize) -> Self {
+        Self {
+            members: Vec::new(),
+            is_member: vec![false; len],
+            scratch: Vec::new(),
+        }
     }
 
-    fn ejection_port(&self) -> usize {
-        self.out_channels.len()
+    #[inline]
+    fn insert(&mut self, index: usize) {
+        if !self.is_member[index] {
+            self.is_member[index] = true;
+            self.members.push(index);
+        }
+    }
+
+    /// Moves the members out, in ascending order, and installs the
+    /// recycled buffer from the previous sweep as the new (empty)
+    /// member list. Call [`ActiveSet::keep`] for every index to
+    /// retain, then return the buffer via [`ActiveSet::finish_sweep`].
+    fn start_sweep(&mut self) -> Vec<usize> {
+        let mut sweep = std::mem::replace(&mut self.members, std::mem::take(&mut self.scratch));
+        sweep.sort_unstable();
+        for &i in &sweep {
+            self.is_member[i] = false;
+        }
+        sweep
+    }
+
+    #[inline]
+    fn keep(&mut self, index: usize) {
+        self.insert(index);
+    }
+
+    fn finish_sweep(&mut self, mut sweep: Vec<usize>) {
+        sweep.clear();
+        self.scratch = sweep;
     }
 }
 
@@ -108,6 +137,10 @@ pub struct Network<'a> {
     data_pipe: Vec<VecDeque<(u64, Flit)>>,
     /// In-flight credits per channel (flowing source-ward): `(cycle, vc)`.
     credit_pipe: Vec<VecDeque<(u64, u8)>>,
+    /// Routers with occupied buffers.
+    active_routers: ActiveSet,
+    /// Channels with in-flight flits or credits.
+    active_channels: ActiveSet,
 }
 
 impl<'a> Network<'a> {
@@ -139,7 +172,6 @@ impl<'a> Network<'a> {
             config.num_vcs
         );
         let n = topology.num_tiles();
-        let vcs = config.num_vcs as usize;
         let mut routers = Vec::with_capacity(n);
         for t in 0..n {
             let tile = TileId::new(t as u32);
@@ -152,19 +184,7 @@ impl<'a> Network<'a> {
                 let reverse = ChannelId::new(out.id.index() as u32 ^ 1);
                 in_channels.push(reverse);
             }
-            let in_ports = in_channels.len() + 1;
-            let out_ports = out_channels.len() + 1;
-            routers.push(Router {
-                in_channels,
-                out_channels,
-                buffers: vec![vec![VecDeque::new(); vcs]; in_ports],
-                in_state: vec![vec![InVc::default(); vcs]; in_ports],
-                out_owner: vec![vec![None; vcs]; out_ports],
-                credits: vec![vec![config.buffer_depth; vcs]; out_ports],
-                va_rr: vec![0; out_ports],
-                sa_in_rr: vec![0; in_ports],
-                sa_out_rr: vec![0; out_ports],
-            });
+            routers.push(Router::new(in_channels, out_channels, &config));
         }
         let mut ch_dst = vec![(0usize, 0u8); topology.num_channels()];
         let mut ch_src = vec![(0usize, 0u8); topology.num_channels()];
@@ -193,16 +213,32 @@ impl<'a> Network<'a> {
             ch_src,
             data_pipe: vec![VecDeque::new(); channels],
             credit_pipe: vec![VecDeque::new(); channels],
+            active_routers: ActiveSet::new(n),
+            active_channels: ActiveSet::new(channels),
         }
     }
 
     /// Runs warm-up, measurement and drain phases at the given injection
-    /// rate (flits per node per cycle) under `pattern`.
+    /// rate (flits per node per cycle) under `pattern`, visiting only
+    /// active routers and channels.
     #[must_use]
     pub fn run(&mut self, rate: f64, pattern: TrafficPattern) -> SimOutcome {
+        self.run_with_policy(rate, pattern, ScanPolicy::ActiveSet)
+    }
+
+    /// Like [`Network::run`] with an explicit [`ScanPolicy`]. Both
+    /// policies produce bit-identical outcomes; `FullScan` exists so
+    /// benchmarks and equivalence tests can measure the difference.
+    #[must_use]
+    pub fn run_with_policy(
+        &mut self,
+        rate: f64,
+        pattern: TrafficPattern,
+        policy: ScanPolicy,
+    ) -> SimOutcome {
         let config = self.config.clone();
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let packet_prob = rate / config.packet_len as f64;
+        let packet_prob = rate / f64::from(config.packet_len);
         let measure_start = config.warmup;
         let measure_end = config.warmup + config.measure;
         let hard_stop = measure_end + config.drain_limit;
@@ -212,9 +248,11 @@ impl<'a> Network<'a> {
         let mut ejected_in_window = 0u64;
         let mut injected_in_window = 0u64;
         let mut now = 0u64;
+        let mut traversal = TraversalOutput::default();
         loop {
             // Phase A: packet generation (keeps injecting during drain to
-            // sustain back-pressure).
+            // sustain back-pressure). Scans every tile regardless of
+            // policy so the RNG stream is schedule-independent.
             for t in 0..self.topology.num_tiles() {
                 if rng.gen::<f64>() < packet_prob {
                     let src = TileId::new(t as u32);
@@ -222,27 +260,42 @@ impl<'a> Network<'a> {
                         let measured = now >= measure_start && now < measure_end;
                         if measured {
                             outstanding_measured += 1;
-                            injected_in_window += config.packet_len as u64;
+                            injected_in_window += u64::from(config.packet_len);
                         }
                         let id = next_packet;
                         next_packet += 1;
                         let inj = self.routers[t].injection_port();
                         for flit in Flit::packet(id, src, dst, config.packet_len, now) {
-                            self.routers[t].buffers[inj][0].push_back(flit);
+                            self.routers[t].enqueue(inj, 0, flit);
                         }
+                        self.active_routers.insert(t);
                     }
                 }
             }
             // Phase B: deliver arrivals.
-            self.deliver(now);
-            // Phase C: per-router allocation and traversal.
-            for r in 0..self.routers.len() {
+            self.deliver(now, policy);
+            // Phase C: per-router allocation and traversal, in ascending
+            // router order under both policies.
+            let sweep = match policy {
+                ScanPolicy::ActiveSet => self.active_routers.start_sweep(),
+                ScanPolicy::FullScan => (0..self.routers.len()).collect(),
+            };
+            for &r in &sweep {
                 self.vc_allocate(r);
-                let ejected = self.switch_allocate_and_traverse(r, now);
-                for flit in ejected {
+                self.routers[r].switch_allocate_and_traverse(&self.config, &mut traversal);
+                for (channel, vc) in traversal.credits.drain(..) {
+                    let lat = self.latency[channel.index()];
+                    self.credit_pipe[channel.index()].push_back((now + lat, vc));
+                    self.active_channels.insert(channel.index());
+                }
+                for (channel, flit) in traversal.forwards.drain(..) {
+                    let lat = self.latency[channel.index()];
+                    self.data_pipe[channel.index()].push_back((now + lat, flit));
+                    self.active_channels.insert(channel.index());
+                }
+                for flit in traversal.ejected.drain(..) {
                     if flit.is_tail {
-                        let measured =
-                            flit.created >= measure_start && flit.created < measure_end;
+                        let measured = flit.created >= measure_start && flit.created < measure_end;
                         if measured {
                             latencies.push((now - flit.created) as f64);
                             outstanding_measured -= 1;
@@ -252,6 +305,12 @@ impl<'a> Network<'a> {
                         ejected_in_window += 1;
                     }
                 }
+                if policy == ScanPolicy::ActiveSet && self.routers[r].has_occupied_buffers() {
+                    self.active_routers.keep(r);
+                }
+            }
+            if policy == ScanPolicy::ActiveSet {
+                self.active_routers.finish_sweep(sweep);
             }
             now += 1;
             if now >= measure_end && outstanding_measured == 0 {
@@ -282,9 +341,13 @@ impl<'a> Network<'a> {
         }
     }
 
-    /// Delivers due flits and credits.
-    fn deliver(&mut self, now: u64) {
-        for c in 0..self.data_pipe.len() {
+    /// Delivers due flits and credits on (active) channels.
+    fn deliver(&mut self, now: u64, policy: ScanPolicy) {
+        let sweep = match policy {
+            ScanPolicy::ActiveSet => self.active_channels.start_sweep(),
+            ScanPolicy::FullScan => (0..self.data_pipe.len()).collect(),
+        };
+        for &c in &sweep {
             while let Some(&(ready, _)) = self.data_pipe[c].front() {
                 if ready > now {
                     break;
@@ -292,12 +355,13 @@ impl<'a> Network<'a> {
                 let (_, flit) = self.data_pipe[c].pop_front().expect("checked front");
                 let (r, p) = self.ch_dst[c];
                 let router = &mut self.routers[r];
-                let buffer = &mut router.buffers[p as usize][flit.vc as usize];
                 debug_assert!(
-                    buffer.len() < self.config.buffer_depth as usize,
+                    router.buffers[p as usize][flit.vc as usize].len()
+                        < self.config.buffer_depth as usize,
                     "buffer overflow: credits out of sync"
                 );
-                buffer.push_back(flit);
+                router.enqueue(p as usize, flit.vc as usize, flit);
+                self.active_routers.insert(r);
             }
             while let Some(&(ready, _)) = self.credit_pipe[c].front() {
                 if ready > now {
@@ -306,20 +370,35 @@ impl<'a> Network<'a> {
                 let (_, vc) = self.credit_pipe[c].pop_front().expect("checked front");
                 let (r, p) = self.ch_src[c];
                 self.routers[r].credits[p as usize][vc as usize] += 1;
+                // No router activation: a credit alone creates no work;
+                // any flit waiting on it keeps its router active.
             }
+            if policy == ScanPolicy::ActiveSet
+                && (!self.data_pipe[c].is_empty() || !self.credit_pipe[c].is_empty())
+            {
+                self.active_channels.keep(c);
+            }
+        }
+        if policy == ScanPolicy::ActiveSet {
+            self.active_channels.finish_sweep(sweep);
         }
     }
 
     /// The output port and VC class the head flit needs at router `tile`.
-    fn route_head(&self, tile: usize, flit: &Flit) -> (u8, u8) {
-        let router = &self.routers[tile];
+    fn route_head(
+        topology: &Topology,
+        routes: &Routes,
+        router: &Router,
+        tile: usize,
+        flit: &Flit,
+    ) -> (u8, u8) {
         if flit.dst.index() == tile {
             return (router.ejection_port() as u8, 0);
         }
-        let path = self.routes.path(flit.src, flit.dst);
+        let path = routes.path(flit.src, flit.dst);
         let hop = &path[flit.hop as usize];
         debug_assert_eq!(
-            self.topology.channel(hop.channel).from.index(),
+            topology.channel(hop.channel).from.index(),
             tile,
             "flit at wrong router for its path"
         );
@@ -331,136 +410,15 @@ impl<'a> Network<'a> {
         (port, hop.vc_class)
     }
 
-    /// VC allocation: head flits at buffer fronts acquire output VCs.
+    /// VC allocation for router `r` (routing closure plumbed in here).
     fn vc_allocate(&mut self, r: usize) {
-        let vcs = self.config.num_vcs as usize;
-        let in_ports = self.routers[r].buffers.len();
-        for p in 0..in_ports {
-            for v in 0..vcs {
-                let state = self.routers[r].in_state[p][v];
-                if state.active {
-                    continue;
-                }
-                let Some(front) = self.routers[r].buffers[p][v].front().copied() else {
-                    continue;
-                };
-                if !front.is_head {
-                    // A body flit at the front of an inactive VC can only
-                    // happen transiently after a tail release; skip.
-                    continue;
-                }
-                let (out_port, class) = self.route_head(r, &front);
-                let router = &mut self.routers[r];
-                if out_port as usize == router.ejection_port() {
-                    router.in_state[p][v] = InVc {
-                        active: true,
-                        out_port,
-                        out_vc: 0,
-                    };
-                    continue;
-                }
-                // Grant a free output VC in the class's range, rotating.
-                let range = self
-                    .config
-                    .vc_range(class, self.routes.num_vc_classes().max(1));
-                let len = range.len() as u8;
-                let start = router.va_rr[out_port as usize] % len.max(1);
-                let granted = (0..len).map(|i| range.start + (start + i) % len).find(|&ov| {
-                    router.out_owner[out_port as usize][ov as usize].is_none()
-                });
-                if let Some(ov) = granted {
-                    router.out_owner[out_port as usize][ov as usize] = Some((p as u8, v as u8));
-                    router.va_rr[out_port as usize] =
-                        router.va_rr[out_port as usize].wrapping_add(1);
-                    router.in_state[p][v] = InVc {
-                        active: true,
-                        out_port,
-                        out_vc: ov,
-                    };
-                }
-            }
-        }
-    }
-
-    /// Switch allocation (separable, input-first) and traversal. Returns
-    /// flits ejected at this router.
-    fn switch_allocate_and_traverse(&mut self, r: usize, now: u64) -> Vec<Flit> {
-        let vcs = self.config.num_vcs as usize;
-        let in_ports = self.routers[r].buffers.len();
-        let out_ports = self.routers[r].out_channels.len() + 1;
-        // Input arbitration: one candidate VC per input port.
-        let mut input_winner: Vec<Option<u8>> = vec![None; in_ports];
-        for p in 0..in_ports {
-            let router = &self.routers[r];
-            let start = router.sa_in_rr[p] as usize;
-            for i in 0..vcs {
-                let v = (start + i) % vcs;
-                let state = router.in_state[p][v];
-                if !state.active || router.buffers[p][v].is_empty() {
-                    continue;
-                }
-                let is_ejection = state.out_port as usize == router.ejection_port();
-                if !is_ejection
-                    && router.credits[state.out_port as usize][state.out_vc as usize] == 0
-                {
-                    continue;
-                }
-                input_winner[p] = Some(v as u8);
-                break;
-            }
-        }
-        // Output arbitration: one input per output port.
-        let mut output_winner: Vec<Option<u8>> = vec![None; out_ports];
-        for o in 0..out_ports {
-            let router = &self.routers[r];
-            let start = router.sa_out_rr[o] as usize;
-            for i in 0..in_ports {
-                let p = (start + i) % in_ports;
-                if let Some(v) = input_winner[p] {
-                    if router.in_state[p][v as usize].out_port as usize == o {
-                        output_winner[o] = Some(p as u8);
-                        break;
-                    }
-                }
-            }
-        }
-        // Traversal.
-        let mut ejected = Vec::new();
-        for o in 0..out_ports {
-            let Some(p) = output_winner[o] else { continue };
-            let p = p as usize;
-            let v = input_winner[p].expect("winner has a VC") as usize;
-            let router = &mut self.routers[r];
-            let state = router.in_state[p][v];
-            let mut flit = router.buffers[p][v].pop_front().expect("nonempty");
-            router.sa_in_rr[p] = (v as u8).wrapping_add(1) % self.config.num_vcs;
-            router.sa_out_rr[o] = (p as u8).wrapping_add(1) % in_ports as u8;
-            // Return a credit upstream (injection port has none).
-            if p < router.in_channels.len() {
-                let in_channel = router.in_channels[p];
-                let lat = self.latency[in_channel.index()];
-                self.credit_pipe[in_channel.index()].push_back((now + lat, flit.vc));
-            }
-            let router = &mut self.routers[r];
-            if o == router.ejection_port() {
-                if flit.is_tail {
-                    router.in_state[p][v].active = false;
-                }
-                ejected.push(flit);
-                continue;
-            }
-            let out_channel = router.out_channels[o];
-            flit.vc = state.out_vc;
-            flit.hop += 1;
-            router.credits[o][state.out_vc as usize] -= 1;
-            if flit.is_tail {
-                router.out_owner[o][state.out_vc as usize] = None;
-                router.in_state[p][v].active = false;
-            }
-            let lat = self.latency[out_channel.index()];
-            self.data_pipe[out_channel.index()].push_back((now + lat, flit));
-        }
-        ejected
+        let (topology, routes) = (self.topology, self.routes);
+        let num_vc_classes = routes.num_vc_classes();
+        let router = &mut self.routers[r];
+        // Split borrow: the routing closure reads topology/routes only.
+        let route =
+            |router: &Router, flit: &Flit| Self::route_head(topology, routes, router, r, flit);
+        router.vc_allocate_with(&self.config, num_vc_classes, route);
     }
 }
 
@@ -527,8 +485,13 @@ mod tests {
         // A 16-node ring saturates at ≤ 8/n = 0.5 flits/node/cycle even
         // ideally; the flattened butterfly is nowhere near saturation.
         let rate = 0.5;
-        let fb_out = Network::new(&fb, &fb_routes, &unit_latencies(&fb), SimConfig::fast_test())
-            .run(rate, TrafficPattern::UniformRandom);
+        let fb_out = Network::new(
+            &fb,
+            &fb_routes,
+            &unit_latencies(&fb),
+            SimConfig::fast_test(),
+        )
+        .run(rate, TrafficPattern::UniformRandom);
         let ring_out = Network::new(
             &ring,
             &ring_routes,
@@ -546,8 +509,13 @@ mod tests {
     fn longer_links_raise_latency() {
         let mesh = generators::mesh(Grid::new(4, 4));
         let routes = routing::default_routes(&mesh).expect("routes");
-        let fast = Network::new(&mesh, &routes, &unit_latencies(&mesh), SimConfig::fast_test())
-            .run(0.02, TrafficPattern::UniformRandom);
+        let fast = Network::new(
+            &mesh,
+            &routes,
+            &unit_latencies(&mesh),
+            SimConfig::fast_test(),
+        )
+        .run(0.02, TrafficPattern::UniformRandom);
         let slow_lats = vec![Cycles::new(4); mesh.num_links()];
         let slow = Network::new(&mesh, &routes, &slow_lats, SimConfig::fast_test())
             .run(0.02, TrafficPattern::UniformRandom);
@@ -582,10 +550,7 @@ mod tests {
             let lats = unit_latencies(&t);
             let out = Network::new(&t, &routes, &lats, SimConfig::fast_test())
                 .run(0.1, TrafficPattern::UniformRandom);
-            assert!(
-                out.stable,
-                "{t}: moderate load should drain, got {out:?}"
-            );
+            assert!(out.stable, "{t}: moderate load should drain, got {out:?}");
         }
     }
 
@@ -608,5 +573,55 @@ mod tests {
             .run(0.05, TrafficPattern::Transpose);
         assert!(out.stable);
         assert!(out.measured_packets > 0);
+    }
+
+    #[test]
+    fn active_set_matches_full_scan_bit_for_bit() {
+        // The central invariant of the active-set refactor: skipping idle
+        // routers/channels must not change a single statistic.
+        let grid = Grid::new(4, 4);
+        let topologies = vec![
+            generators::mesh(grid),
+            generators::torus(grid),
+            generators::ring(grid),
+            generators::flattened_butterfly(grid),
+        ];
+        let patterns = [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Transpose,
+            TrafficPattern::Tornado,
+            TrafficPattern::Hotspot(30),
+        ];
+        for topology in &topologies {
+            let routes = routing::default_routes(topology).expect("routes");
+            let lats = unit_latencies(topology);
+            for pattern in patterns {
+                for rate in [0.01, 0.1, 0.4] {
+                    let active = Network::new(topology, &routes, &lats, SimConfig::fast_test())
+                        .run_with_policy(rate, pattern, ScanPolicy::ActiveSet);
+                    let full = Network::new(topology, &routes, &lats, SimConfig::fast_test())
+                        .run_with_policy(rate, pattern, ScanPolicy::FullScan);
+                    assert_eq!(active, full, "{topology} {pattern} rate {rate}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_set_matches_full_scan_with_multicycle_links() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let routes = routing::default_routes(&mesh).expect("routes");
+        let lats = vec![Cycles::new(3); mesh.num_links()];
+        let active = Network::new(&mesh, &routes, &lats, SimConfig::fast_test()).run_with_policy(
+            0.15,
+            TrafficPattern::UniformRandom,
+            ScanPolicy::ActiveSet,
+        );
+        let full = Network::new(&mesh, &routes, &lats, SimConfig::fast_test()).run_with_policy(
+            0.15,
+            TrafficPattern::UniformRandom,
+            ScanPolicy::FullScan,
+        );
+        assert_eq!(active, full);
     }
 }

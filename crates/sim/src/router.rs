@@ -1,0 +1,253 @@
+//! Router microarchitecture: per-router buffers, virtual-channel state,
+//! credits and the two allocation stages.
+//!
+//! Split out of the network module so the network layer only owns
+//! *global* state (channel pipelines, the active sets, the cycle loop)
+//! while everything a single router decides per cycle lives here:
+//!
+//! 1. **VC allocation** — head flits at buffer fronts acquire an output
+//!    virtual channel of the class their routed path demands,
+//! 2. **Switch allocation** — separable input-first/output-second
+//!    round-robin arbitration with one flit per input and output port,
+//! 3. **Switch traversal** — winning flits leave through their output
+//!    port; the router reports ejections, link forwards and upstream
+//!    credits back to the network layer, which owns the pipelines.
+
+use std::collections::VecDeque;
+
+use shg_topology::ChannelId;
+
+use crate::config::SimConfig;
+use crate::flit::Flit;
+
+/// State of one input virtual channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct InVc {
+    /// `true` while a packet holds this VC's output reservation.
+    pub(crate) active: bool,
+    /// Reserved output port.
+    pub(crate) out_port: u8,
+    /// Reserved output VC.
+    pub(crate) out_vc: u8,
+}
+
+/// What one router hands back to the network after switch traversal.
+///
+/// The network layer owns the link pipelines, so the router reports
+/// forwards and credits instead of pushing them itself.
+#[derive(Debug, Default)]
+pub(crate) struct TraversalOutput {
+    /// Flits that reached their destination this cycle.
+    pub(crate) ejected: Vec<Flit>,
+    /// Flits entering a link pipeline: `(channel, flit)`.
+    pub(crate) forwards: Vec<(ChannelId, Flit)>,
+    /// Credits returned upstream: `(channel, vc)`.
+    pub(crate) credits: Vec<(ChannelId, u8)>,
+}
+
+/// One router: buffers, reservations, credits and arbitration state.
+#[derive(Debug)]
+pub(crate) struct Router {
+    /// Incoming channels, defining network input ports `0..k`; port `k`
+    /// is the injection port.
+    pub(crate) in_channels: Vec<ChannelId>,
+    /// Outgoing channels, defining network output ports `0..m`; port `m`
+    /// is the ejection port.
+    pub(crate) out_channels: Vec<ChannelId>,
+    /// `buffers[in_port][vc]`.
+    pub(crate) buffers: Vec<Vec<VecDeque<Flit>>>,
+    /// `in_state[in_port][vc]`.
+    pub(crate) in_state: Vec<Vec<InVc>>,
+    /// `out_owner[out_port][vc]`: which (in_port, vc) holds the output VC.
+    pub(crate) out_owner: Vec<Vec<Option<(u8, u8)>>>,
+    /// `credits[out_port][vc]`: free downstream buffer slots.
+    pub(crate) credits: Vec<Vec<u16>>,
+    /// Round-robin pointer per output port for VC allocation.
+    va_rr: Vec<u8>,
+    /// Round-robin pointer per input port for switch allocation.
+    sa_in_rr: Vec<u8>,
+    /// Round-robin pointer per output port for switch allocation.
+    sa_out_rr: Vec<u8>,
+    /// Number of buffer slots currently occupied across all ports/VCs.
+    /// Maintained incrementally so the active-set scheduler can test
+    /// occupancy in O(1).
+    occupied: u32,
+}
+
+impl Router {
+    pub(crate) fn new(
+        in_channels: Vec<ChannelId>,
+        out_channels: Vec<ChannelId>,
+        config: &SimConfig,
+    ) -> Self {
+        let vcs = config.num_vcs as usize;
+        let in_ports = in_channels.len() + 1;
+        let out_ports = out_channels.len() + 1;
+        Self {
+            in_channels,
+            out_channels,
+            buffers: vec![vec![VecDeque::new(); vcs]; in_ports],
+            in_state: vec![vec![InVc::default(); vcs]; in_ports],
+            out_owner: vec![vec![None; vcs]; out_ports],
+            credits: vec![vec![config.buffer_depth; vcs]; out_ports],
+            va_rr: vec![0; out_ports],
+            sa_in_rr: vec![0; in_ports],
+            sa_out_rr: vec![0; out_ports],
+            occupied: 0,
+        }
+    }
+
+    pub(crate) fn injection_port(&self) -> usize {
+        self.in_channels.len()
+    }
+
+    pub(crate) fn ejection_port(&self) -> usize {
+        self.out_channels.len()
+    }
+
+    /// `true` while any buffer holds a flit — the active-set criterion:
+    /// a router with empty buffers cannot allocate or traverse, and any
+    /// event that fills a buffer re-activates it.
+    pub(crate) fn has_occupied_buffers(&self) -> bool {
+        self.occupied > 0
+    }
+
+    /// Enqueues a flit into `buffers[port][vc]`.
+    pub(crate) fn enqueue(&mut self, port: usize, vc: usize, flit: Flit) {
+        self.buffers[port][vc].push_back(flit);
+        self.occupied += 1;
+    }
+
+    /// VC allocation: head flits at buffer fronts acquire output VCs.
+    ///
+    /// `route` maps a head flit to its `(out_port, vc_class)` at this
+    /// router (the ejection port for flits that have arrived). It
+    /// receives the router by shared reference so it can inspect port
+    /// lists without fighting the mutable borrow held by allocation.
+    pub(crate) fn vc_allocate_with(
+        &mut self,
+        config: &SimConfig,
+        num_vc_classes: u8,
+        route: impl Fn(&Router, &Flit) -> (u8, u8),
+    ) {
+        let vcs = config.num_vcs as usize;
+        let in_ports = self.buffers.len();
+        for p in 0..in_ports {
+            for v in 0..vcs {
+                let state = self.in_state[p][v];
+                if state.active {
+                    continue;
+                }
+                let Some(front) = self.buffers[p][v].front().copied() else {
+                    continue;
+                };
+                if !front.is_head {
+                    // A body flit at the front of an inactive VC can only
+                    // happen transiently after a tail release; skip.
+                    continue;
+                }
+                let (out_port, class) = route(&*self, &front);
+                if out_port as usize == self.ejection_port() {
+                    self.in_state[p][v] = InVc {
+                        active: true,
+                        out_port,
+                        out_vc: 0,
+                    };
+                    continue;
+                }
+                // Grant a free output VC in the class's range, rotating.
+                let range = config.vc_range(class, num_vc_classes.max(1));
+                let len = range.len() as u8;
+                let start = self.va_rr[out_port as usize] % len.max(1);
+                let granted = (0..len)
+                    .map(|i| range.start + (start + i) % len)
+                    .find(|&ov| self.out_owner[out_port as usize][ov as usize].is_none());
+                if let Some(ov) = granted {
+                    self.out_owner[out_port as usize][ov as usize] = Some((p as u8, v as u8));
+                    self.va_rr[out_port as usize] = self.va_rr[out_port as usize].wrapping_add(1);
+                    self.in_state[p][v] = InVc {
+                        active: true,
+                        out_port,
+                        out_vc: ov,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Switch allocation (separable, input-first) and traversal. Writes
+    /// ejections, forwards and upstream credits into `out`.
+    pub(crate) fn switch_allocate_and_traverse(
+        &mut self,
+        config: &SimConfig,
+        out: &mut TraversalOutput,
+    ) {
+        let vcs = config.num_vcs as usize;
+        let in_ports = self.buffers.len();
+        let out_ports = self.out_channels.len() + 1;
+        // Input arbitration: one candidate VC per input port.
+        let mut input_winner: Vec<Option<u8>> = vec![None; in_ports];
+        for (p, winner) in input_winner.iter_mut().enumerate() {
+            let start = self.sa_in_rr[p] as usize;
+            for i in 0..vcs {
+                let v = (start + i) % vcs;
+                let state = self.in_state[p][v];
+                if !state.active || self.buffers[p][v].is_empty() {
+                    continue;
+                }
+                let is_ejection = state.out_port as usize == self.ejection_port();
+                if !is_ejection && self.credits[state.out_port as usize][state.out_vc as usize] == 0
+                {
+                    continue;
+                }
+                *winner = Some(v as u8);
+                break;
+            }
+        }
+        // Output arbitration: one input per output port.
+        let mut output_winner: Vec<Option<u8>> = vec![None; out_ports];
+        for (o, winner) in output_winner.iter_mut().enumerate() {
+            let start = self.sa_out_rr[o] as usize;
+            for i in 0..in_ports {
+                let p = (start + i) % in_ports;
+                if let Some(v) = input_winner[p] {
+                    if self.in_state[p][v as usize].out_port as usize == o {
+                        *winner = Some(p as u8);
+                        break;
+                    }
+                }
+            }
+        }
+        // Traversal.
+        for (o, winner) in output_winner.iter().copied().enumerate() {
+            let Some(p) = winner else { continue };
+            let p = p as usize;
+            let v = input_winner[p].expect("winner has a VC") as usize;
+            let state = self.in_state[p][v];
+            let mut flit = self.buffers[p][v].pop_front().expect("nonempty");
+            self.occupied -= 1;
+            self.sa_in_rr[p] = (v as u8).wrapping_add(1) % config.num_vcs;
+            self.sa_out_rr[o] = (p as u8).wrapping_add(1) % in_ports as u8;
+            // Return a credit upstream (injection port has none).
+            if p < self.in_channels.len() {
+                out.credits.push((self.in_channels[p], flit.vc));
+            }
+            if o == self.ejection_port() {
+                if flit.is_tail {
+                    self.in_state[p][v].active = false;
+                }
+                out.ejected.push(flit);
+                continue;
+            }
+            let out_channel = self.out_channels[o];
+            flit.vc = state.out_vc;
+            flit.hop += 1;
+            self.credits[o][state.out_vc as usize] -= 1;
+            if flit.is_tail {
+                self.out_owner[o][state.out_vc as usize] = None;
+                self.in_state[p][v].active = false;
+            }
+            out.forwards.push((out_channel, flit));
+        }
+    }
+}

@@ -53,7 +53,6 @@ pub fn zero_load_latency(
     link_latencies: &[Cycles],
     config: &SimConfig,
 ) -> f64 {
-    let n = topology.num_tiles();
     let mut total = 0.0f64;
     let mut pairs = 0u64;
     for src in topology.grid().tiles() {
@@ -76,7 +75,7 @@ pub fn zero_load_latency(
     if pairs == 0 {
         0.0
     } else {
-        total / pairs as f64 * (n as f64 / n as f64)
+        total / pairs as f64
     }
 }
 
@@ -132,8 +131,7 @@ pub fn saturation_throughput(
     let stable_at = |rate: f64| -> bool {
         let mut network = Network::new(topology, routes, link_latencies, config.clone());
         let outcome = network.run(rate, pattern);
-        outcome.keeps_up(search.slack)
-            && outcome.avg_packet_latency <= zll * search.latency_factor
+        outcome.keeps_up(search.slack) && outcome.avg_packet_latency <= zll * search.latency_factor
     };
     let mut lo = 0.0f64;
     let mut hi = 1.0f64;
@@ -177,7 +175,9 @@ pub fn measure_performance(
 }
 
 /// Sweeps the injection rate and reports one [`SimOutcome`] per point —
-/// the classic latency-vs-offered-load curve.
+/// the classic latency-vs-offered-load curve. A thin wrapper over the
+/// sweep engine ([`crate::sweep::load_curve`]), so the points run in
+/// parallel and carry the engine's per-point derived seeds.
 #[must_use]
 pub fn load_sweep(
     topology: &Topology,
@@ -187,13 +187,19 @@ pub fn load_sweep(
     pattern: TrafficPattern,
     rates: &[f64],
 ) -> Vec<SimOutcome> {
-    rates
-        .iter()
-        .map(|&rate| {
-            let mut network = Network::new(topology, routes, link_latencies, config.clone());
-            network.run(rate, pattern)
-        })
-        .collect()
+    crate::sweep::load_curve(
+        "load-sweep",
+        topology,
+        routes.clone(),
+        link_latencies.to_vec(),
+        config,
+        pattern,
+        rates,
+    )
+    .points
+    .into_iter()
+    .map(|p| p.outcome)
+    .collect()
 }
 
 #[cfg(test)]
@@ -264,10 +270,7 @@ mod tests {
         let ring = sat(&generators::ring(grid));
         let mesh = sat(&generators::mesh(grid));
         let fb = sat(&generators::flattened_butterfly(grid));
-        assert!(
-            fb > mesh && mesh > ring,
-            "fb {fb} mesh {mesh} ring {ring}"
-        );
+        assert!(fb > mesh && mesh > ring, "fb {fb} mesh {mesh} ring {ring}");
         assert!(ring > 0.0, "even a ring moves some traffic");
     }
 

@@ -1,0 +1,512 @@
+//! The parallel sweep engine: one shared evaluation loop for every
+//! experiment that measures (topology × traffic pattern × injection
+//! rate) grids.
+//!
+//! The paper's prediction toolchain exists to sweep thousands of such
+//! points (Fig. 6's Pareto fronts); before this module each bench
+//! binary carried its own warmup/measure loop. An [`Experiment`] owns a
+//! set of [`SweepCase`]s (topology + routing table + per-link
+//! latencies, computed **once** per topology and shared across all of
+//! its grid cells) and a [`SweepSpec`] (the rate × pattern grid); it
+//! fans the grid out over threads and returns a [`SweepResult`] that is
+//! deterministic — same spec and seed ⇒ byte-identical JSON — no matter
+//! how many threads ran it, because every point derives its RNG seed
+//! from its grid coordinates alone and results are collected in grid
+//! order.
+//!
+//! # Examples
+//!
+//! ```
+//! use shg_sim::{sweep, Experiment, SimConfig, SweepSpec};
+//! use shg_topology::{generators, Grid};
+//!
+//! let mesh = generators::mesh(Grid::new(4, 4));
+//! let spec = SweepSpec::new(SimConfig::fast_test())
+//!     .rates([0.02, 0.1])
+//!     .patterns(sweep::ALL_PATTERNS);
+//! let result = Experiment::new(spec)
+//!     .with_unit_latency_case("mesh", &mesh)
+//!     .expect("mesh routes")
+//!     .run_parallel();
+//! assert_eq!(result.points.len(), 2 * sweep::ALL_PATTERNS.len());
+//! ```
+
+use rayon::prelude::*;
+use serde::Serialize;
+
+use shg_topology::routing::{self, BuildRoutesError, Routes};
+use shg_topology::Topology;
+use shg_units::Cycles;
+
+use crate::config::SimConfig;
+use crate::network::Network;
+use crate::stats::SimOutcome;
+use crate::traffic::TrafficPattern;
+
+/// Every traffic pattern the simulator models, in the order used by the
+/// wide-evaluation sweeps (hot-spot at 20%, a common stress setting).
+pub const ALL_PATTERNS: [TrafficPattern; 7] = [
+    TrafficPattern::UniformRandom,
+    TrafficPattern::Transpose,
+    TrafficPattern::BitComplement,
+    TrafficPattern::Reverse,
+    TrafficPattern::Tornado,
+    TrafficPattern::Neighbor,
+    TrafficPattern::Hotspot(20),
+];
+
+/// The grid of a sweep: injection rates × traffic patterns, plus the
+/// simulator configuration shared by every point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepSpec {
+    /// Injection rates in flits per node per cycle.
+    pub rates: Vec<f64>,
+    /// Traffic patterns to sweep.
+    pub patterns: Vec<TrafficPattern>,
+    /// Simulator configuration; `config.seed` is the root seed every
+    /// per-point seed derives from.
+    pub config: SimConfig,
+}
+
+impl SweepSpec {
+    /// A spec with the given simulator configuration, uniform-random
+    /// traffic and no rates yet.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Self {
+            rates: Vec::new(),
+            patterns: vec![TrafficPattern::UniformRandom],
+            config,
+        }
+    }
+
+    /// Replaces the injection-rate grid.
+    #[must_use]
+    pub fn rates(mut self, rates: impl IntoIterator<Item = f64>) -> Self {
+        self.rates = rates.into_iter().collect();
+        self
+    }
+
+    /// `n` evenly spaced rates in `(0, max]`.
+    #[must_use]
+    pub fn linear_rates(self, n: usize, max: f64) -> Self {
+        let rates: Vec<f64> = (1..=n).map(|i| max * i as f64 / n as f64).collect();
+        self.rates(rates)
+    }
+
+    /// Replaces the traffic-pattern list.
+    #[must_use]
+    pub fn patterns(mut self, patterns: impl IntoIterator<Item = TrafficPattern>) -> Self {
+        self.patterns = patterns.into_iter().collect();
+        self
+    }
+
+    /// Sweeps all seven modeled traffic patterns.
+    #[must_use]
+    pub fn all_patterns(self) -> Self {
+        self.patterns(ALL_PATTERNS)
+    }
+
+    /// The number of grid cells per case.
+    #[must_use]
+    pub fn cells_per_case(&self) -> usize {
+        self.rates.len() * self.patterns.len()
+    }
+}
+
+/// One topology under sweep: its routing table and per-link latencies
+/// are computed once and shared by all grid cells of the case.
+#[derive(Debug)]
+pub struct SweepCase<'a> {
+    /// Display name of the case (topology or configuration label).
+    pub name: String,
+    /// The topology.
+    pub topology: &'a Topology,
+    /// Routing table (computed once per case).
+    pub routes: Routes,
+    /// Per-link latencies, e.g. from the floorplan model.
+    pub link_latencies: Vec<Cycles>,
+}
+
+impl<'a> SweepCase<'a> {
+    /// A case with precomputed routes and latencies (the floorplan-fed
+    /// path; see `shg-bench`'s scenario sweep for the cached producer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_latencies` does not match the topology's links.
+    #[must_use]
+    pub fn annotated(
+        name: impl Into<String>,
+        topology: &'a Topology,
+        routes: Routes,
+        link_latencies: Vec<Cycles>,
+    ) -> Self {
+        assert_eq!(
+            link_latencies.len(),
+            topology.num_links(),
+            "one latency per link required"
+        );
+        Self {
+            name: name.into(),
+            topology,
+            routes,
+            link_latencies,
+        }
+    }
+
+    /// A case with default routes and unit link latencies (the
+    /// floorplan-free path used by tests and microbenchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Returns the routing error if no deadlock-free minimal routing
+    /// applies to the topology.
+    pub fn unit_latency(
+        name: impl Into<String>,
+        topology: &'a Topology,
+    ) -> Result<Self, BuildRoutesError> {
+        let routes = routing::default_routes(topology)?;
+        let link_latencies = vec![Cycles::one(); topology.num_links()];
+        Ok(Self::annotated(name, topology, routes, link_latencies))
+    }
+}
+
+/// One measured grid cell of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepPoint {
+    /// Case (topology) name.
+    pub case: String,
+    /// Traffic pattern of this cell.
+    pub pattern: TrafficPattern,
+    /// Offered injection rate (flits per node per cycle).
+    pub rate: f64,
+    /// The derived per-point RNG seed (recorded for reproduction).
+    pub seed: u64,
+    /// The simulator's measurements.
+    pub outcome: SimOutcome,
+}
+
+/// All points of a sweep, in deterministic grid order
+/// (case-major, then pattern, then rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct SweepResult {
+    /// The measured points.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// Serializes to pretty JSON (byte-identical for identical sweeps,
+    /// regardless of thread count).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep JSON serializes")
+    }
+
+    /// Serializes to compact JSON.
+    #[must_use]
+    pub fn to_json_compact(&self) -> String {
+        serde_json::to_string(self).expect("sweep JSON serializes")
+    }
+
+    /// The points of one case, in grid order.
+    pub fn points_for(&self, case: &str) -> impl Iterator<Item = &SweepPoint> {
+        let case = case.to_owned();
+        self.points.iter().filter(move |p| p.case == case)
+    }
+
+    /// The highest swept rate at which `case` under `pattern` still
+    /// keeps up with the offered load (within `slack`), or `None` if it
+    /// saturates below every swept rate.
+    #[must_use]
+    pub fn saturation_estimate(
+        &self,
+        case: &str,
+        pattern: TrafficPattern,
+        slack: f64,
+    ) -> Option<f64> {
+        self.points_for(case)
+            .filter(|p| p.pattern == pattern && p.outcome.keeps_up(slack))
+            .map(|p| p.rate)
+            .fold(None, |best, rate| {
+                Some(best.map_or(rate, |b: f64| b.max(rate)))
+            })
+    }
+
+    /// A plain-text table of all points (binaries print this).
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<26} {:>16} {:>8} {:>9} {:>12} {:>12} {:>7}\n",
+            "Case", "Pattern", "Offered", "Accepted", "AvgLat[cyc]", "p99Lat[cyc]", "Stable"
+        ));
+        out.push_str(&"-".repeat(96));
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<26} {:>16} {:>8.3} {:>9.3} {:>12.1} {:>12.1} {:>7}\n",
+                p.case,
+                p.pattern.to_string(),
+                p.rate,
+                p.outcome.accepted_rate,
+                p.outcome.avg_packet_latency,
+                p.outcome.p99_packet_latency,
+                p.outcome.stable
+            ));
+        }
+        out
+    }
+}
+
+/// A sweep ready to run: cases plus the grid spec.
+///
+/// # Examples
+///
+/// A full load-curve sweep in three lines (the README quickstart):
+///
+/// ```
+/// # use shg_sim::{Experiment, SimConfig, SweepSpec};
+/// # use shg_topology::{generators, Grid};
+/// # let mesh = generators::mesh(Grid::new(4, 4));
+/// let spec = SweepSpec::new(SimConfig::fast_test()).linear_rates(5, 0.5).all_patterns();
+/// let result = Experiment::new(spec).with_unit_latency_case("mesh", &mesh)?.run_parallel();
+/// println!("{}", result.table());
+/// # Ok::<(), shg_topology::routing::BuildRoutesError>(())
+/// ```
+#[derive(Debug)]
+pub struct Experiment<'a> {
+    spec: SweepSpec,
+    cases: Vec<SweepCase<'a>>,
+}
+
+impl<'a> Experiment<'a> {
+    /// An experiment over the given grid, with no cases yet.
+    #[must_use]
+    pub fn new(spec: SweepSpec) -> Self {
+        Self {
+            spec,
+            cases: Vec::new(),
+        }
+    }
+
+    /// Adds a prepared case (builder style).
+    #[must_use]
+    pub fn with_case(mut self, case: SweepCase<'a>) -> Self {
+        self.cases.push(case);
+        self
+    }
+
+    /// Adds a case with default routes and unit latencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns the routing error if no deadlock-free minimal routing
+    /// applies to the topology.
+    pub fn with_unit_latency_case(
+        self,
+        name: impl Into<String>,
+        topology: &'a Topology,
+    ) -> Result<Self, BuildRoutesError> {
+        Ok(self.with_case(SweepCase::unit_latency(name, topology)?))
+    }
+
+    /// Adds a prepared case in place.
+    pub fn push_case(&mut self, case: SweepCase<'a>) {
+        self.cases.push(case);
+    }
+
+    /// The grid spec.
+    #[must_use]
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// The total number of grid cells.
+    #[must_use]
+    pub fn num_points(&self) -> usize {
+        self.cases.len() * self.spec.cells_per_case()
+    }
+
+    /// Runs every grid cell, fanned out over the default thread pool.
+    #[must_use]
+    pub fn run_parallel(&self) -> SweepResult {
+        let grid: Vec<(usize, usize, usize)> = self
+            .cases
+            .iter()
+            .enumerate()
+            .flat_map(|(c, _)| {
+                let spec = &self.spec;
+                (0..spec.patterns.len())
+                    .flat_map(move |p| (0..spec.rates.len()).map(move |r| (c, p, r)))
+            })
+            .collect();
+        let points: Vec<SweepPoint> = grid
+            .par_iter()
+            .map(|&(c, p, r)| self.run_point(c, p, r))
+            .collect();
+        SweepResult { points }
+    }
+
+    /// Runs the sweep on exactly `threads` workers. Produces the same
+    /// result as [`Experiment::run_parallel`] — the determinism
+    /// regression test pins 1 vs N and compares JSON bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread pool cannot be built (the vendored rayon
+    /// stand-in never fails).
+    #[must_use]
+    pub fn run_with_threads(&self, threads: usize) -> SweepResult {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool builds")
+            .install(|| self.run_parallel())
+    }
+
+    /// Runs one grid cell. The per-point seed depends only on the root
+    /// seed and the grid coordinates, never on scheduling.
+    fn run_point(&self, case_idx: usize, pattern_idx: usize, rate_idx: usize) -> SweepPoint {
+        let case = &self.cases[case_idx];
+        let pattern = self.spec.patterns[pattern_idx];
+        let rate = self.spec.rates[rate_idx];
+        let seed = derive_seed(
+            self.spec.config.seed,
+            case_idx as u64,
+            pattern_idx as u64,
+            rate_idx as u64,
+        );
+        let config = SimConfig {
+            seed,
+            ..self.spec.config.clone()
+        };
+        let mut network = Network::new(case.topology, &case.routes, &case.link_latencies, config);
+        let outcome = network.run(rate, pattern);
+        SweepPoint {
+            case: case.name.clone(),
+            pattern,
+            rate,
+            seed,
+            outcome,
+        }
+    }
+}
+
+/// SplitMix64-style mixing of the root seed with grid coordinates.
+fn derive_seed(root: u64, case: u64, pattern: u64, rate: u64) -> u64 {
+    let mut state = root
+        .wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(pattern.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(rate.wrapping_mul(0x94d0_49bb_1331_11eb));
+    state = (state ^ (state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    state = (state ^ (state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    state ^ (state >> 31)
+}
+
+/// Convenience free function mirroring the classic latency-vs-load
+/// sweep: one case, one pattern, a rate grid, run in parallel.
+#[must_use]
+pub fn load_curve(
+    name: &str,
+    topology: &Topology,
+    routes: Routes,
+    link_latencies: Vec<Cycles>,
+    config: &SimConfig,
+    pattern: TrafficPattern,
+    rates: &[f64],
+) -> SweepResult {
+    let spec = SweepSpec::new(config.clone())
+        .rates(rates.iter().copied())
+        .patterns([pattern]);
+    Experiment::new(spec)
+        .with_case(SweepCase::annotated(name, topology, routes, link_latencies))
+        .run_parallel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shg_topology::{generators, Grid};
+
+    fn small_experiment(topology: &Topology) -> Experiment<'_> {
+        let spec = SweepSpec::new(SimConfig::fast_test())
+            .rates([0.02, 0.1])
+            .patterns([TrafficPattern::UniformRandom, TrafficPattern::Transpose]);
+        Experiment::new(spec)
+            .with_unit_latency_case("mesh", topology)
+            .expect("mesh routes")
+    }
+
+    #[test]
+    fn grid_order_is_case_pattern_rate() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let result = small_experiment(&mesh).run_parallel();
+        assert_eq!(result.points.len(), 4);
+        let labels: Vec<(String, f64)> = result
+            .points
+            .iter()
+            .map(|p| (p.pattern.to_string(), p.rate))
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                ("uniform-random".to_owned(), 0.02),
+                ("uniform-random".to_owned(), 0.1),
+                ("transpose".to_owned(), 0.02),
+                ("transpose".to_owned(), 0.1),
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_equals_single_threaded() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let experiment = small_experiment(&mesh);
+        let serial = experiment.run_with_threads(1);
+        let parallel = experiment.run_with_threads(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn per_point_seeds_differ() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let result = small_experiment(&mesh).run_parallel();
+        let seeds: std::collections::HashSet<u64> = result.points.iter().map(|p| p.seed).collect();
+        assert_eq!(seeds.len(), result.points.len());
+    }
+
+    #[test]
+    fn saturation_estimate_reads_stable_frontier() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let spec = SweepSpec::new(SimConfig::fast_test()).rates([0.02, 0.1, 0.9]);
+        let result = Experiment::new(spec)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("routes")
+            .run_parallel();
+        let sat = result
+            .saturation_estimate("mesh", TrafficPattern::UniformRandom, 0.05)
+            .expect("low rates are stable");
+        assert!(sat >= 0.1, "mesh sustains 0.1: {sat}");
+        assert!(sat < 0.9, "mesh cannot sustain 0.9: {sat}");
+    }
+
+    #[test]
+    fn json_contains_every_point() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let result = small_experiment(&mesh).run_parallel();
+        let json = result.to_json();
+        assert_eq!(json.matches("\"case\"").count(), result.points.len());
+        assert!(json.contains("\"avg_packet_latency\""));
+    }
+
+    #[test]
+    fn all_patterns_constant_covers_the_enum() {
+        // Seven documented patterns; keep the constant in sync.
+        assert_eq!(ALL_PATTERNS.len(), 7);
+        let unique: std::collections::HashSet<String> =
+            ALL_PATTERNS.iter().map(ToString::to_string).collect();
+        assert_eq!(unique.len(), 7);
+    }
+}

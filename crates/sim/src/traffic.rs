@@ -74,10 +74,7 @@ impl TrafficPattern {
                     ((coord.col as u32 + dc) % grid.cols() as u32) as u16,
                 ))
             }
-            Self::Neighbor => grid.id(TileCoord::new(
-                coord.row,
-                (coord.col + 1) % grid.cols(),
-            )),
+            Self::Neighbor => grid.id(TileCoord::new(coord.row, (coord.col + 1) % grid.cols())),
             Self::Hotspot(percent) => {
                 if rng.gen_range(0..100u8) < percent {
                     TileId::new((n / 2) as u32)
@@ -204,8 +201,7 @@ mod tests {
         let mut hits = 0;
         let trials = 1000;
         for _ in 0..trials {
-            if TrafficPattern::Hotspot(50).destination(grid, TileId::new(0), &mut rng)
-                == Some(hot)
+            if TrafficPattern::Hotspot(50).destination(grid, TileId::new(0), &mut rng) == Some(hot)
             {
                 hits += 1;
             }

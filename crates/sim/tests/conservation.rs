@@ -42,17 +42,14 @@ fn deterministic_across_patterns_and_seeds() {
     let routes = routing::default_routes(&torus).expect("routes");
     let lats = unit_latencies(&torus);
     let mut config = SimConfig::fast_test();
-    let a = Network::new(&torus, &routes, &lats, config.clone())
-        .run(0.1, TrafficPattern::Transpose);
-    let b = Network::new(&torus, &routes, &lats, config.clone())
-        .run(0.1, TrafficPattern::Transpose);
+    let a =
+        Network::new(&torus, &routes, &lats, config.clone()).run(0.1, TrafficPattern::Transpose);
+    let b =
+        Network::new(&torus, &routes, &lats, config.clone()).run(0.1, TrafficPattern::Transpose);
     assert_eq!(a, b, "same seed ⇒ identical outcome");
     config.seed = 777;
     let c = Network::new(&torus, &routes, &lats, config).run(0.1, TrafficPattern::Transpose);
-    assert_ne!(
-        a.measured_packets, 0,
-        "sanity: the run measured something"
-    );
+    assert_ne!(a.measured_packets, 0, "sanity: the run measured something");
     // Different seed gives a (very likely) different packet count but a
     // similar latency.
     assert!((c.avg_packet_latency - a.avg_packet_latency).abs() < a.avg_packet_latency);
@@ -90,8 +87,8 @@ fn single_flit_and_long_packets_both_work() {
             packet_len,
             ..SimConfig::fast_test()
         };
-        let out = Network::new(&mesh, &routes, &lats, config)
-            .run(0.05, TrafficPattern::UniformRandom);
+        let out =
+            Network::new(&mesh, &routes, &lats, config).run(0.05, TrafficPattern::UniformRandom);
         assert!(out.stable, "packet_len {packet_len}: {out:?}");
         // Longer packets add serialization latency.
         assert!(out.avg_packet_latency >= (packet_len - 1) as f64);

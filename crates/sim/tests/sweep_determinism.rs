@@ -1,0 +1,67 @@
+//! Determinism regression for the sweep engine: the same `SweepSpec`
+//! run with 1 thread and with N threads must produce byte-identical
+//! JSON output — the contract every future scaling PR (sharding,
+//! batching, remote backends) builds on.
+
+use shg_sim::sweep::ALL_PATTERNS;
+use shg_sim::{Experiment, SimConfig, SweepSpec, TrafficPattern};
+use shg_topology::{generators, Grid};
+
+#[test]
+fn one_thread_and_many_threads_produce_identical_json() {
+    let grid = Grid::new(4, 4);
+    let mesh = generators::mesh(grid);
+    let torus = generators::torus(grid);
+    let spec = SweepSpec::new(SimConfig::fast_test())
+        .rates([0.02, 0.1, 0.3])
+        .all_patterns();
+    let experiment = Experiment::new(spec)
+        .with_unit_latency_case("mesh", &mesh)
+        .expect("mesh routes")
+        .with_unit_latency_case("torus", &torus)
+        .expect("torus routes");
+    let single = experiment.run_with_threads(1);
+    for threads in [2, 4, 8] {
+        let parallel = experiment.run_with_threads(threads);
+        assert_eq!(
+            single, parallel,
+            "outcomes differ between 1 and {threads} threads"
+        );
+        assert_eq!(
+            single.to_json(),
+            parallel.to_json(),
+            "JSON bytes differ between 1 and {threads} threads"
+        );
+    }
+    // Re-running the whole experiment reproduces the bytes too.
+    assert_eq!(single.to_json(), experiment.run_parallel().to_json());
+    assert_eq!(single.points.len(), 2 * ALL_PATTERNS.len() * 3);
+}
+
+#[test]
+fn distinct_seeds_change_results_but_stay_deterministic() {
+    let grid = Grid::new(4, 4);
+    let mesh = generators::mesh(grid);
+    let spec = |seed: u64| {
+        SweepSpec::new(SimConfig {
+            seed,
+            ..SimConfig::fast_test()
+        })
+        .rates([0.1])
+        .patterns([TrafficPattern::UniformRandom])
+    };
+    let run = |seed: u64| {
+        Experiment::new(spec(seed))
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("routes")
+            .run_parallel()
+    };
+    let a1 = run(1);
+    let a2 = run(1);
+    let b = run(2);
+    assert_eq!(a1, a2, "same root seed reproduces");
+    assert_ne!(
+        a1.points[0].outcome.measured_packets, b.points[0].outcome.measured_packets,
+        "different root seeds should measure different packet counts"
+    );
+}

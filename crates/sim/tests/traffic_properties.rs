@@ -1,0 +1,160 @@
+//! Property tests for the traffic patterns: destinations are always
+//! in range, tiles never send to themselves, and the deterministic
+//! patterns match their documented formulas on square and non-square
+//! grids.
+
+use proptest::prelude::*;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use shg_sim::TrafficPattern;
+use shg_topology::{Grid, TileCoord, TileId};
+
+fn all_patterns() -> [TrafficPattern; 7] {
+    [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitComplement,
+        TrafficPattern::Reverse,
+        TrafficPattern::Tornado,
+        TrafficPattern::Neighbor,
+        TrafficPattern::Hotspot(30),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every pattern, every source tile, any grid shape: the destination
+    /// is a valid tile and never the source itself.
+    #[test]
+    fn destinations_in_range_and_never_self(
+        (rows, cols) in (2u16..=8, 2u16..=8),
+        seed in 0u64..1_000,
+    ) {
+        let grid = Grid::new(rows, cols);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for pattern in all_patterns() {
+            for src in grid.tiles() {
+                for _ in 0..4 {
+                    if let Some(dst) = pattern.destination(grid, src, &mut rng) {
+                        prop_assert!(
+                            dst.index() < grid.num_tiles(),
+                            "{pattern}: {src} → {dst} out of range on {rows}x{cols}"
+                        );
+                        prop_assert!(dst != src, "{pattern}: {src} sent to itself");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tornado: `(r, c) → (r + ⌈R/2⌉−1 mod R, c + ⌈C/2⌉−1 mod C)`.
+    #[test]
+    fn tornado_matches_formula((rows, cols) in (2u16..=9, 2u16..=9), seed in 0u64..100) {
+        let grid = Grid::new(rows, cols);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dr = u32::from(rows).div_ceil(2) - 1;
+        let dc = u32::from(cols).div_ceil(2) - 1;
+        for src in grid.tiles() {
+            let coord = grid.coord(src);
+            let expected = grid.id(TileCoord::new(
+                ((u32::from(coord.row) + dr) % u32::from(rows)) as u16,
+                ((u32::from(coord.col) + dc) % u32::from(cols)) as u16,
+            ));
+            let got = TrafficPattern::Tornado.destination(grid, src, &mut rng);
+            if expected == src {
+                prop_assert_eq!(got, None, "self-mapped tiles stay silent");
+            } else {
+                prop_assert_eq!(got, Some(expected));
+            }
+        }
+    }
+
+    /// Transpose: fractional positions swap, i.e. destination
+    /// `(col·R/C, row·C/R)` clamped to the grid — exact transposition on
+    /// square grids.
+    #[test]
+    fn transpose_matches_formula((rows, cols) in (2u16..=9, 2u16..=9), seed in 0u64..100) {
+        let grid = Grid::new(rows, cols);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for src in grid.tiles() {
+            let coord = grid.coord(src);
+            let r = (u32::from(coord.col) * u32::from(rows) / u32::from(cols)) as u16;
+            let c = (u32::from(coord.row) * u32::from(cols) / u32::from(rows)) as u16;
+            let expected = grid.id(TileCoord::new(r.min(rows - 1), c.min(cols - 1)));
+            let got = TrafficPattern::Transpose.destination(grid, src, &mut rng);
+            if expected == src {
+                prop_assert_eq!(got, None, "diagonal stays silent");
+            } else {
+                prop_assert_eq!(got, Some(expected));
+            }
+        }
+    }
+
+    /// Transpose on square grids is `(r, c) → (c, r)` exactly, and an
+    /// involution off the diagonal.
+    #[test]
+    fn transpose_square_is_involution(n in 2u16..=9, seed in 0u64..100) {
+        let grid = Grid::new(n, n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for src in grid.tiles() {
+            let coord = grid.coord(src);
+            match TrafficPattern::Transpose.destination(grid, src, &mut rng) {
+                None => prop_assert_eq!(coord.row, coord.col),
+                Some(dst) => {
+                    prop_assert_eq!(
+                        grid.coord(dst),
+                        TileCoord::new(coord.col, coord.row)
+                    );
+                    let back = TrafficPattern::Transpose
+                        .destination(grid, dst, &mut rng)
+                        .expect("off-diagonal maps back");
+                    prop_assert_eq!(back, src);
+                }
+            }
+        }
+    }
+
+    /// Hotspot(p): the hot tile is `n/2`; non-hot traffic is uniform and
+    /// the hot tile draws ~p% of another tile's packets.
+    #[test]
+    fn hotspot_targets_center_tile((rows, cols) in (3u16..=8, 3u16..=8), seed in 0u64..50) {
+        let grid = Grid::new(rows, cols);
+        let hot = TileId::new((grid.num_tiles() / 2) as u32);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // A source that is not the hot tile itself.
+        let src = TileId::new(0);
+        prop_assert!(src != hot);
+        let trials = 2_000u32;
+        let hits = (0..trials)
+            .filter(|_| {
+                TrafficPattern::Hotspot(40).destination(grid, src, &mut rng) == Some(hot)
+            })
+            .count() as f64;
+        let rate = hits / f64::from(trials);
+        // 40% direct hits plus a uniform share of the remainder; allow a
+        // generous statistical margin.
+        prop_assert!(
+            (0.30..0.55).contains(&rate),
+            "hot rate {rate} on {rows}x{cols} (seed {seed})"
+        );
+    }
+
+    /// Hotspot(0) degenerates to uniform random: all destinations reachable.
+    #[test]
+    fn hotspot_zero_is_uniform(seed in 0u64..50) {
+        let grid = Grid::new(4, 4);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let src = TileId::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            seen.insert(
+                TrafficPattern::Hotspot(0)
+                    .destination(grid, src, &mut rng)
+                    .expect("uniform always finds a destination"),
+            );
+        }
+        prop_assert_eq!(seen.len(), grid.num_tiles() - 1);
+    }
+}

@@ -180,9 +180,7 @@ pub fn num_configurations(kind: TopologyKind, grid: Grid) -> u128 {
         TopologyKind::Hypercube => {
             u128::from(grid.rows().is_power_of_two() && grid.cols().is_power_of_two())
         }
-        TopologyKind::SlimNoc =>
-
-            u128::from(crate::generators::slim_noc(grid).is_ok()),
+        TopologyKind::SlimNoc => u128::from(crate::generators::slim_noc(grid).is_ok()),
         // SR ⊆ {2..C−1} (C−2 choices), SC ⊆ {2..R−1} (R−2 choices):
         // 2^(R+C−4) subsets.
         TopologyKind::SparseHamming => {
@@ -242,11 +240,12 @@ pub fn analyze(topology: &Topology) -> ComplianceRow {
 /// sparse Hamming instance, and analyzes them all — the full Table I.
 #[must_use]
 pub fn table1(grid: Grid, sparse_hamming: Option<&Topology>) -> Vec<ComplianceRow> {
-    let mut rows = Vec::new();
-    rows.push(analyze(&generators::ring(grid)));
-    rows.push(analyze(&generators::mesh(grid)));
-    rows.push(analyze(&generators::torus(grid)));
-    rows.push(analyze(&generators::folded_torus(grid)));
+    let mut rows = vec![
+        analyze(&generators::ring(grid)),
+        analyze(&generators::mesh(grid)),
+        analyze(&generators::torus(grid)),
+        analyze(&generators::folded_torus(grid)),
+    ];
     if let Ok(hc) = generators::hypercube(grid) {
         rows.push(analyze(&hc));
     }
@@ -361,8 +360,14 @@ mod tests {
 
     #[test]
     fn slimnoc_configuration_count_conditional() {
-        assert_eq!(num_configurations(TopologyKind::SlimNoc, Grid::new(16, 8)), 1);
-        assert_eq!(num_configurations(TopologyKind::SlimNoc, Grid::new(8, 8)), 0);
+        assert_eq!(
+            num_configurations(TopologyKind::SlimNoc, Grid::new(16, 8)),
+            1
+        );
+        assert_eq!(
+            num_configurations(TopologyKind::SlimNoc, Grid::new(8, 8)),
+            0
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub fn grid_art(topology: &Topology) -> String {
             if c + 1 < cols {
                 let a = grid.id(TileCoord::new(r, c));
                 let b = grid.id(TileCoord::new(r, c + 1));
-                out.push_str(if topology.has_link(a, b) { "---" } else { "   " });
+                out.push_str(if topology.has_link(a, b) {
+                    "---"
+                } else {
+                    "   "
+                });
             }
         }
         out.push('\n');
@@ -63,10 +67,11 @@ pub fn long_link_listing(topology: &Topology) -> String {
         let id = crate::topology::LinkId::new(i as u32);
         let len = topology.link_length(id);
         if len > 1 {
-            by_length
-                .entry(len)
-                .or_default()
-                .push(format!("{}<->{}", grid.coord(link.a), grid.coord(link.b)));
+            by_length.entry(len).or_default().push(format!(
+                "{}<->{}",
+                grid.coord(link.a),
+                grid.coord(link.b)
+            ));
         }
     }
     let mut out = String::new();

@@ -153,16 +153,12 @@ mod tests {
         // Fig. 1e, top row: 0000, 0100, 1100, 1000 — the Gray sequence in
         // the high two bits for a 4×4 grid.
         let col_bits = 2;
-        let ids: Vec<u16> = (0..4)
-            .map(|c| (gray(0) << col_bits) | gray(c))
-            .collect();
+        let ids: Vec<u16> = (0..4).map(|c| (gray(0) << col_bits) | gray(c)).collect();
         assert_eq!(ids, vec![0b0000, 0b0001, 0b0011, 0b0010]);
         // The figure lists the column code in the *high* bits; either
         // assignment yields an isomorphic topology. What matters is the
         // Gray property along rows:
-        let row_ids: Vec<u16> = (0..4)
-            .map(|r| (gray(r) << col_bits) | gray(0))
-            .collect();
+        let row_ids: Vec<u16> = (0..4).map(|r| (gray(r) << col_bits) | gray(0)).collect();
         assert_eq!(row_ids, vec![0b0000, 0b0100, 0b1100, 0b1000]);
     }
 }

@@ -27,6 +27,6 @@ pub use folded_torus::{folded_cycle_order, folded_torus};
 pub use hypercube::{gray, hypercube, BuildHypercubeError};
 pub use mesh::{flattened_butterfly, mesh};
 pub use ring::{cycle_order, cycle_order_of, ring};
-pub use skip::{ruche, row_column_skip, SkipLinkError};
+pub use skip::{row_column_skip, ruche, SkipLinkError};
 pub use slimnoc::{slim_noc, BuildSlimNocError};
 pub use torus::torus;

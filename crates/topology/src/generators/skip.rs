@@ -225,8 +225,7 @@ mod tests {
         let d0 = metrics::diameter(&row_column_skip(grid, &set(&[]), &set(&[])).unwrap());
         let d1 = metrics::diameter(&row_column_skip(grid, &set(&[4]), &set(&[])).unwrap());
         let d2 = metrics::diameter(&row_column_skip(grid, &set(&[4]), &set(&[4])).unwrap());
-        let d3 =
-            metrics::diameter(&row_column_skip(grid, &set(&[2, 4]), &set(&[2, 4])).unwrap());
+        let d3 = metrics::diameter(&row_column_skip(grid, &set(&[2, 4]), &set(&[2, 4])).unwrap());
         assert!(d0 >= d1 && d1 >= d2 && d2 >= d3);
         assert!(d3 < d0);
     }

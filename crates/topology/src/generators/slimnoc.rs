@@ -28,7 +28,10 @@ impl std::fmt::Display for BuildSlimNocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NotTwoQSquared { tiles } => {
-                write!(f, "SlimNoC requires R·C = 2q² for a prime power q, got {tiles} tiles")
+                write!(
+                    f,
+                    "SlimNoC requires R·C = 2q² for a prime power q, got {tiles} tiles"
+                )
             }
             Self::Mms(e) => write!(f, "MMS construction failed: {e}"),
         }
@@ -57,7 +60,7 @@ impl From<BuildMmsError> for BuildSlimNocError {
 /// ```
 #[must_use]
 pub(crate) fn slim_noc_q(tiles: usize) -> Option<usize> {
-    if tiles % 2 != 0 {
+    if !tiles.is_multiple_of(2) {
         return None;
     }
     let half = tiles / 2;

@@ -61,10 +61,10 @@ fn factor_prime_power(q: usize) -> Option<(usize, u32)> {
     }
     let mut p = 2;
     while p * p <= q {
-        if q % p == 0 {
+        if q.is_multiple_of(p) {
             let mut n = q;
             let mut k = 0;
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
                 k += 1;
             }

@@ -302,34 +302,26 @@ pub fn gap_density(topology: &Topology) -> GapDensity {
             let (c1, c2) = (ca.col.min(cb.col) as usize, ca.col.max(cb.col) as usize);
             if c2 - c1 > 1 {
                 // Skip links occupy the row channel across the gaps they span.
-                for c in c1..c2 {
-                    if c < cols - 1 {
-                        row_gaps[ca.row as usize][c] += 1;
-                    }
+                for gap in row_gaps[ca.row as usize].iter_mut().take(c2).skip(c1) {
+                    *gap += 1;
                 }
             }
         } else if ca.same_col(cb) {
             let (r1, r2) = (ca.row.min(cb.row) as usize, ca.row.max(cb.row) as usize);
             if r2 - r1 > 1 {
-                for r in r1..r2 {
-                    if r < rows - 1 {
-                        col_gaps[ca.col as usize][r] += 1;
-                    }
+                for gap in col_gaps[ca.col as usize].iter_mut().take(r2).skip(r1) {
+                    *gap += 1;
                 }
             }
         } else {
             // Diagonal link: charge both dimensions of its bounding box.
             let (c1, c2) = (ca.col.min(cb.col) as usize, ca.col.max(cb.col) as usize);
             let (r1, r2) = (ca.row.min(cb.row) as usize, ca.row.max(cb.row) as usize);
-            for c in c1..c2 {
-                if c < cols - 1 {
-                    row_gaps[r1][c] += 1;
-                }
+            for gap in row_gaps[r1].iter_mut().take(c2).skip(c1) {
+                *gap += 1;
             }
-            for r in r1..r2 {
-                if r < rows - 1 {
-                    col_gaps[c2][r] += 1;
-                }
+            for gap in col_gaps[c2].iter_mut().take(r2).skip(r1) {
+                *gap += 1;
             }
         }
     }
@@ -369,7 +361,9 @@ mod tests {
         let grid = Grid::new(8, 8);
         assert!(minimal_paths_present(&generators::mesh(grid)));
         assert!(minimal_paths_present(&generators::torus(grid)));
-        assert!(minimal_paths_present(&generators::flattened_butterfly(grid)));
+        assert!(minimal_paths_present(&generators::flattened_butterfly(
+            grid
+        )));
         assert!(minimal_paths_present(
             &generators::hypercube(grid).expect("8x8")
         ));
@@ -415,8 +409,7 @@ mod tests {
         let slim = generators::slim_noc(Grid::new(16, 8)).expect("128 tiles");
         let sr = [3].into_iter().collect();
         let sc = [2, 5].into_iter().collect();
-        let shg =
-            generators::row_column_skip(Grid::new(16, 8), &sr, &sc).expect("valid");
+        let shg = generators::row_column_skip(Grid::new(16, 8), &sr, &sc).expect("valid");
         let slim_ratio = gap_density(&slim).max_to_mean();
         let shg_ratio = gap_density(&shg).max_to_mean();
         assert!(

@@ -162,10 +162,7 @@ impl MmsGraph {
                 .adjacency
                 .iter()
                 .enumerate()
-                .map(|(u, nbrs)| {
-                    nbrs.iter()
-                        .fold(1u128 << u, |mask, &v| mask | (1u128 << v))
-                })
+                .map(|(u, nbrs)| nbrs.iter().fold(1u128 << u, |mask, &v| mask | (1u128 << v)))
                 .collect();
             let all = if n == 128 {
                 u128::MAX
@@ -217,9 +214,7 @@ impl MmsGraph {
         if q % 4 == 1 {
             // Exact construction: X = quadratic residues, X' = non-residues.
             let residues = field.quadratic_residues();
-            let non_residues: Vec<Element> = (1..q)
-                .filter(|e| !residues.contains(e))
-                .collect();
+            let non_residues: Vec<Element> = (1..q).filter(|e| !residues.contains(e)).collect();
             candidates.push((residues, non_residues));
         }
         // Search fallback: symmetric subsets of size ⌈(q−ε)/2⌉ where the
@@ -227,7 +222,7 @@ impl MmsGraph {
         // (char 2); for odd q we enumerate unions of {±a} pairs.
         let target = match q % 4 {
             1 => (q - 1) / 2,
-            3 => (q + 1) / 2,
+            3 => q.div_ceil(2),
             _ => q / 2, // even q: ε = 0
         };
         if field.characteristic() == 2 {

@@ -324,7 +324,7 @@ pub fn default_routes(topology: &Topology) -> Result<Routes, BuildRoutesError> {
 // ---------------------------------------------------------------------------
 
 const MAX_REVERSALS: u8 = 2;
-const CLASSES_PER_PHASE: u8 = MAX_REVERSALS as u8 + 1;
+const CLASSES_PER_PHASE: u8 = MAX_REVERSALS + 1;
 
 /// A 1D move along a row or column.
 #[derive(Debug, Clone, Copy)]
@@ -454,7 +454,12 @@ fn build_row_column(topology: &Topology) -> Result<Routes, BuildRoutesError> {
                 let mut at = src;
                 for mv in row_moves {
                     let next = grid.id(TileCoord::new(src_coord.row, mv.to_pos));
-                    hops.push(make_hop(topology, at, next, mv.reversals.min(MAX_REVERSALS)));
+                    hops.push(make_hop(
+                        topology,
+                        at,
+                        next,
+                        mv.reversals.min(MAX_REVERSALS),
+                    ));
                     at = next;
                 }
                 for mv in col_moves {
@@ -500,12 +505,11 @@ fn make_hop(topology: &Topology, from: TileId, to: TileId, vc_class: u8) -> Hop 
 
 fn build_ring_dateline(topology: &Topology) -> Result<Routes, BuildRoutesError> {
     let grid = topology.grid();
-    let order = generators::cycle_order_of(topology).ok_or_else(|| {
-        BuildRoutesError::NotApplicable {
+    let order =
+        generators::cycle_order_of(topology).ok_or_else(|| BuildRoutesError::NotApplicable {
             algorithm: RoutingAlgorithm::RingDateline,
             reason: "topology is not a single cycle".to_owned(),
-        }
-    })?;
+        })?;
     let n = topology.num_tiles();
     // position of each tile along the cycle
     let mut pos = vec![0usize; n];
@@ -821,8 +825,8 @@ mod tests {
         let routes = build_routes(&torus, RoutingAlgorithm::TorusDateline).expect("torus");
         all_checks(&torus, &routes);
         assert_eq!(routes.max_hops(), 4); // R/2 + C/2
-        // Table I: torus min-hop routing does not use physically minimal
-        // paths (wrap links are physically long).
+                                          // Table I: torus min-hop routing does not use physically minimal
+                                          // paths (wrap links are physically long).
         assert!(!routes.minimal_paths_used(&torus));
     }
 

@@ -306,7 +306,7 @@ impl Topology {
     #[must_use]
     pub fn channel(&self, id: ChannelId) -> Channel {
         let link = self.links[id.link().index()];
-        let (from, to) = if id.index() % 2 == 0 {
+        let (from, to) = if id.index().is_multiple_of(2) {
             (link.a, link.b)
         } else {
             (link.b, link.a)

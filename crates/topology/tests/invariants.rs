@@ -106,8 +106,7 @@ fn gf_field_tables_are_latin_squares() {
             assert_eq!(row.len(), q, "GF({q}) addition row {x}");
         }
         for x in 1..q {
-            let row: std::collections::HashSet<_> =
-                (1..q).map(|y| f.mul(x, y)).collect();
+            let row: std::collections::HashSet<_> = (1..q).map(|y| f.mul(x, y)).collect();
             assert_eq!(row.len(), q - 1, "GF({q}) multiplication row {x}");
         }
     }

@@ -30,8 +30,7 @@ fn applicable_topologies(scenario: &Scenario) -> Vec<Topology> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "a".to_owned());
-    let scenario =
-        Scenario::by_name(&name).ok_or_else(|| format!("unknown scenario '{name}'"))?;
+    let scenario = Scenario::by_name(&name).ok_or_else(|| format!("unknown scenario '{name}'"))?;
     println!(
         "Scenario ({}): {} — uniform random traffic, hop-minimal routing",
         scenario.name, scenario.description

@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nResulting topology: {topology}");
     println!("  router radix: {}", topology.max_degree());
     println!("  diameter:     {}", metrics::diameter(&topology));
-    println!(
-        "  avg hops:     {:.2}",
-        metrics::average_hops(&topology)
-    );
+    println!("  avg hops:     {:.2}", metrics::average_hops(&topology));
     let stats = metrics::link_stats(&topology);
     println!(
         "  links:        {} (mean length {:.2} tiles, all aligned: {})",

@@ -12,8 +12,7 @@ use sparse_hamming_graph::core::{customize, DesignGoals, Scenario, Toolchain};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "a".to_owned());
-    let scenario =
-        Scenario::by_name(&name).ok_or_else(|| format!("unknown scenario '{name}'"))?;
+    let scenario = Scenario::by_name(&name).ok_or_else(|| format!("unknown scenario '{name}'"))?;
     println!(
         "Customizing a sparse Hamming graph for scenario ({}): {}",
         scenario.name, scenario.description

@@ -151,8 +151,8 @@ fn mempool_validation_reproduces_table3_shape() {
         .evaluate(&reference.params, &reference.topology())
         .expect("mempool evaluates");
     // Area and power within ±35% of the published values (paper: 15%, 7%).
-    let area_err = (eval.total_area.value() - reference.correct_area_mm2).abs()
-        / reference.correct_area_mm2;
+    let area_err =
+        (eval.total_area.value() - reference.correct_area_mm2).abs() / reference.correct_area_mm2;
     assert!(area_err < 0.35, "area error {area_err}");
     let power_err =
         (eval.total_power.value() - reference.correct_power_w).abs() / reference.correct_power_w;

@@ -14,8 +14,10 @@ fn grid_dims() -> impl Strategy<Value = (u16, u16)> {
 /// Strategy for a sparse Hamming configuration over the given dims.
 fn shg_config() -> impl Strategy<Value = SparseHammingConfig> {
     grid_dims().prop_flat_map(|(r, c)| {
-        let sr = proptest::collection::btree_set(2u16..c.max(3), 0..=(c.saturating_sub(2)) as usize);
-        let sc = proptest::collection::btree_set(2u16..r.max(3), 0..=(r.saturating_sub(2)) as usize);
+        let sr =
+            proptest::collection::btree_set(2u16..c.max(3), 0..=(c.saturating_sub(2)) as usize);
+        let sc =
+            proptest::collection::btree_set(2u16..r.max(3), 0..=(r.saturating_sub(2)) as usize);
         (sr, sc).prop_map(move |(sr, sc)| {
             let sr = sr.into_iter().filter(|&x| x < c).collect::<Vec<_>>();
             let sc = sc.into_iter().filter(|&x| x < r).collect::<Vec<_>>();

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset this workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size`, `bench_function`, `bench_with_input`, and
+//! `Bencher::iter`. Each benchmark is warmed up briefly, then timed for
+//! a fixed number of samples; mean and median per-iteration times are
+//! printed. No statistics beyond that — the numbers are for relative
+//! comparisons, not publication.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_owned(),
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.into().label, sample_size, f);
+    }
+}
+
+/// A named benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let label = format!("{}/{}", self.group, id.into().label);
+        run_benchmark(&label, self.sample_size, f);
+    }
+
+    /// Benchmarks `f` with an input value under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.group, id.into().label);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (formatting no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Per-iteration times of the current sample batch.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine` (called repeatedly by the runner).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Warm-up: run until ~200 ms or 5 samples, whichever first.
+    let warmup_start = Instant::now();
+    let mut bencher = Bencher::default();
+    for _ in 0..5 {
+        f(&mut bencher);
+        if warmup_start.elapsed() > Duration::from_millis(200) {
+            break;
+        }
+    }
+    bencher.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut times = bencher.samples;
+    if times.is_empty() {
+        println!("  {label}: no samples (Bencher::iter never called)");
+        return;
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    println!(
+        "  {label}: median {} mean {} ({} samples)",
+        format_duration(median),
+        format_duration(mean),
+        times.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a benchmark group function calling each target in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark functions.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

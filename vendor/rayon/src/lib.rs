@@ -1,0 +1,295 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset this workspace uses: `par_iter()` /
+//! `into_par_iter()` followed by `map(..).collect::<Vec<_>>()`, plus
+//! `ThreadPoolBuilder::num_threads(n).build()?.install(..)` to pin the
+//! worker count. Parallelism is real — `std::thread::scope` workers
+//! draining a shared atomic work index — and results are returned in
+//! input order regardless of scheduling, like the real crate's indexed
+//! parallel iterators.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The conventional import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+std::thread_local! {
+    static THREAD_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The number of worker threads parallel calls will use on this thread.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.with(std::cell::Cell::get);
+    if overridden > 0 {
+        return overridden;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The stand-in cannot
+/// fail; the type keeps the real crate's `Result` signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker count (`0` means the default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stand-in; the `Result` mirrors the real crate.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A pool pinning the worker count for parallel calls made inside
+/// [`ThreadPool::install`]. Workers are spawned per call (scoped
+/// threads), not kept alive — adequate for the coarse-grained tasks
+/// this workspace runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the default for
+    /// parallel iterators used inside it (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let result = op();
+        THREAD_OVERRIDE.with(|c| c.set(previous));
+        result
+    }
+}
+
+/// A parallel iterator: an eagerly collected item list plus a mapping
+/// stage. Only the shapes this workspace uses are provided.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The mapped form of [`ParIter`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    map: F,
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Send + 'a;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// Operations on parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Maps each element through `f` in parallel.
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync>(self, f: F) -> ParMap<Self::Item, F>;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            map: f,
+        }
+    }
+}
+
+impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
+    /// Runs the map stage on the pool and collects results in input
+    /// order.
+    #[must_use]
+    pub fn collect<C: FromParallelResults<O>>(self) -> C {
+        C::from_results(run_indexed(self.items, &self.map))
+    }
+}
+
+/// Sink types for [`ParMap::collect`].
+pub trait FromParallelResults<O> {
+    /// Builds the collection from in-order results.
+    fn from_results(results: Vec<O>) -> Self;
+}
+
+impl<O> FromParallelResults<O> for Vec<O> {
+    fn from_results(results: Vec<O>) -> Self {
+        results
+    }
+}
+
+/// Executes `f` over `items` on `current_num_threads()` scoped workers
+/// pulling from a shared index, writing each result into its input
+/// slot.
+fn run_indexed<T: Send, O: Send>(items: Vec<T>, f: &(impl Fn(T) -> O + Sync)) -> Vec<O> {
+    let n = items.len();
+    let workers = current_num_threads().clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each slot is claimed once");
+                let output = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(output);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool1.install(|| (0..10).into_par_iter().map(|i| i).collect());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..64)
+                .into_par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        let unique: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(unique.len() > 1, "expected >1 worker, got {}", unique.len());
+    }
+}

@@ -1,0 +1,384 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde abstracts over data formats; this workspace only ever
+//! serializes to JSON, so the stand-in collapses the two layers: the
+//! [`Serialize`] trait writes directly into a streaming [`JsonWriter`],
+//! and the derive macros (re-exported from `serde_derive`) generate
+//! field-by-field implementations. `#[derive(Deserialize)]` is accepted
+//! for source compatibility and expands to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A streaming JSON writer with automatic comma management.
+///
+/// # Examples
+///
+/// ```
+/// let mut w = serde::JsonWriter::new();
+/// w.begin_object();
+/// w.field("x");
+/// w.write_u64(3);
+/// w.field("y");
+/// w.write_str("hi");
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"x":3,"y":"hi"}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once it has at least one
+    /// element, so the next element knows to emit a comma.
+    has_items: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the accumulated JSON text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Opens a JSON object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.has_items.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.has_items.pop();
+        self.out.push('}');
+    }
+
+    /// Starts the named field of an object (comma, key, colon). The
+    /// caller writes the value next.
+    pub fn field(&mut self, name: &str) {
+        self.separate();
+        self.write_escaped(name);
+        self.out.push(':');
+    }
+
+    /// Opens a JSON array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.has_items.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.has_items.pop();
+        self.out.push(']');
+    }
+
+    /// Starts the next array element (comma if needed). The caller
+    /// writes the value next.
+    pub fn element(&mut self) {
+        self.separate();
+    }
+
+    fn separate(&mut self) {
+        if let Some(has) = self.has_items.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Writes a JSON string value.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_escaped(s);
+    }
+
+    /// Writes a boolean value.
+    pub fn write_bool(&mut self, b: bool) {
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// Writes `null`.
+    pub fn write_null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    /// Writes a pre-formatted decimal number.
+    pub fn write_raw_number(&mut self, decimal: &str) {
+        self.out.push_str(decimal);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn write_u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a signed integer value.
+    pub fn write_i64(&mut self, v: i64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float value (`null` for non-finite values, matching
+    /// what lenient JSON emitters do).
+    pub fn write_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // Rust's shortest-roundtrip formatting is deterministic,
+            // which the sweep determinism test relies on.
+            self.out.push_str(&v.to_string());
+        } else {
+            self.write_null();
+        }
+    }
+}
+
+/// Types serializable to JSON.
+pub trait Serialize {
+    /// Writes `self` as one JSON value.
+    fn serialize(&self, w: &mut JsonWriter);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, w: &mut JsonWriter) {
+        (**self).serialize(w);
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut JsonWriter) {
+                w.write_u64(u64::from(*self));
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut JsonWriter) {
+                w.write_i64(i64::from(*self));
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64);
+
+impl Serialize for u128 {
+    fn serialize(&self, w: &mut JsonWriter) {
+        // Within u64 range this matches write_u64; beyond it, emit the
+        // full decimal (JSON numbers are unbounded).
+        w.write_raw_number(&self.to_string());
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_raw_number(&self.to_string());
+    }
+}
+
+impl Serialize for usize {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_u64(*self as u64);
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_i64(*self as i64);
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_f64(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_f64(f64::from(*self));
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_bool(*self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_str(self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.write_str(&self.to_string());
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        match self {
+            Some(v) => v.serialize(w),
+            None => w.write_null(),
+        }
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(
+    items: impl IntoIterator<Item = &'a T>,
+    w: &mut JsonWriter,
+) {
+    w.begin_array();
+    for item in items {
+        w.element();
+        item.serialize(w);
+    }
+    w.end_array();
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, w: &mut JsonWriter) {
+        serialize_seq(self, w);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        serialize_seq(self, w);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, w: &mut JsonWriter) {
+        serialize_seq(self, w);
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        serialize_seq(self, w);
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        serialize_seq(self, w);
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        for (k, v) in self {
+            w.field(&k.to_string());
+            v.serialize(w);
+        }
+        w.end_object();
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        w.element();
+        self.0.serialize(w);
+        w.element();
+        self.1.serialize(w);
+        w.end_array();
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        w.element();
+        self.0.serialize(w);
+        w.element();
+        self.1.serialize(w);
+        w.element();
+        self.2.serialize(w);
+        w.end_array();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: &T) -> String {
+        let mut w = JsonWriter::new();
+        v.serialize(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json(&3u8), "3");
+        assert_eq!(json(&-4i32), "-4");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&"a\"b".to_owned()), r#""a\"b""#);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&Some(5u8)), "5");
+        assert_eq!(json(&Option::<u8>::None), "null");
+        assert_eq!(json(&(1u8, "x")), r#"[1,"x"]"#);
+        let set: std::collections::BTreeSet<u16> = [3, 1, 2].into_iter().collect();
+        assert_eq!(json(&set), "[1,2,3]");
+    }
+
+    #[test]
+    fn nested_objects_manage_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field("a");
+        w.begin_array();
+        w.element();
+        w.write_u64(1);
+        w.element();
+        w.begin_object();
+        w.end_object();
+        w.end_array();
+        w.field("b");
+        w.write_null();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":[1,{}],"b":null}"#);
+    }
+}

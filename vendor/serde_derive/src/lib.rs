@@ -1,0 +1,366 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` generates an implementation of the JSON-only
+//! `serde::Serialize` trait of the vendored `serde` crate. The parser is
+//! hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`, which
+//! are unavailable offline) and supports what this workspace defines:
+//! non-generic named structs, tuple structs (newtype and
+//! `#[serde(transparent)]` semantics), unit structs, and enums with
+//! unit, tuple and struct variants. `#[derive(Deserialize)]` is accepted
+//! for source compatibility and expands to nothing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (JSON-only; see crate docs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => generate(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("generated code parses")
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing (nothing in
+/// this workspace deserializes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips attributes (`#[...]`), returning `true` if any of them was
+    /// `#[serde(transparent)]`.
+    fn skip_attributes(&mut self) -> bool {
+        let mut transparent = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Bracket
+                            && attribute_is_serde_transparent(g.stream())
+                        {
+                            transparent = true;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return transparent,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)` etc.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!(
+                "serde stub derive: expected {what}, found {other:?}"
+            )),
+        }
+    }
+
+    /// Skips tokens until a comma at angle-bracket depth zero (groups
+    /// are atomic tokens, so only `<`/`>` need tracking). Consumes the
+    /// comma. Returns `false` at end of input.
+    fn skip_past_top_level_comma(&mut self) -> bool {
+        let mut angle_depth = 0i32;
+        while let Some(token) = self.next() {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn attribute_is_serde_transparent(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+fn cursor_for(stream: TokenStream) -> Cursor {
+    Cursor {
+        tokens: stream.into_iter().collect(),
+        pos: 0,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = cursor_for(input);
+    let transparent = c.skip_attributes();
+    c.skip_visibility();
+    let keyword = c.expect_ident("`struct` or `enum`")?;
+    let name = c.expect_ident("a type name")?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => {
+                return Err(format!(
+                    "serde stub derive: unsupported struct body for `{name}`: {other:?}"
+                ))
+            }
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => {
+                return Err(format!(
+                    "serde stub derive: unsupported enum body for `{name}`: {other:?}"
+                ))
+            }
+        },
+        other => {
+            return Err(format!(
+                "serde stub derive: unsupported item kind `{other}`"
+            ))
+        }
+    };
+    Ok(Item {
+        name,
+        transparent,
+        kind,
+    })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = cursor_for(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            return Ok(fields);
+        }
+        let field = c.expect_ident("a field name")?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde stub derive: expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        if !c.skip_past_top_level_comma() {
+            return Ok(fields);
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending_tokens = false;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    pending_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending_tokens = true;
+    }
+    fields + usize::from(pending_tokens)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = cursor_for(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = c.expect_ident("a variant name")?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantFields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantFields::Named(named)
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional `= discriminant` and the separating comma.
+        if !c.skip_past_top_level_comma() {
+            return Ok(variants);
+        }
+    }
+}
+
+fn serialize_named_fields(fields: &[String], access_prefix: &str) -> String {
+    let mut body = String::from("__w.begin_object();\n");
+    for f in fields {
+        body.push_str(&format!(
+            "__w.field({f:?});\n::serde::Serialize::serialize(&{access_prefix}{f}, __w);\n"
+        ));
+    }
+    body.push_str("__w.end_object();\n");
+    body
+}
+
+fn generate(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "__w.write_null();\n".to_owned(),
+        // Newtype and `#[serde(transparent)]` structs serialize as the
+        // inner value; wider tuple structs as an array.
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0, __w);\n".to_owned(),
+        Kind::TupleStruct(n) => {
+            let mut body = String::from("__w.begin_array();\n");
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "__w.element();\n::serde::Serialize::serialize(&self.{i}, __w);\n"
+                ));
+            }
+            body.push_str("__w.end_array();\n");
+            body
+        }
+        Kind::NamedStruct(fields) => match (item.transparent, fields.as_slice()) {
+            (true, [only]) => {
+                format!("::serde::Serialize::serialize(&self.{only}, __w);\n")
+            }
+            _ => serialize_named_fields(fields, "self."),
+        },
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!(
+                            "Self::{vname} => {{ __w.write_str({vname:?}); }}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut inner = String::new();
+                        if *n == 1 {
+                            inner.push_str("::serde::Serialize::serialize(__f0, __w);\n");
+                        } else {
+                            inner.push_str("__w.begin_array();\n");
+                            for b in &binders {
+                                inner.push_str(&format!(
+                                    "__w.element();\n::serde::Serialize::serialize({b}, __w);\n"
+                                ));
+                            }
+                            inner.push_str("__w.end_array();\n");
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vname}({binds}) => {{ __w.begin_object(); \
+                             __w.field({vname:?});\n{inner}__w.end_object(); }}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let inner = serialize_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {binds} }} => {{ __w.begin_object(); \
+                             __w.field({vname:?});\n{inner}__w.end_object(); }}\n",
+                            binds = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, __w: &mut ::serde::JsonWriter) {{\n{body}}}\n\
+         }}\n"
+    )
+}

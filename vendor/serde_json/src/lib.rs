@@ -1,0 +1,141 @@
+//! Offline stand-in for `serde_json`: compact and pretty JSON emission
+//! over the vendored `serde::Serialize` trait.
+
+use serde::{JsonWriter, Serialize};
+
+/// Serialization error. The JSON-only stand-in cannot fail; the type
+/// exists so call sites keep the real crate's `Result` signature.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails in the stand-in; the `Result` mirrors the real crate.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(serde_json::to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+/// ```
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new();
+    value.serialize(&mut w);
+    Ok(w.finish())
+}
+
+/// Serializes a value to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails in the stand-in; the `Result` mirrors the real crate.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indents compact JSON (string-literal aware).
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if let Some(&close) = chars.peek() {
+                    if (c == '{' && close == '}') || (c == '[' && close == ']') {
+                        out.push(close);
+                        chars.next();
+                        continue;
+                    }
+                }
+                indent += 1;
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_roundtrips_structure() {
+        let compact = r#"{"a":[1,2],"b":{"c":"x,y:{z}"},"d":[]}"#;
+        let pretty = prettify(compact);
+        assert!(pretty.contains("\"a\": [\n"));
+        assert!(
+            pretty.contains("\"x,y:{z}\""),
+            "strings untouched: {pretty}"
+        );
+        assert!(pretty.contains("\"d\": []"));
+        // Stripping whitespace outside strings recovers the compact form.
+        let mut stripped = String::new();
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in pretty.chars() {
+            if in_string {
+                stripped.push(c);
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+            } else if c == '"' {
+                in_string = true;
+                stripped.push(c);
+            } else if !c.is_whitespace() {
+                stripped.push(c);
+            }
+        }
+        assert_eq!(stripped, compact);
+    }
+}
