@@ -1,0 +1,49 @@
+//! Phase-level cost decomposition of low-rate simulation: how much of
+//! a cycle goes to injection (Phase A) vs. arrivals/allocation (Phases
+//! B/C) under each injection policy.
+//!
+//! Run with:
+//! `cargo run --release -p shg-bench --example injection_profile`
+
+use std::time::Instant;
+
+use shg_sim::{InjectionPolicy, Network, SimConfig, TrafficPattern};
+use shg_topology::{generators, routing, Grid};
+use shg_units::Cycles;
+
+fn main() {
+    let mesh = generators::mesh(Grid::new(16, 16));
+    let routes = routing::default_routes(&mesh).expect("mesh routes");
+    let latencies = vec![Cycles::one(); mesh.num_links()];
+    let config = |injection: InjectionPolicy| SimConfig {
+        warmup: 500,
+        measure: 2_000,
+        drain_limit: 6_000,
+        injection,
+        ..SimConfig::default()
+    };
+    println!(
+        "{:<16} {:>8} {:>12} {:>12} {:>10}",
+        "Policy", "Rate", "Wall[ms]", "us/cycle", "Cycles"
+    );
+    for rate in [0.0f64, 0.002, 0.005, 0.02] {
+        for injection in [
+            InjectionPolicy::EventDriven,
+            InjectionPolicy::PerCycleScan,
+            InjectionPolicy::SharedScan,
+        ] {
+            let mut network = Network::new(&mesh, &routes, &latencies, config(injection));
+            let start = Instant::now();
+            let outcome = network.run(rate, TrafficPattern::UniformRandom);
+            let wall = start.elapsed().as_secs_f64();
+            println!(
+                "{:<16} {:>8} {:>12.2} {:>12.2} {:>10}",
+                injection.to_string(),
+                rate,
+                wall * 1e3,
+                wall * 1e6 / outcome.cycles as f64,
+                outcome.cycles,
+            );
+        }
+    }
+}

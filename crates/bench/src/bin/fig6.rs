@@ -130,7 +130,8 @@ fn main() {
             rate_points,
         );
         println!(
-            "Seven-pattern simulated sweep ({} points, resolution {:.0}%):\n",
+            "Seven-pattern simulated sweep ({} points, resolution {:.0}%, \
+             hot-spot grid log-extended down to 1%):\n",
             result.points.len(),
             100.0 / rate_points as f64
         );

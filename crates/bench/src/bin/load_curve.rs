@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let spec = SweepSpec::new(config)
         .rates((1..=19).map(|i| f64::from(i) * 0.05))
-        .patterns(patterns);
+        .patterns(patterns)
+        // Hot-spot curves saturate below 0.05 on the KNC grids; give
+        // them a log-spaced low end so the curve has a stable segment.
+        .hotspot_low_rates(4, 0.005);
     let experiment = Experiment::new(spec).with_case(SweepCase::annotated(
         topology_name.clone(),
         &annotated.topology,

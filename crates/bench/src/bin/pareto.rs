@@ -143,7 +143,8 @@ fn main() {
         .collect();
     let spec = SweepSpec::new(SimConfig::fast_test())
         .linear_rates(6, 1.0)
-        .all_patterns();
+        .all_patterns()
+        .default_hotspot_low_rates();
     let mut cache = TopologyCache::new();
     let result = annotated_experiment(
         &scenario.params,

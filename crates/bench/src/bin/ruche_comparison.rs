@@ -106,7 +106,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let spec = SweepSpec::new(SimConfig::fast_test())
         .linear_rates(8, 1.0)
-        .all_patterns();
+        .all_patterns()
+        .default_hotspot_low_rates();
     let mut cache = TopologyCache::new();
     let result = annotated_experiment(
         &scenario.params,

@@ -69,7 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let (per_pattern, _) = sweep_toolchain.evaluate_patterns(&scenario.params, &topology, 8)?;
     println!(
-        "\nSeven-pattern validation of {} (simulated, resolution 12.5%):",
+        "\nSeven-pattern validation of {} (simulated, resolution 12.5%,\n\
+         hot-spot grid log-extended down to 1%):",
         best.config
     );
     println!(

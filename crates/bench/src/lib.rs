@@ -12,7 +12,37 @@ pub mod sweep;
 use rayon::prelude::*;
 
 use shg_core::{Evaluation, Scenario, Toolchain};
-use shg_topology::{generators, Topology};
+use shg_sim::{InjectionPolicy, Injector, TrafficPattern};
+use shg_topology::{generators, Grid, TileId, Topology};
+
+/// Drives `cycles` cycles of Phase A (injection) in isolation under
+/// uniform-random traffic: the workload the injection benchmarks, the
+/// A4 ablation and the headline speedup ratio all share, so they are
+/// guaranteed to measure the same thing. Returns the wall time and the
+/// number of sampled arrivals (identical across the bit-identical
+/// policies).
+#[must_use]
+pub fn drive_injection_phase(
+    injection: InjectionPolicy,
+    seed: u64,
+    grid: Grid,
+    packet_prob: f64,
+    cycles: u64,
+) -> (std::time::Duration, u64) {
+    let mut injector = Injector::new(injection, seed, grid.num_tiles(), packet_prob, cycles);
+    let start = std::time::Instant::now();
+    let mut arrivals = 0u64;
+    for now in 0..cycles {
+        injector.fire_at(now, |t, rng| {
+            arrivals += u64::from(
+                TrafficPattern::UniformRandom
+                    .destination(grid, TileId::new(t as u32), rng)
+                    .is_some(),
+            );
+        });
+    }
+    (start.elapsed(), arrivals)
+}
 
 /// All topologies applicable to a scenario's grid, in Fig. 6's order:
 /// ring, mesh, torus, folded torus, hypercube (power-of-two grids),

@@ -151,7 +151,8 @@ pub fn scenario_sweep(
 ) -> SweepResult {
     let spec = SweepSpec::new(scenario.sim.clone())
         .linear_rates(rate_points, 1.0)
-        .all_patterns();
+        .all_patterns()
+        .default_hotspot_low_rates();
     let mut cache = TopologyCache::new();
     annotated_experiment(&scenario.params, options, &mut cache, topologies, spec).run_parallel()
 }
@@ -242,9 +243,21 @@ mod tests {
             ("torus".to_owned(), generators::torus(scenario.params.grid)),
         ];
         let result = scenario_sweep(&scenario, &options, &topologies, 2);
-        assert_eq!(result.points.len(), 2 * 7 * 2);
+        // 6 patterns on the 2-point linear grid, plus the hot-spot
+        // pattern's 4 extra log-spaced low-end rates, per case.
+        assert_eq!(result.points.len(), 2 * (7 * 2 + 4));
         let table = pattern_saturation_table(&result, 0.05);
         assert!(table.contains("mesh"));
         assert!(table.contains("tornado"));
+        // The low end gives the hot-spot column a resolved (non `-`)
+        // saturation estimate even when the linear grid saturates.
+        for case in ["mesh", "torus"] {
+            assert!(
+                result
+                    .saturation_estimate(case, shg_sim::TrafficPattern::Hotspot(20), 0.05)
+                    .is_some(),
+                "{case}: hot-spot saturation unresolved"
+            );
+        }
     }
 }

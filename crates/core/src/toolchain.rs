@@ -218,7 +218,8 @@ impl Toolchain {
         let name = topology.kind().to_string();
         let spec = SweepSpec::new(self.sim.clone())
             .linear_rates(rate_points.max(1), 1.0)
-            .all_patterns();
+            .all_patterns()
+            .default_hotspot_low_rates();
         let result = Experiment::new(spec)
             .with_case(SweepCase::annotated(
                 name.clone(),

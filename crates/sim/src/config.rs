@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::injection::InjectionPolicy;
+
 /// Microarchitectural and run-control parameters of the simulator.
 ///
 /// Defaults match the paper's evaluation setup: input-queued routers with
@@ -35,8 +37,14 @@ pub struct SimConfig {
     /// Maximum drain cycles after measurement; exceeding this marks the
     /// run unstable.
     pub drain_limit: u64,
-    /// RNG seed for traffic generation.
+    /// RNG seed for traffic generation. Every tile's private stream
+    /// derives from it ([`crate::tile_stream_seed`]), so one seed still
+    /// pins the whole run.
     pub seed: u64,
+    /// How packet arrivals are generated each cycle (see
+    /// [`InjectionPolicy`]); the event-driven default and the per-cycle
+    /// scan produce bit-identical outcomes.
+    pub injection: InjectionPolicy,
 }
 
 impl Default for SimConfig {
@@ -50,6 +58,7 @@ impl Default for SimConfig {
             measure: 10_000,
             drain_limit: 30_000,
             seed: 0x5eed_1234,
+            injection: InjectionPolicy::EventDriven,
         }
     }
 }
@@ -67,6 +76,7 @@ impl SimConfig {
             measure: 1_500,
             drain_limit: 6_000,
             seed: 42,
+            injection: InjectionPolicy::EventDriven,
         }
     }
 

@@ -1,0 +1,475 @@
+//! Injection scheduling: per-tile RNG streams, the geometric-gap
+//! sampler and the event-driven injection calendar.
+//!
+//! # Per-tile streams
+//!
+//! Every tile owns a private [`SmallRng`] seeded by
+//! [`tile_stream_seed`]`(config.seed, tile)`. Decoupling the sources'
+//! traffic processes (the BookSim methodology) is what makes injection
+//! *schedule-independent*: how often, or in which order, the simulator
+//! looks at a tile can no longer perturb any other tile's arrivals, so
+//! an event-driven scheduler can skip idle tiles without changing a
+//! single statistic.
+//!
+//! # The gap process
+//!
+//! Each tile's arrivals form a Bernoulli process with per-cycle success
+//! probability `p`; its inter-arrival gaps are geometric.
+//! [`geometric_gap`] samples a gap directly by inversion —
+//! `⌊ln(1−u)/ln(1−p)⌋` for one uniform draw `u` — so a tile consumes
+//! **one draw per packet** instead of one draw per cycle. That is the
+//! whole speedup: at the low rates that dominate load-curve sweeps,
+//! Phase A's cost drops from O(N) RNG draws per cycle to O(arrivals).
+//! The sampled distribution is exactly the Bernoulli failure-run law
+//! (`P[gap = k] = (1−p)^k · p`); the statistical equivalence suite and
+//! the gap-lemma property tests pin it against per-cycle draws.
+//!
+//! # The bit-identity invariant
+//!
+//! [`InjectionPolicy::EventDriven`] parks each tile in a min-heap keyed
+//! by its next firing cycle; [`InjectionPolicy::PerCycleScan`] visits
+//! every tile every cycle and counts the same gap down by one. Both
+//! consume the same per-tile streams through the same sampler, in the
+//! same order, so their fire schedules — and therefore every simulator
+//! statistic — are bit-identical (the injection analogue of
+//! [`ScanPolicy::FullScan`](crate::ScanPolicy::FullScan) vs. the active
+//! set, enforced by the same kind of tests). The pre-per-tile-stream
+//! behaviour survives as [`InjectionPolicy::SharedScan`], compared
+//! statistically.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How the simulator generates packet arrivals each cycle.
+///
+/// [`EventDriven`](Self::EventDriven) and
+/// [`PerCycleScan`](Self::PerCycleScan) consume the same per-tile
+/// streams and produce bit-identical outcomes; the legacy
+/// [`SharedScan`](Self::SharedScan) reproduces the pre-per-tile-stream
+/// behaviour (one global stream, one Bernoulli draw per tile per
+/// cycle) and is only statistically equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InjectionPolicy {
+    /// Each tile samples its geometric inter-arrival gap once and waits
+    /// in a calendar keyed by its next injection cycle; Phase A visits
+    /// only the tiles that actually fire (the default).
+    #[default]
+    EventDriven,
+    /// Every tile is visited every cycle and counts its sampled gap
+    /// down by one — the exhaustive reference the event-driven path
+    /// must match bit-for-bit (the injection analogue of
+    /// [`ScanPolicy::FullScan`](crate::ScanPolicy::FullScan)).
+    PerCycleScan,
+    /// One Bernoulli draw per tile per cycle from a single stream
+    /// shared by all tiles — the pre-PR-2 behaviour, kept as the
+    /// baseline for statistical regression tests.
+    SharedScan,
+}
+
+impl std::fmt::Display for InjectionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EventDriven => write!(f, "event-driven"),
+            Self::PerCycleScan => write!(f, "per-cycle-scan"),
+            Self::SharedScan => write!(f, "shared-scan"),
+        }
+    }
+}
+
+/// The SplitMix64 finalizer: the avalanche both seed derivations in
+/// this crate ([`tile_stream_seed`] and the sweep engine's per-point
+/// `derive_seed`) fold their inputs through.
+pub(crate) fn splitmix64_mix(mut state: u64) -> u64 {
+    state = (state ^ (state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    state = (state ^ (state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    state ^ (state >> 31)
+}
+
+/// Derives tile `tile`'s private stream seed from the run's root seed
+/// (SplitMix64-style finalizer, same family as the sweep engine's
+/// per-point derivation). Depends only on `(root, tile)`, never on
+/// scheduling — the property the sweep determinism tests rely on.
+#[must_use]
+pub fn tile_stream_seed(root: u64, tile: u32) -> u64 {
+    splitmix64_mix(
+        root.wrapping_add(0xa076_1d64_78bd_642f)
+            .wrapping_add(u64::from(tile).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    )
+}
+
+/// Sentinel countdown for tiles that never fire (`p <= 0`).
+const NEVER: u64 = u64::MAX;
+
+/// Samples the geometric gap to a tile's next injection attempt: the
+/// number of silent cycles before the next success of its per-cycle
+/// Bernoulli(`p`) arrival process, i.e. `P[gap = k] = (1−p)^k · p`.
+///
+/// Sampled by inversion from **one** uniform draw —
+/// `⌊ln(1−u)/ln(1−p)⌋` with `ln_1p` for precision at small `p` — so a
+/// tile's stream advances once per packet, not once per cycle. A gap
+/// of `0` is exactly as likely as one Bernoulli success (`u < p`).
+///
+/// Returns `None` for `p <= 0` (the tile never injects and the stream
+/// is left untouched). For `p >= 1` the gap is always `Some(0)`
+/// without consuming the stream (every cycle fires).
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+/// use shg_sim::geometric_gap;
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// assert!(geometric_gap(&mut rng, 0.1).is_some());
+/// assert_eq!(geometric_gap(&mut rng, 0.0), None);
+/// assert_eq!(geometric_gap(&mut rng, 1.0), Some(0));
+/// ```
+pub fn geometric_gap<R: Rng>(rng: &mut R, p: f64) -> Option<u64> {
+    GapSampler::new(p).sample(rng)
+}
+
+/// [`geometric_gap`] with `ln(1−p)` precomputed — the form the
+/// injector uses, since `p` is fixed for a whole run. Bit-identical to
+/// the free function: the division sees the same operand values.
+#[derive(Debug, Clone, Copy)]
+struct GapSampler {
+    /// `ln(1−p)` (negative), `0.0` for "never", `f64::NEG_INFINITY`
+    /// effectively means "every cycle" but is short-circuited.
+    ln_q: f64,
+    p: f64,
+}
+
+impl GapSampler {
+    fn new(p: f64) -> Self {
+        // ln(1−p) via ln_1p: accurate down to subnormal `p`, where
+        // `(1.0 - p).ln()` would round to zero and divide away the gap
+        // entirely.
+        let ln_q = if (0.0..1.0).contains(&p) {
+            (-p).ln_1p()
+        } else {
+            0.0
+        };
+        Self { ln_q, p }
+    }
+
+    #[inline]
+    fn sample<R: Rng>(self, rng: &mut R) -> Option<u64> {
+        if self.p <= 0.0 {
+            return None;
+        }
+        if self.p >= 1.0 {
+            return Some(0);
+        }
+        let u: f64 = rng.gen();
+        // Casting saturates, so gaps past any horizon are simply
+        // "very large".
+        Some(((-u).ln_1p() / self.ln_q) as u64)
+    }
+}
+
+/// The per-run injection engine: owns the RNG stream(s) and decides,
+/// cycle by cycle, which tiles attempt an injection.
+///
+/// Public so the Criterion benches can measure Phase A in isolation;
+/// simulation code reaches it through [`SimConfig`](crate::SimConfig)'s
+/// `injection` field.
+#[derive(Debug)]
+pub struct Injector {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    /// See [`InjectionPolicy::EventDriven`].
+    Event {
+        streams: Vec<SmallRng>,
+        sampler: GapSampler,
+        /// Min-heap of `(next_injection_cycle, tile)`; popping in
+        /// ascending `(cycle, tile)` order reproduces the scan's
+        /// ascending-tile visit order within each cycle.
+        calendar: BinaryHeap<Reverse<(u64, usize)>>,
+        /// No event is scheduled past this cycle: the run is over by
+        /// then, so the dropped tiles cannot affect any statistic.
+        horizon: u64,
+    },
+    /// See [`InjectionPolicy::PerCycleScan`].
+    Scan {
+        streams: Vec<SmallRng>,
+        sampler: GapSampler,
+        /// Cycles until each tile fires ([`NEVER`] = not scheduled).
+        countdown: Vec<u64>,
+    },
+    /// See [`InjectionPolicy::SharedScan`].
+    Shared {
+        rng: SmallRng,
+        packet_prob: f64,
+        tiles: usize,
+    },
+}
+
+impl Injector {
+    /// Builds the engine for one run. `horizon` is the last cycle the
+    /// run can reach (`measure_end + drain_limit`); the event calendar
+    /// never schedules past it.
+    #[must_use]
+    pub fn new(
+        policy: InjectionPolicy,
+        seed: u64,
+        tiles: usize,
+        packet_prob: f64,
+        horizon: u64,
+    ) -> Self {
+        let tile_streams = || -> Vec<SmallRng> {
+            (0..tiles)
+                .map(|t| SmallRng::seed_from_u64(tile_stream_seed(seed, t as u32)))
+                .collect()
+        };
+        let sampler = GapSampler::new(packet_prob);
+        let inner = match policy {
+            InjectionPolicy::EventDriven => {
+                let mut streams = tile_streams();
+                let mut calendar = BinaryHeap::with_capacity(tiles);
+                for (t, rng) in streams.iter_mut().enumerate() {
+                    if let Some(gap) = sampler.sample(rng) {
+                        if gap <= horizon {
+                            calendar.push(Reverse((gap, t)));
+                        }
+                    }
+                }
+                Inner::Event {
+                    streams,
+                    sampler,
+                    calendar,
+                    horizon,
+                }
+            }
+            InjectionPolicy::PerCycleScan => {
+                let mut streams = tile_streams();
+                let countdown = streams
+                    .iter_mut()
+                    .map(|rng| sampler.sample(rng).unwrap_or(NEVER))
+                    .collect();
+                Inner::Scan {
+                    streams,
+                    sampler,
+                    countdown,
+                }
+            }
+            InjectionPolicy::SharedScan => Inner::Shared {
+                rng: SmallRng::seed_from_u64(seed),
+                packet_prob,
+                tiles,
+            },
+        };
+        Self { inner }
+    }
+
+    /// Calls `fire(tile, stream)` for every tile that attempts an
+    /// injection at cycle `now`, in ascending tile order; the callback
+    /// draws the packet's destination from the same stream.
+    ///
+    /// Must be called once per cycle with consecutive `now` values —
+    /// the countdown scan and the calendar both advance one cycle per
+    /// call.
+    pub fn fire_at(&mut self, now: u64, mut fire: impl FnMut(usize, &mut SmallRng)) {
+        match &mut self.inner {
+            Inner::Event {
+                streams,
+                sampler,
+                calendar,
+                horizon,
+            } => {
+                while let Some(&Reverse((cycle, t))) = calendar.peek() {
+                    if cycle > now {
+                        break;
+                    }
+                    calendar.pop();
+                    let rng = &mut streams[t];
+                    fire(t, rng);
+                    // The next gap starts counting from `now + 1`.
+                    // Gaps landing past the horizon are dropped — the
+                    // run cannot reach them.
+                    if let Some(gap) = sampler.sample(rng) {
+                        if let Some(next) = (now + 1).checked_add(gap) {
+                            if next <= *horizon {
+                                calendar.push(Reverse((next, t)));
+                            }
+                        }
+                    }
+                }
+            }
+            Inner::Scan {
+                streams,
+                sampler,
+                countdown,
+            } => {
+                for (t, left) in countdown.iter_mut().enumerate() {
+                    if *left == 0 {
+                        let rng = &mut streams[t];
+                        fire(t, rng);
+                        *left = sampler.sample(rng).unwrap_or(NEVER);
+                    } else if *left != NEVER {
+                        *left -= 1;
+                    }
+                }
+            }
+            Inner::Shared {
+                rng,
+                packet_prob,
+                tiles,
+            } => {
+                for t in 0..*tiles {
+                    if rng.gen::<f64>() < *packet_prob {
+                        fire(t, rng);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn tile_seeds_are_distinct_and_stable() {
+        let root = 0x5eed_1234;
+        let seeds: Vec<u64> = (0..1024).map(|t| tile_stream_seed(root, t)).collect();
+        let unique: std::collections::HashSet<&u64> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len(), "per-tile seeds collide");
+        assert_eq!(
+            seeds,
+            (0..1024)
+                .map(|t| tile_stream_seed(root, t))
+                .collect::<Vec<u64>>()
+        );
+        assert_ne!(
+            tile_stream_seed(root, 0),
+            tile_stream_seed(root ^ 1, 0),
+            "root seed must matter"
+        );
+    }
+
+    #[test]
+    fn gap_sampler_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let before = rng.clone();
+        assert_eq!(geometric_gap(&mut rng, 0.0), None, "p = 0 never fires");
+        assert_eq!(geometric_gap(&mut rng, -0.5), None);
+        for p in [1.0, 2.0] {
+            assert_eq!(
+                geometric_gap(&mut rng, p),
+                Some(0),
+                "p >= 1 fires every cycle"
+            );
+        }
+        assert_eq!(
+            rng, before,
+            "degenerate probabilities must not consume the stream"
+        );
+    }
+
+    #[test]
+    fn gap_zero_is_exactly_one_bernoulli_success() {
+        // Inversion maps u < p to gap 0 — the same event as a single
+        // per-cycle Bernoulli success on the same draw.
+        for p in [0.001, 0.05, 0.5, 0.97] {
+            let mut hits = 0u32;
+            let mut zeros = 0u32;
+            let mut a = SmallRng::seed_from_u64(11);
+            let mut b = a.clone();
+            for _ in 0..10_000 {
+                if a.gen::<f64>() < p {
+                    hits += 1;
+                }
+                if geometric_gap(&mut b, p) == Some(0) {
+                    zeros += 1;
+                }
+            }
+            assert_eq!(hits, zeros, "p {p}: same stream, same zero-gap count");
+        }
+    }
+
+    #[test]
+    fn tiny_probabilities_yield_huge_gaps_not_zero() {
+        // Regression for the `(1.0 - p).ln()` precision trap: with p
+        // below one ulp of 1.0, a naive formula degenerates to gap 0
+        // for every draw (the tile would fire every cycle).
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..64 {
+            let gap = geometric_gap(&mut rng, 1e-18).expect("p > 0");
+            assert!(
+                gap > 1_000_000,
+                "gap {gap} is implausibly small for p = 1e-18"
+            );
+        }
+    }
+
+    #[test]
+    fn event_and_scan_fire_schedules_agree() {
+        for p in [0.0, 0.004, 0.07, 0.5, 1.0] {
+            let (tiles, cycles) = (9usize, 400u64);
+            let mut scan = Injector::new(InjectionPolicy::PerCycleScan, 99, tiles, p, cycles);
+            let mut event = Injector::new(InjectionPolicy::EventDriven, 99, tiles, p, cycles);
+            for now in 0..cycles {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                // Destination draws perturb the stream; mirror them.
+                scan.fire_at(now, |t, rng| a.push((t, rng.next_u64())));
+                event.fire_at(now, |t, rng| b.push((t, rng.next_u64())));
+                assert_eq!(a, b, "p {p} cycle {now}: fire schedules diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn event_driven_fires_every_cycle_at_unit_probability() {
+        let tiles = 4usize;
+        let mut event = Injector::new(InjectionPolicy::EventDriven, 1, tiles, 1.0, 10);
+        for now in 0..10 {
+            let mut fired = Vec::new();
+            event.fire_at(now, |t, _| fired.push(t));
+            assert_eq!(fired, vec![0, 1, 2, 3], "cycle {now}");
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_fires_under_any_policy() {
+        for policy in [
+            InjectionPolicy::EventDriven,
+            InjectionPolicy::PerCycleScan,
+            InjectionPolicy::SharedScan,
+        ] {
+            let mut injector = Injector::new(policy, 5, 8, 0.0, 100);
+            for now in 0..100 {
+                injector.fire_at(now, |t, _| panic!("{policy}: tile {t} fired at rate 0"));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_gap_tracks_the_geometric_mean() {
+        // E[gap] = (1−p)/p; sanity that inversion lands on the right
+        // distribution (the proptest suite compares against Bernoulli
+        // failure runs in depth).
+        let p = 0.02f64;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| geometric_gap(&mut rng, p).expect("p > 0"))
+            .sum();
+        let mean = total as f64 / f64::from(n);
+        let expected = (1.0 - p) / p;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+}

@@ -12,7 +12,8 @@
 //! * separable round-robin VC and switch allocation,
 //! * deterministic table routing with VC classes (from
 //!   [`shg_topology::routing`]),
-//! * synthetic traffic patterns and Bernoulli injection,
+//! * synthetic traffic patterns with per-tile RNG streams and
+//!   event-driven (calendar) Bernoulli injection,
 //! * warm-up / measurement / drain methodology with zero-load-latency and
 //!   saturation-throughput extraction, as in BookSim.
 //!
@@ -40,6 +41,7 @@
 
 mod config;
 mod flit;
+mod injection;
 mod network;
 mod router;
 mod runner;
@@ -49,6 +51,7 @@ mod traffic;
 
 pub use config::SimConfig;
 pub use flit::Flit;
+pub use injection::{geometric_gap, tile_stream_seed, InjectionPolicy, Injector};
 pub use network::{Network, ScanPolicy};
 pub use runner::{
     load_sweep, measure_performance, measured_zero_load_latency, saturation_throughput,

@@ -4,7 +4,8 @@
 //!
 //! Each cycle:
 //!
-//! 1. **Injection** — Bernoulli packet generation into injection queues,
+//! 1. **Injection** — Bernoulli packet generation into injection queues
+//!    (per-tile RNG streams; see [`crate::injection`]),
 //! 2. **Arrivals** — flits and credits reaching routers this cycle,
 //! 3. **Allocation + traversal** — per-router VC allocation, separable
 //!    switch allocation and switch traversal (the router module).
@@ -24,17 +25,21 @@
 //! statistic — bit-identical to the exhaustive scan; the full scan is
 //! retained as [`ScanPolicy::FullScan`] for regression tests and
 //! benchmarks.
+//!
+//! Phase A has the same two-policy structure: the default event-driven
+//! injection calendar visits only the tiles that fire this cycle, and
+//! [`InjectionPolicy::PerCycleScan`](crate::InjectionPolicy) retains
+//! the exhaustive per-tile countdown scan as its bit-identical
+//! reference (`config.injection` selects the policy).
 
 use std::collections::VecDeque;
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use shg_topology::{routing::Routes, ChannelId, TileId, Topology};
 use shg_units::Cycles;
 
 use crate::config::SimConfig;
 use crate::flit::Flit;
+use crate::injection::Injector;
 use crate::router::{Router, TraversalOutput};
 use crate::stats::SimOutcome;
 use crate::traffic::TrafficPattern;
@@ -229,6 +234,8 @@ impl<'a> Network<'a> {
     /// Like [`Network::run`] with an explicit [`ScanPolicy`]. Both
     /// policies produce bit-identical outcomes; `FullScan` exists so
     /// benchmarks and equivalence tests can measure the difference.
+    /// (The injection policy is orthogonal and comes from
+    /// `config.injection`.)
     #[must_use]
     pub fn run_with_policy(
         &mut self,
@@ -237,11 +244,18 @@ impl<'a> Network<'a> {
         policy: ScanPolicy,
     ) -> SimOutcome {
         let config = self.config.clone();
-        let mut rng = SmallRng::seed_from_u64(config.seed);
         let packet_prob = rate / f64::from(config.packet_len);
         let measure_start = config.warmup;
         let measure_end = config.warmup + config.measure;
         let hard_stop = measure_end + config.drain_limit;
+        let grid = self.topology.grid();
+        let mut injector = Injector::new(
+            config.injection,
+            config.seed,
+            self.topology.num_tiles(),
+            packet_prob,
+            hard_stop,
+        );
         let mut next_packet = 0u64;
         let mut outstanding_measured = 0u64;
         let mut latencies = Vec::new();
@@ -251,27 +265,27 @@ impl<'a> Network<'a> {
         let mut traversal = TraversalOutput::default();
         loop {
             // Phase A: packet generation (keeps injecting during drain to
-            // sustain back-pressure). Scans every tile regardless of
-            // policy so the RNG stream is schedule-independent.
-            for t in 0..self.topology.num_tiles() {
-                if rng.gen::<f64>() < packet_prob {
-                    let src = TileId::new(t as u32);
-                    if let Some(dst) = pattern.destination(self.topology.grid(), src, &mut rng) {
-                        let measured = now >= measure_start && now < measure_end;
-                        if measured {
-                            outstanding_measured += 1;
-                            injected_in_window += u64::from(config.packet_len);
-                        }
-                        let id = next_packet;
-                        next_packet += 1;
-                        let inj = self.routers[t].injection_port();
-                        for flit in Flit::packet(id, src, dst, config.packet_len, now) {
-                            self.routers[t].enqueue(inj, 0, flit);
-                        }
-                        self.active_routers.insert(t);
+            // sustain back-pressure). The injector owns the RNG streams;
+            // per-tile streams make the arrivals schedule-independent, so
+            // the event-driven calendar and the per-cycle scan agree
+            // bit-for-bit.
+            injector.fire_at(now, |t, stream| {
+                let src = TileId::new(t as u32);
+                if let Some(dst) = pattern.destination(grid, src, stream) {
+                    let measured = now >= measure_start && now < measure_end;
+                    if measured {
+                        outstanding_measured += 1;
+                        injected_in_window += u64::from(config.packet_len);
                     }
+                    let id = next_packet;
+                    next_packet += 1;
+                    let inj = self.routers[t].injection_port();
+                    for flit in Flit::packet(id, src, dst, config.packet_len, now) {
+                        self.routers[t].enqueue(inj, 0, flit);
+                    }
+                    self.active_routers.insert(t);
                 }
-            }
+            });
             // Phase B: deliver arrivals.
             self.deliver(now, policy);
             // Phase C: per-router allocation and traversal, in ascending

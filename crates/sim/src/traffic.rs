@@ -34,6 +34,12 @@ pub enum TrafficPattern {
 impl TrafficPattern {
     /// Samples a destination for `src`.
     ///
+    /// `rng` is the **source tile's private stream** (see
+    /// [`crate::injection`]): the simulator hands each tile its own
+    /// generator, so the destinations one tile draws can never perturb
+    /// another tile's arrival process — the property that lets the
+    /// event-driven injection calendar skip idle tiles bit-identically.
+    ///
     /// Deterministic patterns ignore the RNG. If the pattern maps a tile
     /// to itself (e.g. transpose on the diagonal), the tile does not
     /// inject and `None` is returned.

@@ -1,0 +1,59 @@
+//! Regression for the per-pattern rate grids: hot-spot traffic on a
+//! larger network saturates *below* the coarsest point of the linear
+//! grids the wide sweeps use, so without a log-spaced low end the sweep
+//! reports no stable rate at all (the ROADMAP's `-` table entries).
+
+use shg_sim::sweep::log_spaced;
+use shg_sim::{Experiment, SimConfig, SweepSpec, TrafficPattern};
+use shg_topology::{generators, Grid};
+
+const HOTSPOT: TrafficPattern = TrafficPattern::Hotspot(20);
+
+/// The hot tile's ejection port carries `rate · N · (20% + 80%/(N−1))`
+/// flits per cycle; on an 8×8 grid it saturates near rate 0.07 — far
+/// below a coarse linear grid's lowest point.
+#[test]
+fn hotspot_saturates_below_coarse_grid_and_log_low_end_recovers_it() {
+    let mesh = generators::mesh(Grid::new(8, 8));
+    let coarse = SweepSpec::new(SimConfig::fast_test())
+        .rates([0.25, 1.0])
+        .patterns([HOTSPOT]);
+    let fixed = coarse.clone().hotspot_low_rates(3, 0.02);
+
+    let run = |spec: SweepSpec| {
+        Experiment::new(spec)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("mesh routes")
+            .run_parallel()
+    };
+
+    let before = run(coarse);
+    assert_eq!(
+        before.saturation_estimate("mesh", HOTSPOT, 0.05),
+        None,
+        "regression precondition lost: the coarse grid should saturate \
+         everywhere (otherwise this test no longer exercises the fix)"
+    );
+
+    let after = run(fixed);
+    let sat = after
+        .saturation_estimate("mesh", HOTSPOT, 0.05)
+        .expect("the log-spaced low end must contain stable rates");
+    assert!(
+        (0.02..0.25).contains(&sat),
+        "saturation estimate {sat} should come from the low end"
+    );
+}
+
+/// The low end really is log-spaced: equal ratios, not equal steps.
+#[test]
+fn hotspot_low_end_is_geometric() {
+    let spec = SweepSpec::new(SimConfig::fast_test())
+        .linear_rates(5, 1.0)
+        .all_patterns()
+        .hotspot_low_rates(4, 0.01);
+    let rates = spec.rates_of(HOTSPOT);
+    let expected = log_spaced(4, 0.01, 0.2);
+    assert_eq!(&rates[..4], expected.as_slice());
+    assert_eq!(&rates[4..], spec.rates.as_slice());
+}

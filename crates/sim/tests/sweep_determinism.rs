@@ -1,10 +1,12 @@
 //! Determinism regression for the sweep engine: the same `SweepSpec`
 //! run with 1 thread and with N threads must produce byte-identical
 //! JSON output — the contract every future scaling PR (sharding,
-//! batching, remote backends) builds on.
+//! batching, remote backends) builds on. The per-tile injection
+//! streams must preserve it: every tile seed derives from the
+//! per-point seed, which derives from grid coordinates alone.
 
 use shg_sim::sweep::ALL_PATTERNS;
-use shg_sim::{Experiment, SimConfig, SweepSpec, TrafficPattern};
+use shg_sim::{Experiment, InjectionPolicy, SimConfig, SweepSpec, TrafficPattern};
 use shg_topology::{generators, Grid};
 
 #[test]
@@ -12,30 +14,62 @@ fn one_thread_and_many_threads_produce_identical_json() {
     let grid = Grid::new(4, 4);
     let mesh = generators::mesh(grid);
     let torus = generators::torus(grid);
-    let spec = SweepSpec::new(SimConfig::fast_test())
+    for injection in [InjectionPolicy::EventDriven, InjectionPolicy::PerCycleScan] {
+        let spec = SweepSpec::new(SimConfig {
+            injection,
+            ..SimConfig::fast_test()
+        })
         .rates([0.02, 0.1, 0.3])
         .all_patterns();
-    let experiment = Experiment::new(spec)
-        .with_unit_latency_case("mesh", &mesh)
-        .expect("mesh routes")
-        .with_unit_latency_case("torus", &torus)
-        .expect("torus routes");
-    let single = experiment.run_with_threads(1);
-    for threads in [2, 4, 8] {
-        let parallel = experiment.run_with_threads(threads);
-        assert_eq!(
-            single, parallel,
-            "outcomes differ between 1 and {threads} threads"
-        );
-        assert_eq!(
-            single.to_json(),
-            parallel.to_json(),
-            "JSON bytes differ between 1 and {threads} threads"
-        );
+        let experiment = Experiment::new(spec)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("mesh routes")
+            .with_unit_latency_case("torus", &torus)
+            .expect("torus routes");
+        let single = experiment.run_with_threads(1);
+        for threads in [2, 4, 8] {
+            let parallel = experiment.run_with_threads(threads);
+            assert_eq!(
+                single, parallel,
+                "{injection}: outcomes differ between 1 and {threads} threads"
+            );
+            assert_eq!(
+                single.to_json(),
+                parallel.to_json(),
+                "{injection}: JSON bytes differ between 1 and {threads} threads"
+            );
+        }
+        // Re-running the whole experiment reproduces the bytes too.
+        assert_eq!(single.to_json(), experiment.run_parallel().to_json());
+        assert_eq!(single.points.len(), 2 * ALL_PATTERNS.len() * 3);
     }
-    // Re-running the whole experiment reproduces the bytes too.
-    assert_eq!(single.to_json(), experiment.run_parallel().to_json());
-    assert_eq!(single.points.len(), 2 * ALL_PATTERNS.len() * 3);
+}
+
+/// The whole-sweep consequence of the injection bit-identity: since
+/// event-driven and per-cycle scan agree on every outcome and the
+/// derived seeds don't depend on the policy, the *serialized sweeps*
+/// are byte-identical too (the config is not part of the result).
+#[test]
+fn event_driven_and_per_cycle_scan_sweeps_serialize_identically() {
+    let mesh = generators::mesh(Grid::new(4, 4));
+    let run = |injection: InjectionPolicy| {
+        let spec = SweepSpec::new(SimConfig {
+            injection,
+            ..SimConfig::fast_test()
+        })
+        .rates([0.05, 0.25])
+        .all_patterns()
+        .hotspot_low_rates(2, 0.01);
+        Experiment::new(spec)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("mesh routes")
+            .run_parallel()
+    };
+    assert_eq!(
+        run(InjectionPolicy::EventDriven).to_json(),
+        run(InjectionPolicy::PerCycleScan).to_json(),
+        "injection policies leaked into sweep results"
+    );
 }
 
 #[test]
