@@ -10,12 +10,18 @@
 //! * **A4 — injection scheduling**: the event-driven injection calendar
 //!   vs. its exhaustive per-cycle scan reference on the same per-tile
 //!   RNG streams — identical outcomes, measured Phase A speedup.
+//! * **A5 — allocator scheduling**: request-driven VC/switch allocation
+//!   vs. the exhaustive port × VC scan — identical outcomes, measured
+//!   allocation-phase speedup on a low-radix mesh and the high-radix
+//!   flattened butterfly.
 //!
-//! Run with: `cargo run --release -p shg-bench --bin ablations`
+//! Run with: `cargo run --release -p shg-bench --bin ablations --
+//! [--alloc request-queue|full-scan]` (the flag selects the allocator
+//! used by the *other* ablations; A5 always compares both).
 
 use std::time::Instant;
 
-use shg_bench::drive_injection_phase;
+use shg_bench::{drive_injection_phase, profile_allocation_phase};
 use shg_core::Scenario;
 use shg_floorplan::{predict, DetailedRouting, ModelOptions, PortPlacement};
 use shg_sim::{InjectionPolicy, Network, ScanPolicy, SimConfig, TrafficPattern};
@@ -95,6 +101,7 @@ fn main() {
         warmup: 1_000,
         measure: 4_000,
         drain_limit: 10_000,
+        alloc: shg_bench::alloc_policy_from_args(),
         ..SimConfig::default()
     };
     let rate = 0.01; // Zero-load regime: most routers idle most cycles.
@@ -145,10 +152,34 @@ fn main() {
     assert_eq!(event_arrivals, scan_arrivals, "same streams, same arrivals");
     println!(
         "{} tiles, rate {rate}, {cycles} cycles of Phase A: per-cycle scan \
-         {:.2} ms, event-driven {:.2} ms → {:.1}x (identical arrival schedules)",
+         {:.2} ms, event-driven {:.2} ms → {:.1}x (identical arrival schedules)\n",
         mesh.num_tiles(),
         scan_time.as_secs_f64() * 1e3,
         event_time.as_secs_f64() * 1e3,
         scan_time.as_secs_f64() / event_time.as_secs_f64(),
     );
+
+    println!("--- A5: allocator scheduling (request queue vs port × VC scan) ---");
+    // The allocation-phase cost is what the request queue attacks; the
+    // win grows with router radix (the flattened butterfly's routers
+    // have ~8x the mesh's ports, so the scan has ~8x the slots). The
+    // measurement protocol (alternating profiled runs, outcomes
+    // asserted identical) is shared with the Criterion headline and
+    // the CI perf-smoke gate.
+    for (name, topology) in [
+        ("16x16 mesh", generators::mesh(Grid::new(16, 16))),
+        (
+            "16x16 flattened butterfly",
+            generators::flattened_butterfly(Grid::new(16, 16)),
+        ),
+    ] {
+        let sample = profile_allocation_phase(&topology, &config, rate, 1)[0];
+        println!(
+            "{name}, rate {rate}: allocation phase — full scan {:.1} ms, \
+             request queue {:.1} ms → {:.1}x (identical outcomes)",
+            sample.scan * 1e3,
+            sample.sparse * 1e3,
+            sample.ratio(),
+        );
+    }
 }

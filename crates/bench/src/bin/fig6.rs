@@ -4,7 +4,8 @@
 //! shared sweep engine.
 //!
 //! Run with:
-//! `cargo run --release -p shg-bench --bin fig6 -- [--scenario a|b|c|d|all] [--fast] [--customize]`
+//! `cargo run --release -p shg-bench --bin fig6 -- [--scenario a|b|c|d|all]
+//!  [--fast] [--customize] [--alloc request-queue|full-scan]`
 //!
 //! `--fast` replaces the cycle-accurate saturation search with the
 //! analytic channel-load bound, coarsens the detailed-routing grid and
@@ -16,6 +17,15 @@
 //! configuration as an extra row. The paper's published SR/SC values were
 //! customized against the authors' calibrated model; re-customizing is
 //! the faithful way to reproduce the methodology on a different substrate.
+//!
+//! Default pattern-sweep resolution: 10% (`--fast`) / 5% (full) of
+//! injection capacity — tightened from 20%/10% once request-driven
+//! allocation made Phase C cheap. Measured runtime on one core
+//! (request-queue allocator; the sweeps scale with cores via rayon):
+//! `--scenario a --fast` ≈ 50 s, `--scenario all --fast` ≈ 6.5 min,
+//! dominated by the floorplan model rather than the simulator; full
+//! fidelity `--scenario a` ≈ 14 min (simulated saturation search at
+//! the 5% grid).
 
 use shg_bench::sweep::{pattern_saturation_table, scenario_sweep};
 use shg_bench::{arg_value, evaluate_all, has_flag, named_topologies};
@@ -26,13 +36,14 @@ use shg_sim::SimConfig;
 fn main() {
     let which = arg_value("--scenario").unwrap_or_else(|| "all".to_owned());
     let fast = has_flag("--fast");
+    let alloc = shg_bench::alloc_policy_from_args();
     let scenarios: Vec<Scenario> = if which == "all" {
         Scenario::all_knc()
     } else {
         vec![Scenario::by_name(&which)
             .unwrap_or_else(|| panic!("unknown scenario '{which}' (use a|b|c|d|all)"))]
     };
-    let toolchain = if fast {
+    let mut toolchain = if fast {
         Toolchain {
             model_options: ModelOptions {
                 cell_scale: 4.0,
@@ -50,6 +61,7 @@ fn main() {
             ..Toolchain::default()
         }
     };
+    toolchain.sim.alloc = alloc;
     for mut scenario in scenarios {
         println!(
             "=== Fig. 6{} — {} (SHG: {}) ===",
@@ -118,10 +130,11 @@ fn main() {
         }
         // The widened evaluation: every topology × all seven traffic
         // patterns on the shared sweep engine.
-        let rate_points = if fast { 5 } else { 10 };
+        let rate_points = if fast { 10 } else { 20 };
         if fast {
             scenario.sim = SimConfig::fast_test();
         }
+        scenario.sim.alloc = alloc;
         let topologies = named_topologies(&scenario);
         let result = scenario_sweep(
             &scenario,

@@ -4,7 +4,7 @@
 //! Run with:
 //! `cargo run --release -p shg-bench --bin load_curve -- [--scenario a]
 //!  [--topology shg|mesh|torus|fb|ring] [--pattern all|uniform|transpose|...]
-//!  [--json]`
+//!  [--alloc request-queue|full-scan] [--json]`
 //!
 //! `--json` prints the full `SweepResult` as JSON instead of tables —
 //! the machine-readable output downstream plotting consumes.
@@ -62,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warmup: 3_000,
         measure: 6_000,
         drain_limit: 20_000,
+        alloc: shg_bench::alloc_policy_from_args(),
         ..SimConfig::default()
     };
     let spec = SweepSpec::new(config)

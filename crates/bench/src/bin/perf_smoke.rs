@@ -1,0 +1,242 @@
+//! CI perf-smoke harness: re-measures the Criterion headline numbers in
+//! quick mode, writes them as machine-readable JSON and (optionally)
+//! gates against a committed baseline.
+//!
+//! The gated headlines are **speedup ratios** (sparse scheduler vs. its
+//! exhaustive reference, measured back-to-back on the same machine), so
+//! they are comparable across CI runner generations; absolute medians
+//! are recorded under `info_ms` for trend-watching but never gated —
+//! runner hardware varies too much for wall-clock gates.
+//!
+//! Run with:
+//! `cargo run --release -p shg-bench --bin perf_smoke --
+//!  [--samples 5] [--out BENCH_smoke.json] [--check BENCH_baseline.json]`
+//!
+//! `--check` exits non-zero if any headline ratio regressed more than
+//! 25% below the baseline (or a baseline headline is missing from the
+//! current run). Refresh the committed baseline by copying the `--out`
+//! file after an intentional performance change.
+
+use std::fmt::Write as _;
+
+use shg_bench::{
+    arg_value, drive_injection_phase, median, profile_allocation_phase, AllocationSample,
+};
+use shg_sim::{InjectionPolicy, Network, ScanPolicy, SimConfig, TrafficPattern};
+use shg_topology::{generators, routing, Grid, Topology};
+use shg_units::Cycles;
+
+/// Allowed relative shortfall of a headline ratio vs. the baseline.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// A measured headline (gated) or info (ungated) entry.
+struct Entry {
+    name: &'static str,
+    median: f64,
+}
+
+fn bench_config() -> SimConfig {
+    SimConfig {
+        warmup: 500,
+        measure: 2_000,
+        drain_limit: 6_000,
+        ..SimConfig::default()
+    }
+}
+
+/// Median full-run speedup of the active-set scheduler over the full
+/// scan (the PR 1 headline) at zero load.
+fn scan_policy_headline(samples: usize, info: &mut Vec<Entry>) -> f64 {
+    let topology = generators::mesh(Grid::new(16, 16));
+    let routes = routing::default_routes(&topology).expect("routes");
+    let latencies = vec![Cycles::one(); topology.num_links()];
+    let rate = 0.005;
+    let run = |policy: ScanPolicy| {
+        let mut network = Network::new(&topology, &routes, &latencies, bench_config());
+        let start = std::time::Instant::now();
+        let outcome = network.run_with_policy(rate, TrafficPattern::UniformRandom, policy);
+        (start.elapsed().as_secs_f64(), outcome)
+    };
+    let _ = run(ScanPolicy::ActiveSet); // warm up
+    let mut ratios = Vec::new();
+    let mut active_wall = Vec::new();
+    for _ in 0..samples {
+        let (active, a) = run(ScanPolicy::ActiveSet);
+        let (full, b) = run(ScanPolicy::FullScan);
+        assert_eq!(a, b, "scan policies must agree");
+        ratios.push(full / active);
+        active_wall.push(active * 1e3);
+    }
+    info.push(Entry {
+        name: "full_run_mesh16_rate0.005_active_set",
+        median: median(active_wall),
+    });
+    median(ratios)
+}
+
+/// Median Phase A speedup of the event calendar over the per-cycle
+/// countdown scan (the PR 2 headline).
+fn injection_headline(samples: usize, info: &mut Vec<Entry>) -> f64 {
+    let grid = Grid::new(16, 16);
+    let packet_prob = 0.01 / f64::from(bench_config().packet_len);
+    let cycles = 3_000;
+    let phase_a = |policy: InjectionPolicy| {
+        let (elapsed, arrivals) = drive_injection_phase(policy, 42, grid, packet_prob, cycles);
+        (elapsed.as_secs_f64(), arrivals)
+    };
+    let _ = phase_a(InjectionPolicy::EventDriven); // warm up
+    let mut ratios = Vec::new();
+    let mut event_wall = Vec::new();
+    for _ in 0..samples {
+        let (event, a) = phase_a(InjectionPolicy::EventDriven);
+        let (scan, b) = phase_a(InjectionPolicy::PerCycleScan);
+        assert_eq!(a, b, "same streams, same arrivals");
+        ratios.push(scan / event);
+        event_wall.push(event * 1e3);
+    }
+    info.push(Entry {
+        name: "injection_phase_256t_rate0.01_event_driven",
+        median: median(event_wall),
+    });
+    median(ratios)
+}
+
+/// Median allocation-phase speedup of the request queue over the
+/// port × VC scan (this PR's headline), per topology — the same
+/// measurement protocol as the Criterion headline and the A5 ablation
+/// ([`profile_allocation_phase`]).
+fn allocation_headline(
+    topology: &Topology,
+    samples: usize,
+    info_name: &'static str,
+    info: &mut Vec<Entry>,
+) -> f64 {
+    let measured = profile_allocation_phase(topology, &bench_config(), 0.01, samples);
+    info.push(Entry {
+        name: info_name,
+        median: median(measured.iter().map(|s| s.sparse * 1e3).collect()),
+    });
+    median(measured.iter().map(AllocationSample::ratio).collect())
+}
+
+/// Renders the report as JSON (two flat objects of name → median).
+fn to_json(samples: usize, headlines: &[Entry], info: &[Entry]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"samples\": {samples},");
+    let section = |out: &mut String, label: &str, entries: &[Entry], last: bool| {
+        let _ = writeln!(out, "  \"{label}\": {{");
+        for (i, e) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            let _ = writeln!(out, "    \"{}\": {:.3}{comma}", e.name, e.median);
+        }
+        let _ = writeln!(out, "  }}{}", if last { "" } else { "," });
+    };
+    section(&mut out, "headlines", headlines, false);
+    section(&mut out, "info_ms", info, true);
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts the `name → value` pairs of one JSON section written by
+/// [`to_json`] (the vendored serde_json is serialize-only, so the
+/// baseline is re-read with this purpose-built scanner).
+fn parse_section(text: &str, label: &str) -> Vec<(String, f64)> {
+    let Some(start) = text.find(&format!("\"{label}\"")) else {
+        return Vec::new();
+    };
+    let body = &text[start..];
+    let Some(open) = body.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = body.find('}') else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for line in body[open + 1..close].lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        if let Ok(value) = value.trim().parse::<f64>() {
+            entries.push((name.to_owned(), value));
+        }
+    }
+    entries
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize = arg_value("--samples").map_or(5, |v| v.parse().expect("samples"));
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_smoke.json".to_owned());
+
+    let mut info = Vec::new();
+    let headlines = vec![
+        Entry {
+            name: "scan_policy_speedup_mesh16_rate0.005",
+            median: scan_policy_headline(samples, &mut info),
+        },
+        Entry {
+            name: "injection_phase_speedup_256t_rate0.01",
+            median: injection_headline(samples, &mut info),
+        },
+        Entry {
+            name: "allocation_phase_speedup_mesh16_rate0.01",
+            median: allocation_headline(
+                &generators::mesh(Grid::new(16, 16)),
+                samples,
+                "allocation_phase_mesh16_rate0.01_request_queue",
+                &mut info,
+            ),
+        },
+        Entry {
+            name: "allocation_phase_speedup_fb16_rate0.01",
+            median: allocation_headline(
+                &generators::flattened_butterfly(Grid::new(16, 16)),
+                samples,
+                "allocation_phase_fb16_rate0.01_request_queue",
+                &mut info,
+            ),
+        },
+    ];
+
+    let json = to_json(samples, &headlines, &info);
+    std::fs::write(&out_path, &json)?;
+    println!("perf smoke ({samples} samples per headline) → {out_path}\n{json}");
+
+    let Some(baseline_path) = arg_value("--check") else {
+        return Ok(());
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)?;
+    let mut failures = Vec::new();
+    for (name, expected) in parse_section(&baseline, "headlines") {
+        match headlines.iter().find(|e| e.name == name) {
+            None => failures.push(format!("{name}: in baseline but not measured")),
+            Some(entry) => {
+                let floor = expected * (1.0 - REGRESSION_TOLERANCE);
+                if entry.median < floor {
+                    failures.push(format!(
+                        "{name}: {:.2}x is more than {:.0}% below the baseline {expected:.2}x \
+                         (floor {floor:.2}x)",
+                        entry.median,
+                        REGRESSION_TOLERANCE * 100.0
+                    ));
+                } else {
+                    println!(
+                        "ok: {name} = {:.2}x (baseline {expected:.2}x, floor {floor:.2}x)",
+                        entry.median
+                    );
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("perf smoke green vs {baseline_path}");
+        Ok(())
+    } else {
+        for failure in &failures {
+            eprintln!("PERF REGRESSION — {failure}");
+        }
+        Err(format!("{} headline(s) regressed", failures.len()).into())
+    }
+}

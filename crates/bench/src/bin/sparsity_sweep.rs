@@ -7,7 +7,12 @@
 //! a frontier table, then validates the final configuration across all
 //! seven traffic patterns on the shared sweep engine.
 //!
-//! Run with: `cargo run --release -p shg-bench --bin sparsity_sweep -- [--scenario a]`
+//! Run with: `cargo run --release -p shg-bench --bin sparsity_sweep --
+//! [--scenario a] [--alloc request-queue|full-scan]`
+//!
+//! The seven-pattern validation runs at 6.25% rate resolution
+//! (tightened from 12.5% once request-driven allocation made Phase C
+//! cheap); measured runtime ≈ 7 s on one core.
 
 use shg_bench::arg_value;
 use shg_core::{customize, DesignGoals, Scenario, Toolchain};
@@ -64,12 +69,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let best = trace.best();
     let topology = best.config.build();
     let sweep_toolchain = Toolchain {
-        sim: SimConfig::fast_test(),
+        sim: SimConfig {
+            alloc: shg_bench::alloc_policy_from_args(),
+            ..SimConfig::fast_test()
+        },
         ..toolchain
     };
-    let (per_pattern, _) = sweep_toolchain.evaluate_patterns(&scenario.params, &topology, 8)?;
+    let (per_pattern, _) = sweep_toolchain.evaluate_patterns(&scenario.params, &topology, 16)?;
     println!(
-        "\nSeven-pattern validation of {} (simulated, resolution 12.5%,\n\
+        "\nSeven-pattern validation of {} (simulated, resolution 6.25%,\n\
          hot-spot grid log-extended down to 1%):",
         best.config
     );

@@ -12,8 +12,9 @@ pub mod sweep;
 use rayon::prelude::*;
 
 use shg_core::{Evaluation, Scenario, Toolchain};
-use shg_sim::{InjectionPolicy, Injector, TrafficPattern};
-use shg_topology::{generators, Grid, TileId, Topology};
+use shg_sim::{AllocPolicy, InjectionPolicy, Injector, Network, SimConfig, TrafficPattern};
+use shg_topology::{generators, routing, Grid, TileId, Topology};
+use shg_units::Cycles;
 
 /// Drives `cycles` cycles of Phase A (injection) in isolation under
 /// uniform-random traffic: the workload the injection benchmarks, the
@@ -42,6 +43,80 @@ pub fn drive_injection_phase(
         });
     }
     (start.elapsed(), arrivals)
+}
+
+/// One alternating measurement of the allocation phase under both
+/// allocation policies (see [`profile_allocation_phase`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AllocationSample {
+    /// Phase C wall seconds under `AllocPolicy::RequestQueue`.
+    pub sparse: f64,
+    /// Phase C wall seconds under `AllocPolicy::FullScan`.
+    pub scan: f64,
+}
+
+impl AllocationSample {
+    /// The full-scan / request-queue speedup ratio of this sample.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.scan / self.sparse
+    }
+}
+
+/// Runs `samples` alternating profiled simulations (default routes,
+/// unit link latencies) under `AllocPolicy::RequestQueue` and
+/// `AllocPolicy::FullScan`, asserting bit-identical outcomes, and
+/// returns each round's isolated Phase C wall times. The one
+/// measurement protocol shared by the `allocation` Criterion headline,
+/// the A5 ablation and the CI perf-smoke gate — so the published
+/// number and the gated number cannot drift apart.
+///
+/// # Panics
+///
+/// Panics if the topology has no default routes or the two policies
+/// disagree on any outcome.
+#[must_use]
+pub fn profile_allocation_phase(
+    topology: &Topology,
+    config: &SimConfig,
+    rate: f64,
+    samples: usize,
+) -> Vec<AllocationSample> {
+    let routes = routing::default_routes(topology).expect("routes");
+    let latencies = vec![Cycles::one(); topology.num_links()];
+    let profiled = |alloc: AllocPolicy| {
+        let config = SimConfig {
+            alloc,
+            ..config.clone()
+        };
+        let mut network = Network::new(topology, &routes, &latencies, config);
+        network.run_profiled(rate, TrafficPattern::UniformRandom)
+    };
+    let _ = profiled(AllocPolicy::RequestQueue); // warm up
+    (0..samples)
+        .map(|_| {
+            let (sparse_outcome, sparse) = profiled(AllocPolicy::RequestQueue);
+            let (scan_outcome, scan) = profiled(AllocPolicy::FullScan);
+            assert_eq!(sparse_outcome, scan_outcome, "alloc policies must agree");
+            AllocationSample {
+                sparse: sparse.allocation.as_secs_f64(),
+                scan: scan.allocation.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// The median of a sample set (odd-length sets return the true
+/// median). Used by the bench headlines and the perf-smoke gate.
+///
+/// # Panics
+///
+/// Panics on an empty set.
+#[must_use]
+pub fn median(mut samples: Vec<f64>) -> f64 {
+    assert!(!samples.is_empty(), "median of an empty sample set");
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 /// All topologies applicable to a scenario's grid, in Fig. 6's order:
@@ -109,6 +184,33 @@ pub fn arg_value(flag: &str) -> Option<String> {
 #[must_use]
 pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
+}
+
+/// Parses an allocation-policy name (the `--alloc` values the harness
+/// binaries accept).
+#[must_use]
+pub fn alloc_policy_by_name(name: &str) -> Option<AllocPolicy> {
+    match name {
+        "request-queue" | "rq" => Some(AllocPolicy::RequestQueue),
+        "full-scan" | "scan" => Some(AllocPolicy::FullScan),
+        _ => None,
+    }
+}
+
+/// The allocation policy selected by `--alloc request-queue|full-scan`
+/// (default: the request-driven allocator). Every harness binary that
+/// simulates accepts the flag, so the exhaustive reference stays one
+/// CLI switch away for cross-checking a whole experiment.
+///
+/// # Panics
+///
+/// Panics on an unknown policy name.
+#[must_use]
+pub fn alloc_policy_from_args() -> AllocPolicy {
+    arg_value("--alloc").map_or(AllocPolicy::RequestQueue, |name| {
+        alloc_policy_by_name(&name)
+            .unwrap_or_else(|| panic!("unknown --alloc '{name}' (use request-queue|full-scan)"))
+    })
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::injection::InjectionPolicy;
+use crate::router::AllocPolicy;
 
 /// Microarchitectural and run-control parameters of the simulator.
 ///
@@ -45,6 +46,10 @@ pub struct SimConfig {
     /// [`InjectionPolicy`]); the event-driven default and the per-cycle
     /// scan produce bit-identical outcomes.
     pub injection: InjectionPolicy,
+    /// How the router allocation stages find work each cycle (see
+    /// [`AllocPolicy`]); the request-driven default and the exhaustive
+    /// port × VC scan produce bit-identical outcomes.
+    pub alloc: AllocPolicy,
 }
 
 impl Default for SimConfig {
@@ -59,6 +64,7 @@ impl Default for SimConfig {
             drain_limit: 30_000,
             seed: 0x5eed_1234,
             injection: InjectionPolicy::EventDriven,
+            alloc: AllocPolicy::RequestQueue,
         }
     }
 }
@@ -77,6 +83,7 @@ impl SimConfig {
             drain_limit: 6_000,
             seed: 42,
             injection: InjectionPolicy::EventDriven,
+            alloc: AllocPolicy::RequestQueue,
         }
     }
 

@@ -9,7 +9,9 @@
 //! * credit-based flow control,
 //! * multi-cycle pipelined links whose latencies come from the floorplan
 //!   model,
-//! * separable round-robin VC and switch allocation,
+//! * separable round-robin VC and switch allocation, request-driven by
+//!   default (only live requests are visited; the exhaustive port × VC
+//!   scan survives as [`AllocPolicy::FullScan`]),
 //! * deterministic table routing with VC classes (from
 //!   [`shg_topology::routing`]),
 //! * synthetic traffic patterns with per-tile RNG streams and
@@ -52,7 +54,8 @@ mod traffic;
 pub use config::SimConfig;
 pub use flit::Flit;
 pub use injection::{geometric_gap, tile_stream_seed, InjectionPolicy, Injector};
-pub use network::{Network, ScanPolicy};
+pub use network::{Network, PhaseProfile, ScanPolicy};
+pub use router::AllocPolicy;
 pub use runner::{
     load_sweep, measure_performance, measured_zero_load_latency, saturation_throughput,
     zero_load_latency, Performance, SaturationSearch,

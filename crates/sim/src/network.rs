@@ -31,6 +31,15 @@
 //! [`InjectionPolicy::PerCycleScan`](crate::InjectionPolicy) retains
 //! the exhaustive per-tile countdown scan as its bit-identical
 //! reference (`config.injection` selects the policy).
+//!
+//! Phase C completes the pattern: within each visited router, the
+//! default request-driven allocator
+//! ([`AllocPolicy::RequestQueue`](crate::AllocPolicy)) walks only the
+//! live VC/switch requests (incrementally maintained bitmasks) instead
+//! of scanning every port × VC slot, with
+//! [`AllocPolicy::FullScan`](crate::AllocPolicy) as its bit-identical
+//! exhaustive reference (`config.alloc` selects the policy; the router
+//! module documents the request structures).
 
 use std::collections::VecDeque;
 
@@ -40,9 +49,28 @@ use shg_units::Cycles;
 use crate::config::SimConfig;
 use crate::flit::Flit;
 use crate::injection::Injector;
-use crate::router::{Router, TraversalOutput};
+use crate::router::{AllocPolicy, Router, TraversalOutput};
 use crate::stats::SimOutcome;
 use crate::traffic::TrafficPattern;
+
+/// Wall-clock decomposition of one run into its simulation phases —
+/// what [`Network::run_profiled`] returns alongside the outcome.
+///
+/// The measured spans are the phase bodies only; loop control,
+/// statistics collection and the active-set sweep bookkeeping are
+/// excluded, so the three durations need not sum to the run's total
+/// wall time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseProfile {
+    /// Phase A: packet generation (injection policy).
+    pub injection: std::time::Duration,
+    /// Phase B: flit and credit delivery on active channels.
+    pub delivery: std::time::Duration,
+    /// Phase C: per-router VC allocation, switch allocation and
+    /// traversal (allocation policy) — including the drain of each
+    /// router's traversal output into the link pipelines.
+    pub allocation: std::time::Duration,
+}
 
 /// How the simulator schedules per-cycle work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -234,14 +262,68 @@ impl<'a> Network<'a> {
     /// Like [`Network::run`] with an explicit [`ScanPolicy`]. Both
     /// policies produce bit-identical outcomes; `FullScan` exists so
     /// benchmarks and equivalence tests can measure the difference.
-    /// (The injection policy is orthogonal and comes from
-    /// `config.injection`.)
+    /// (The injection and allocation policies are orthogonal and come
+    /// from `config.injection` / `config.alloc`.)
     #[must_use]
     pub fn run_with_policy(
         &mut self,
         rate: f64,
         pattern: TrafficPattern,
         policy: ScanPolicy,
+    ) -> SimOutcome {
+        self.run_inner(rate, pattern, policy, false, None)
+    }
+
+    /// Like [`Network::run_with_policy`], additionally asserting every
+    /// router's cross-structure invariants after each cycle: the
+    /// occupancy counter matches the buffer contents, credits never
+    /// exceed `buffer_depth`, `out_owner` reservations agree with the
+    /// input-VC states, and the request-queue bitmasks mirror the
+    /// buffers exactly. A testing aid for the allocator equivalence
+    /// suite — orders of magnitude slower than a plain run.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    #[must_use]
+    pub fn run_validated(
+        &mut self,
+        rate: f64,
+        pattern: TrafficPattern,
+        policy: ScanPolicy,
+    ) -> SimOutcome {
+        self.run_inner(rate, pattern, policy, true, None)
+    }
+
+    /// Like [`Network::run`], additionally timing each simulation phase
+    /// (injection, delivery, allocation) — the measurement behind the
+    /// phase-cost decompositions in `injection_profile` and the
+    /// `allocation_phase` benchmarks. The outcome is unaffected; the
+    /// per-cycle timestamping adds a few percent of overhead.
+    #[must_use]
+    pub fn run_profiled(
+        &mut self,
+        rate: f64,
+        pattern: TrafficPattern,
+    ) -> (SimOutcome, PhaseProfile) {
+        let mut profile = PhaseProfile::default();
+        let outcome = self.run_inner(
+            rate,
+            pattern,
+            ScanPolicy::ActiveSet,
+            false,
+            Some(&mut profile),
+        );
+        (outcome, profile)
+    }
+
+    fn run_inner(
+        &mut self,
+        rate: f64,
+        pattern: TrafficPattern,
+        policy: ScanPolicy,
+        validate: bool,
+        mut profile: Option<&mut PhaseProfile>,
     ) -> SimOutcome {
         let config = self.config.clone();
         let packet_prob = rate / f64::from(config.packet_len);
@@ -264,6 +346,7 @@ impl<'a> Network<'a> {
         let mut now = 0u64;
         let mut traversal = TraversalOutput::default();
         loop {
+            let mut stamp = profile.as_ref().map(|_| std::time::Instant::now());
             // Phase A: packet generation (keeps injecting during drain to
             // sustain back-pressure). The injector owns the RNG streams;
             // per-tile streams make the arrivals schedule-independent, so
@@ -286,17 +369,30 @@ impl<'a> Network<'a> {
                     self.active_routers.insert(t);
                 }
             });
+            if let Some(p) = profile.as_deref_mut() {
+                let t = stamp.expect("profiling stamps");
+                p.injection += t.elapsed();
+                stamp = Some(std::time::Instant::now());
+            }
             // Phase B: deliver arrivals.
             self.deliver(now, policy);
+            if let Some(p) = profile.as_deref_mut() {
+                let t = stamp.expect("profiling stamps");
+                p.delivery += t.elapsed();
+                stamp = Some(std::time::Instant::now());
+            }
             // Phase C: per-router allocation and traversal, in ascending
-            // router order under both policies.
+            // router order under both policies. The allocation policy
+            // (request-driven vs. exhaustive port × VC scan) comes from
+            // the configuration and is bit-identical either way.
+            let alloc = self.config.alloc;
             let sweep = match policy {
                 ScanPolicy::ActiveSet => self.active_routers.start_sweep(),
                 ScanPolicy::FullScan => (0..self.routers.len()).collect(),
             };
             for &r in &sweep {
-                self.vc_allocate(r);
-                self.routers[r].switch_allocate_and_traverse(&self.config, &mut traversal);
+                self.vc_allocate(r, alloc);
+                self.routers[r].switch_allocate_and_traverse(&self.config, alloc, &mut traversal);
                 for (channel, vc) in traversal.credits.drain(..) {
                     let lat = self.latency[channel.index()];
                     self.credit_pipe[channel.index()].push_back((now + lat, vc));
@@ -325,6 +421,14 @@ impl<'a> Network<'a> {
             }
             if policy == ScanPolicy::ActiveSet {
                 self.active_routers.finish_sweep(sweep);
+            }
+            if let Some(p) = profile.as_deref_mut() {
+                p.allocation += stamp.expect("profiling stamps").elapsed();
+            }
+            if validate {
+                for router in &self.routers {
+                    router.assert_consistent(&self.config);
+                }
             }
             now += 1;
             if now >= measure_end && outstanding_measured == 0 {
@@ -425,14 +529,14 @@ impl<'a> Network<'a> {
     }
 
     /// VC allocation for router `r` (routing closure plumbed in here).
-    fn vc_allocate(&mut self, r: usize) {
+    fn vc_allocate(&mut self, r: usize, alloc: AllocPolicy) {
         let (topology, routes) = (self.topology, self.routes);
         let num_vc_classes = routes.num_vc_classes();
         let router = &mut self.routers[r];
         // Split borrow: the routing closure reads topology/routes only.
         let route =
             |router: &Router, flit: &Flit| Self::route_head(topology, routes, router, r, flit);
-        router.vc_allocate_with(&self.config, num_vc_classes, route);
+        router.vc_allocate_with(&self.config, num_vc_classes, alloc, route);
     }
 }
 

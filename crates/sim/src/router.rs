@@ -12,13 +12,73 @@
 //! 3. **Switch traversal** — winning flits leave through their output
 //!    port; the router reports ejections, link forwards and upstream
 //!    credits back to the network layer, which owns the pipelines.
+//!
+//! # Request-driven allocation
+//!
+//! The allocation stages used to *scan*: every cycle, every input
+//! port × VC was inspected for a head flit awaiting a VC and for a
+//! buffered flit wanting the switch, and every output port × VC for a
+//! free output VC — `O(ports × VCs)` per router visit even when a
+//! single flit was resident. The router now keeps explicit sparse
+//! request state, updated incrementally on enqueue, dequeue and VC
+//! grant/release:
+//!
+//! * a bitmask of input VCs whose buffer front awaits VC allocation
+//!   ([`Router::va_mask`]),
+//! * per-input-port bitmasks of active VCs with buffered flits — the
+//!   switch-allocation requests ([`Router::sa_mask`], summarized by
+//!   [`Router::sa_ports`]) — gathered into per-output-port request
+//!   lists each cycle ([`Router::out_requests`]),
+//! * per-output-port bitmasks of occupied output VCs
+//!   ([`Router::out_vc_used`]).
+//!
+//! [`AllocPolicy::RequestQueue`] walks only these live requests;
+//! [`AllocPolicy::FullScan`] retains the exhaustive scan as the
+//! bit-identical reference (the allocation analogue of
+//! `ScanPolicy::FullScan` and `InjectionPolicy::PerCycleScan`). Both
+//! paths share the same mutation helpers, and round-robin pointers are
+//! consulted in the same rotation order, so the arbitration outcome —
+//! and therefore every statistic — is identical; the equivalence suite
+//! (`crates/sim/tests/alloc_equivalence.rs`) enforces it.
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
 use shg_topology::ChannelId;
 
 use crate::config::SimConfig;
 use crate::flit::Flit;
+
+/// How the router allocation stages (VC allocation, switch allocation)
+/// find work each cycle.
+///
+/// [`RequestQueue`](Self::RequestQueue) and
+/// [`FullScan`](Self::FullScan) produce bit-identical outcomes; the
+/// request-driven default visits only live requests while the scan
+/// inspects every port × VC slot and exists as the exhaustive
+/// reference for equivalence tests and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AllocPolicy {
+    /// Walk only the incrementally maintained request state: input VCs
+    /// with a head flit awaiting VC allocation, per-output-port switch
+    /// request lists, occupied-output-VC sets (the default).
+    #[default]
+    RequestQueue,
+    /// Inspect every input port × VC and output port × VC every cycle —
+    /// the pre-request-queue behaviour, kept as the bit-identical
+    /// reference (the allocation analogue of
+    /// [`ScanPolicy::FullScan`](crate::ScanPolicy::FullScan)).
+    FullScan,
+}
+
+impl std::fmt::Display for AllocPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RequestQueue => write!(f, "request-queue"),
+            Self::FullScan => write!(f, "full-scan"),
+        }
+    }
+}
 
 /// State of one input virtual channel.
 #[derive(Debug, Clone, Copy, Default)]
@@ -72,6 +132,25 @@ pub(crate) struct Router {
     /// Maintained incrementally so the active-set scheduler can test
     /// occupancy in O(1).
     occupied: u32,
+    /// Virtual channels per port, cached for slot-index arithmetic.
+    vcs: u8,
+    /// One bit per `(in_port, vc)` slot (index `port·vcs + vc`), set
+    /// while the slot's buffer front awaits VC allocation.
+    va_mask: Vec<u64>,
+    /// `sa_mask[in_port]`: active VCs with buffered flits — the input
+    /// side's switch-allocation requests. One `u64` per port (the
+    /// constructor rejects more than 64 VCs).
+    sa_mask: Vec<u64>,
+    /// One bit per input port, set while `sa_mask[port] != 0`.
+    sa_ports: Vec<u64>,
+    /// `out_vc_used[out_port]`: occupied output VCs — the bitmask twin
+    /// of `out_owner[out_port]`.
+    out_vc_used: Vec<u64>,
+    /// `out_requests[out_port]`: input-arbitration winners requesting
+    /// this output, `(in_port, vc)`. Per-cycle scratch, kept allocated.
+    out_requests: Vec<Vec<(u8, u8)>>,
+    /// Output ports with entries in `out_requests`. Per-cycle scratch.
+    touched_outputs: Vec<u8>,
 }
 
 impl Router {
@@ -81,6 +160,10 @@ impl Router {
         config: &SimConfig,
     ) -> Self {
         let vcs = config.num_vcs as usize;
+        assert!(
+            vcs <= 64,
+            "the allocator's VC bitmasks support at most 64 VCs per port, got {vcs}"
+        );
         let in_ports = in_channels.len() + 1;
         let out_ports = out_channels.len() + 1;
         Self {
@@ -94,6 +177,13 @@ impl Router {
             sa_in_rr: vec![0; in_ports],
             sa_out_rr: vec![0; out_ports],
             occupied: 0,
+            vcs: config.num_vcs,
+            va_mask: vec![0; (in_ports * vcs).div_ceil(64)],
+            sa_mask: vec![0; in_ports],
+            sa_ports: vec![0; in_ports.div_ceil(64)],
+            out_vc_used: vec![0; out_ports],
+            out_requests: vec![Vec::new(); out_ports],
+            touched_outputs: Vec::new(),
         }
     }
 
@@ -112,10 +202,46 @@ impl Router {
         self.occupied > 0
     }
 
+    #[inline]
+    fn va_set(&mut self, port: usize, vc: usize) {
+        let slot = port * self.vcs as usize + vc;
+        self.va_mask[slot >> 6] |= 1 << (slot & 63);
+    }
+
+    #[inline]
+    fn va_clear(&mut self, port: usize, vc: usize) {
+        let slot = port * self.vcs as usize + vc;
+        self.va_mask[slot >> 6] &= !(1 << (slot & 63));
+    }
+
+    #[inline]
+    fn sa_set(&mut self, port: usize, vc: usize) {
+        self.sa_mask[port] |= 1 << vc;
+        self.sa_ports[port >> 6] |= 1 << (port & 63);
+    }
+
+    #[inline]
+    fn sa_clear(&mut self, port: usize, vc: usize) {
+        self.sa_mask[port] &= !(1 << vc);
+        if self.sa_mask[port] == 0 {
+            self.sa_ports[port >> 6] &= !(1 << (port & 63));
+        }
+    }
+
     /// Enqueues a flit into `buffers[port][vc]`.
     pub(crate) fn enqueue(&mut self, port: usize, vc: usize, flit: Flit) {
         self.buffers[port][vc].push_back(flit);
         self.occupied += 1;
+        // A new buffer front is a new request: a switch request if the
+        // VC already holds an output reservation, otherwise a head flit
+        // awaiting VC allocation.
+        if self.buffers[port][vc].len() == 1 {
+            if self.in_state[port][vc].active {
+                self.sa_set(port, vc);
+            } else {
+                self.va_set(port, vc);
+            }
+        }
     }
 
     /// VC allocation: head flits at buffer fronts acquire output VCs.
@@ -128,50 +254,118 @@ impl Router {
         &mut self,
         config: &SimConfig,
         num_vc_classes: u8,
+        policy: AllocPolicy,
         route: impl Fn(&Router, &Flit) -> (u8, u8),
     ) {
         let vcs = config.num_vcs as usize;
-        let in_ports = self.buffers.len();
-        for p in 0..in_ports {
-            for v in 0..vcs {
-                let state = self.in_state[p][v];
-                if state.active {
-                    continue;
-                }
-                let Some(front) = self.buffers[p][v].front().copied() else {
-                    continue;
-                };
-                if !front.is_head {
-                    // A body flit at the front of an inactive VC can only
-                    // happen transiently after a tail release; skip.
-                    continue;
-                }
-                let (out_port, class) = route(&*self, &front);
-                if out_port as usize == self.ejection_port() {
-                    self.in_state[p][v] = InVc {
-                        active: true,
-                        out_port,
-                        out_vc: 0,
-                    };
-                    continue;
-                }
-                // Grant a free output VC in the class's range, rotating.
-                let range = config.vc_range(class, num_vc_classes.max(1));
-                let len = range.len() as u8;
-                let start = self.va_rr[out_port as usize] % len.max(1);
-                let granted = (0..len)
-                    .map(|i| range.start + (start + i) % len)
-                    .find(|&ov| self.out_owner[out_port as usize][ov as usize].is_none());
-                if let Some(ov) = granted {
-                    self.out_owner[out_port as usize][ov as usize] = Some((p as u8, v as u8));
-                    self.va_rr[out_port as usize] = self.va_rr[out_port as usize].wrapping_add(1);
-                    self.in_state[p][v] = InVc {
-                        active: true,
-                        out_port,
-                        out_vc: ov,
-                    };
+        match policy {
+            AllocPolicy::FullScan => {
+                let in_ports = self.buffers.len();
+                for p in 0..in_ports {
+                    for v in 0..vcs {
+                        self.consider_va(p, v, config, num_vc_classes, policy, &route);
+                    }
                 }
             }
+            AllocPolicy::RequestQueue => {
+                // Word-by-word ascending slot order = the scan's
+                // ascending (port, vc) order. `consider_va` only ever
+                // clears the bit it was called for, so the snapshot of
+                // each word stays exact.
+                for w in 0..self.va_mask.len() {
+                    let mut word = self.va_mask[w];
+                    while word != 0 {
+                        let slot = (w << 6) | word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        self.consider_va(
+                            slot / vcs,
+                            slot % vcs,
+                            config,
+                            num_vc_classes,
+                            policy,
+                            &route,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// One (port, vc) step of VC allocation, shared by both policies:
+    /// checks whether the slot's front is a head flit awaiting an
+    /// output VC and tries to grant one.
+    fn consider_va(
+        &mut self,
+        p: usize,
+        v: usize,
+        config: &SimConfig,
+        num_vc_classes: u8,
+        policy: AllocPolicy,
+        route: &impl Fn(&Router, &Flit) -> (u8, u8),
+    ) {
+        if self.in_state[p][v].active {
+            return;
+        }
+        let Some(front) = self.buffers[p][v].front().copied() else {
+            return;
+        };
+        if !front.is_head {
+            // A body flit at the front of an inactive VC can only
+            // happen transiently after a tail release; skip.
+            return;
+        }
+        let (out_port, class) = route(&*self, &front);
+        if out_port as usize == self.ejection_port() {
+            self.in_state[p][v] = InVc {
+                active: true,
+                out_port,
+                out_vc: 0,
+            };
+            self.va_clear(p, v);
+            self.sa_set(p, v);
+            return;
+        }
+        // Grant a free output VC in the class's range, rotating.
+        let o = out_port as usize;
+        let range = config.vc_range(class, num_vc_classes.max(1));
+        let len = range.len() as u8;
+        let start = self.va_rr[o] % len.max(1);
+        let granted = match policy {
+            AllocPolicy::FullScan => (0..len)
+                .map(|i| range.start + (start + i) % len)
+                .find(|&ov| self.out_owner[o][ov as usize].is_none()),
+            AllocPolicy::RequestQueue => {
+                // Same rotation over the occupied-output-VC bitmask:
+                // the free VC with the smallest rotated distance.
+                let range_mask = if range.len() >= 64 {
+                    u64::MAX
+                } else {
+                    ((1u64 << range.len()) - 1) << range.start
+                };
+                let mut free = range_mask & !self.out_vc_used[o];
+                let mut best: Option<(u8, u8)> = None;
+                while free != 0 {
+                    let ov = free.trailing_zeros() as u8;
+                    free &= free - 1;
+                    let dist = (ov - range.start + len - start) % len;
+                    if best.is_none_or(|(d, _)| dist < d) {
+                        best = Some((dist, ov));
+                    }
+                }
+                best.map(|(_, ov)| ov)
+            }
+        };
+        if let Some(ov) = granted {
+            self.out_owner[o][ov as usize] = Some((p as u8, v as u8));
+            self.out_vc_used[o] |= 1 << ov;
+            self.va_rr[o] = self.va_rr[o].wrapping_add(1);
+            self.in_state[p][v] = InVc {
+                active: true,
+                out_port,
+                out_vc: ov,
+            };
+            self.va_clear(p, v);
+            self.sa_set(p, v);
         }
     }
 
@@ -180,8 +374,18 @@ impl Router {
     pub(crate) fn switch_allocate_and_traverse(
         &mut self,
         config: &SimConfig,
+        policy: AllocPolicy,
         out: &mut TraversalOutput,
     ) {
+        match policy {
+            AllocPolicy::FullScan => self.sa_full_scan(config, out),
+            AllocPolicy::RequestQueue => self.sa_request_queue(config, out),
+        }
+    }
+
+    /// The exhaustive reference: scans every input port × VC for a
+    /// switch candidate, then every output port × input port.
+    fn sa_full_scan(&mut self, config: &SimConfig, out: &mut TraversalOutput) {
         let vcs = config.num_vcs as usize;
         let in_ports = self.buffers.len();
         let out_ports = self.out_channels.len() + 1;
@@ -223,31 +427,192 @@ impl Router {
             let Some(p) = winner else { continue };
             let p = p as usize;
             let v = input_winner[p].expect("winner has a VC") as usize;
-            let state = self.in_state[p][v];
-            let mut flit = self.buffers[p][v].pop_front().expect("nonempty");
-            self.occupied -= 1;
-            self.sa_in_rr[p] = (v as u8).wrapping_add(1) % config.num_vcs;
-            self.sa_out_rr[o] = (p as u8).wrapping_add(1) % in_ports as u8;
-            // Return a credit upstream (injection port has none).
-            if p < self.in_channels.len() {
-                out.credits.push((self.in_channels[p], flit.vc));
-            }
-            if o == self.ejection_port() {
-                if flit.is_tail {
-                    self.in_state[p][v].active = false;
+            self.traverse_winner(o, p, v, config, out);
+        }
+    }
+
+    /// The request-driven path: input arbitration rotates over each
+    /// requesting port's live-VC bitmask, winners are gathered into
+    /// per-output request lists, and each output picks the requester
+    /// closest to its round-robin pointer.
+    fn sa_request_queue(&mut self, config: &SimConfig, out: &mut TraversalOutput) {
+        let in_ports = self.buffers.len();
+        debug_assert!(self.touched_outputs.is_empty(), "scratch leaked");
+        // Input arbitration over requesting ports only.
+        for w in 0..self.sa_ports.len() {
+            let mut word = self.sa_ports[w];
+            while word != 0 {
+                let p = (w << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                let start = u32::from(self.sa_in_rr[p]);
+                // Rotating the request mask right by `start` orders its
+                // bits exactly like the scan's `(start + i) % vcs`
+                // probe sequence (bits below `start` wrap to the top).
+                let mut rot = self.sa_mask[p].rotate_right(start);
+                while rot != 0 {
+                    let v = ((rot.trailing_zeros() + start) & 63) as usize;
+                    rot &= rot - 1;
+                    let state = self.in_state[p][v];
+                    let o = state.out_port as usize;
+                    let is_ejection = o == self.ejection_port();
+                    if !is_ejection && self.credits[o][state.out_vc as usize] == 0 {
+                        continue;
+                    }
+                    if self.out_requests[o].is_empty() {
+                        self.touched_outputs.push(o as u8);
+                    }
+                    self.out_requests[o].push((p as u8, v as u8));
+                    break;
                 }
-                out.ejected.push(flit);
-                continue;
             }
-            let out_channel = self.out_channels[o];
-            flit.vc = state.out_vc;
-            flit.hop += 1;
-            self.credits[o][state.out_vc as usize] -= 1;
+        }
+        // Output arbitration + traversal, in the scan's ascending
+        // output-port order.
+        self.touched_outputs.sort_unstable();
+        let touched = std::mem::take(&mut self.touched_outputs);
+        for &o in &touched {
+            let o = o as usize;
+            let start = usize::from(self.sa_out_rr[o]);
+            let mut requests = std::mem::take(&mut self.out_requests[o]);
+            // The requester with the smallest rotated distance is the
+            // first the scan's `(start + i) % in_ports` probe would
+            // hit. Input ports are distinct, so the minimum is unique.
+            let &(p, v) = requests
+                .iter()
+                .min_by_key(|&&(p, _)| (p as usize + in_ports - start) % in_ports)
+                .expect("touched output has a request");
+            requests.clear();
+            self.out_requests[o] = requests;
+            self.traverse_winner(o, p as usize, v as usize, config, out);
+        }
+        let mut touched = touched;
+        touched.clear();
+        self.touched_outputs = touched;
+    }
+
+    /// Moves the switch winner `(p, v) → o` through the crossbar:
+    /// credits, VC bookkeeping, request-state updates and the
+    /// ejection/forward report. Shared verbatim by both policies.
+    fn traverse_winner(
+        &mut self,
+        o: usize,
+        p: usize,
+        v: usize,
+        config: &SimConfig,
+        out: &mut TraversalOutput,
+    ) {
+        let in_ports = self.buffers.len();
+        let state = self.in_state[p][v];
+        let mut flit = self.buffers[p][v].pop_front().expect("nonempty");
+        self.occupied -= 1;
+        self.sa_in_rr[p] = (v as u8).wrapping_add(1) % config.num_vcs;
+        self.sa_out_rr[o] = (p as u8).wrapping_add(1) % in_ports as u8;
+        // Return a credit upstream (injection port has none).
+        if p < self.in_channels.len() {
+            out.credits.push((self.in_channels[p], flit.vc));
+        }
+        let now_empty = self.buffers[p][v].is_empty();
+        if o == self.ejection_port() {
             if flit.is_tail {
-                self.out_owner[o][state.out_vc as usize] = None;
                 self.in_state[p][v].active = false;
+                self.sa_clear(p, v);
+                if !now_empty {
+                    // The next packet's head is at the front now.
+                    self.va_set(p, v);
+                }
+            } else if now_empty {
+                self.sa_clear(p, v);
             }
-            out.forwards.push((out_channel, flit));
+            out.ejected.push(flit);
+            return;
+        }
+        let out_channel = self.out_channels[o];
+        flit.vc = state.out_vc;
+        flit.hop += 1;
+        self.credits[o][state.out_vc as usize] -= 1;
+        if flit.is_tail {
+            self.out_owner[o][state.out_vc as usize] = None;
+            self.out_vc_used[o] &= !(1u64 << state.out_vc);
+            self.in_state[p][v].active = false;
+            self.sa_clear(p, v);
+            if !now_empty {
+                self.va_set(p, v);
+            }
+        } else if now_empty {
+            self.sa_clear(p, v);
+        }
+        out.forwards.push((out_channel, flit));
+    }
+
+    /// Asserts every cross-structure invariant of the router's state —
+    /// the consistency contract `AllocPolicy::RequestQueue` relies on.
+    /// Called per cycle by [`Network::run_validated`]
+    /// (`crate::Network::run_validated`); panics with a description on
+    /// the first violation.
+    pub(crate) fn assert_consistent(&self, config: &SimConfig) {
+        let vcs = config.num_vcs as usize;
+        let mut total = 0usize;
+        for (p, port) in self.buffers.iter().enumerate() {
+            for (v, buffer) in port.iter().enumerate() {
+                total += buffer.len();
+                // The injection port is the unbounded source queue; only
+                // network inputs are credit-limited to the buffer depth.
+                assert!(
+                    p == self.injection_port() || buffer.len() <= config.buffer_depth as usize,
+                    "buffer [{p}][{v}] over depth: {}",
+                    buffer.len()
+                );
+                let state = self.in_state[p][v];
+                let sa_bit = self.sa_mask[p] & (1 << v) != 0;
+                assert_eq!(
+                    sa_bit,
+                    state.active && !buffer.is_empty(),
+                    "sa_mask[{p}] bit {v} vs active {} / occupancy {}",
+                    state.active,
+                    buffer.len()
+                );
+                let slot = p * vcs + v;
+                let va_bit = self.va_mask[slot >> 6] & (1 << (slot & 63)) != 0;
+                if va_bit {
+                    assert!(
+                        !state.active && !buffer.is_empty(),
+                        "va_mask bit [{p}][{v}] without a waiting front"
+                    );
+                } else {
+                    assert!(
+                        state.active || buffer.is_empty(),
+                        "lost VA request at [{p}][{v}]"
+                    );
+                }
+                if state.active && state.out_port as usize != self.ejection_port() {
+                    assert_eq!(
+                        self.out_owner[state.out_port as usize][state.out_vc as usize],
+                        Some((p as u8, v as u8)),
+                        "in_state [{p}][{v}] reservation not reflected in out_owner"
+                    );
+                }
+            }
+            let port_bit = self.sa_ports[p >> 6] & (1 << (p & 63)) != 0;
+            assert_eq!(port_bit, self.sa_mask[p] != 0, "sa_ports bit {p} stale");
+        }
+        assert_eq!(total as u32, self.occupied, "occupancy counter drifted");
+        for (o, owners) in self.out_owner.iter().enumerate() {
+            for (ov, owner) in owners.iter().enumerate() {
+                assert!(
+                    self.credits[o][ov] <= config.buffer_depth,
+                    "credits[{o}][{ov}] exceed buffer depth: {}",
+                    self.credits[o][ov]
+                );
+                let used_bit = self.out_vc_used[o] & (1 << ov) != 0;
+                assert_eq!(used_bit, owner.is_some(), "out_vc_used[{o}] bit {ov} stale");
+                if let Some((p, v)) = *owner {
+                    let state = self.in_state[p as usize][v as usize];
+                    assert!(
+                        state.active && state.out_port as usize == o && state.out_vc as usize == ov,
+                        "out_owner[{o}][{ov}] = ({p}, {v}) but in_state disagrees: {state:?}"
+                    );
+                }
+            }
         }
     }
 }

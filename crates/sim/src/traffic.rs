@@ -35,7 +35,7 @@ impl TrafficPattern {
     /// Samples a destination for `src`.
     ///
     /// `rng` is the **source tile's private stream** (see
-    /// [`crate::injection`]): the simulator hands each tile its own
+    /// [`crate::tile_stream_seed`]): the simulator hands each tile its own
     /// generator, so the destinations one tile draws can never perturb
     /// another tile's arrival process — the property that lets the
     /// event-driven injection calendar skip idle tiles bit-identically.

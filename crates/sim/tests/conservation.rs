@@ -2,7 +2,7 @@
 //! nor duplicated, across traffic patterns, topologies and injection
 //! policies.
 
-use shg_sim::{InjectionPolicy, Network, SimConfig, TrafficPattern};
+use shg_sim::{AllocPolicy, InjectionPolicy, Network, SimConfig, TrafficPattern};
 use shg_topology::{generators, routing, Grid};
 use shg_units::Cycles;
 
@@ -15,6 +15,8 @@ const ALL_INJECTION: [InjectionPolicy; 3] = [
     InjectionPolicy::PerCycleScan,
     InjectionPolicy::SharedScan,
 ];
+
+const ALL_ALLOC: [AllocPolicy; 2] = [AllocPolicy::RequestQueue, AllocPolicy::FullScan];
 
 #[test]
 fn offered_equals_accepted_at_low_load_for_all_patterns() {
@@ -30,24 +32,29 @@ fn offered_equals_accepted_at_low_load_for_all_patterns() {
         TrafficPattern::Neighbor,
         TrafficPattern::Hotspot(20),
     ] {
-        // Conservation may not depend on how arrivals are scheduled:
-        // the event-driven calendar, its per-cycle reference and the
-        // legacy shared stream all have to drain completely.
+        // Conservation may not depend on how arrivals are scheduled
+        // (event calendar, per-cycle reference, legacy shared stream)
+        // or on how the allocator finds its requests (request queue,
+        // exhaustive scan): every combination has to drain completely.
         for injection in ALL_INJECTION {
-            let config = SimConfig {
-                injection,
-                ..SimConfig::fast_test()
-            };
-            let mut net = Network::new(&mesh, &routes, &lats, config);
-            let out = net.run(0.03, pattern);
-            assert!(out.stable, "{pattern} {injection}: {out:?}");
-            // All measured packets drained: offered ≈ accepted. Patterns
-            // with silent tiles (transpose diagonal) offer less, which is
-            // fine — the rates must still match each other.
-            assert!(
-                (out.accepted_rate - out.offered_rate).abs() < 0.02,
-                "{pattern} {injection}: {out:?}"
-            );
+            for alloc in ALL_ALLOC {
+                let config = SimConfig {
+                    injection,
+                    alloc,
+                    ..SimConfig::fast_test()
+                };
+                let mut net = Network::new(&mesh, &routes, &lats, config);
+                let out = net.run(0.03, pattern);
+                assert!(out.stable, "{pattern} {injection} {alloc}: {out:?}");
+                // All measured packets drained: offered ≈ accepted.
+                // Patterns with silent tiles (transpose diagonal) offer
+                // less, which is fine — the rates must still match each
+                // other.
+                assert!(
+                    (out.accepted_rate - out.offered_rate).abs() < 0.02,
+                    "{pattern} {injection} {alloc}: {out:?}"
+                );
+            }
         }
     }
 }
@@ -100,16 +107,22 @@ fn single_flit_and_long_packets_both_work() {
     let lats = unit_latencies(&mesh);
     for packet_len in [1u16, 2, 8] {
         for injection in ALL_INJECTION {
-            let config = SimConfig {
-                packet_len,
-                injection,
-                ..SimConfig::fast_test()
-            };
-            let out = Network::new(&mesh, &routes, &lats, config)
-                .run(0.05, TrafficPattern::UniformRandom);
-            assert!(out.stable, "packet_len {packet_len} {injection}: {out:?}");
-            // Longer packets add serialization latency.
-            assert!(out.avg_packet_latency >= (packet_len - 1) as f64);
+            for alloc in ALL_ALLOC {
+                let config = SimConfig {
+                    packet_len,
+                    injection,
+                    alloc,
+                    ..SimConfig::fast_test()
+                };
+                let out = Network::new(&mesh, &routes, &lats, config)
+                    .run(0.05, TrafficPattern::UniformRandom);
+                assert!(
+                    out.stable,
+                    "packet_len {packet_len} {injection} {alloc}: {out:?}"
+                );
+                // Longer packets add serialization latency.
+                assert!(out.avg_packet_latency >= (packet_len - 1) as f64);
+            }
         }
     }
 }

@@ -6,7 +6,7 @@
 //! per-point seed, which derives from grid coordinates alone.
 
 use shg_sim::sweep::ALL_PATTERNS;
-use shg_sim::{Experiment, InjectionPolicy, SimConfig, SweepSpec, TrafficPattern};
+use shg_sim::{AllocPolicy, Experiment, InjectionPolicy, SimConfig, SweepSpec, TrafficPattern};
 use shg_topology::{generators, Grid};
 
 #[test]
@@ -14,9 +14,16 @@ fn one_thread_and_many_threads_produce_identical_json() {
     let grid = Grid::new(4, 4);
     let mesh = generators::mesh(grid);
     let torus = generators::torus(grid);
-    for injection in [InjectionPolicy::EventDriven, InjectionPolicy::PerCycleScan] {
+    // Pairs cover both injection policies and both allocation policies
+    // without paying for the full cross product.
+    for (injection, alloc) in [
+        (InjectionPolicy::EventDriven, AllocPolicy::RequestQueue),
+        (InjectionPolicy::EventDriven, AllocPolicy::FullScan),
+        (InjectionPolicy::PerCycleScan, AllocPolicy::RequestQueue),
+    ] {
         let spec = SweepSpec::new(SimConfig {
             injection,
+            alloc,
             ..SimConfig::fast_test()
         })
         .rates([0.02, 0.1, 0.3])
@@ -31,12 +38,12 @@ fn one_thread_and_many_threads_produce_identical_json() {
             let parallel = experiment.run_with_threads(threads);
             assert_eq!(
                 single, parallel,
-                "{injection}: outcomes differ between 1 and {threads} threads"
+                "{injection}/{alloc}: outcomes differ between 1 and {threads} threads"
             );
             assert_eq!(
                 single.to_json(),
                 parallel.to_json(),
-                "{injection}: JSON bytes differ between 1 and {threads} threads"
+                "{injection}/{alloc}: JSON bytes differ between 1 and {threads} threads"
             );
         }
         // Re-running the whole experiment reproduces the bytes too.
@@ -69,6 +76,33 @@ fn event_driven_and_per_cycle_scan_sweeps_serialize_identically() {
         run(InjectionPolicy::EventDriven).to_json(),
         run(InjectionPolicy::PerCycleScan).to_json(),
         "injection policies leaked into sweep results"
+    );
+}
+
+/// The whole-sweep consequence of the allocator bit-identity: since the
+/// request queue and the exhaustive scan agree on every outcome and the
+/// derived seeds don't depend on the policy, the serialized sweeps are
+/// byte-identical too (the allocator twin of the injection test above).
+#[test]
+fn request_queue_and_full_scan_sweeps_serialize_identically() {
+    let fb = generators::flattened_butterfly(Grid::new(4, 4));
+    let run = |alloc: AllocPolicy| {
+        let spec = SweepSpec::new(SimConfig {
+            alloc,
+            ..SimConfig::fast_test()
+        })
+        .rates([0.05, 0.25])
+        .all_patterns()
+        .hotspot_low_rates(2, 0.01);
+        Experiment::new(spec)
+            .with_unit_latency_case("fb", &fb)
+            .expect("fb routes")
+            .run_parallel()
+    };
+    assert_eq!(
+        run(AllocPolicy::RequestQueue).to_json(),
+        run(AllocPolicy::FullScan).to_json(),
+        "allocation policies leaked into sweep results"
     );
 }
 
