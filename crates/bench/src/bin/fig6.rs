@@ -5,7 +5,12 @@
 //!
 //! Run with:
 //! `cargo run --release -p shg-bench --bin fig6 -- [--scenario a|b|c|d|all]
-//!  [--fast] [--customize] [--alloc request-queue|full-scan]`
+//!  [--fast] [--customize] [--alloc request-queue|full-scan]
+//!  [--shard i/N] [--resume journal.jsonl] [--progress]`
+//!
+//! The pattern sweeps run through the standard shard-/journal-aware
+//! executor ([`shg_bench::sweep::run_experiment`]); `sweep_worker` and
+//! `sweep_merge` are the purpose-built pair for cross-machine runs.
 //!
 //! `--fast` replaces the cycle-accurate saturation search with the
 //! analytic channel-load bound, coarsens the detailed-routing grid and

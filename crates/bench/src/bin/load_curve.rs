@@ -4,10 +4,13 @@
 //! Run with:
 //! `cargo run --release -p shg-bench --bin load_curve -- [--scenario a]
 //!  [--topology shg|mesh|torus|fb|ring] [--pattern all|uniform|transpose|...]
-//!  [--alloc request-queue|full-scan] [--json]`
+//!  [--alloc request-queue|full-scan] [--json]
+//!  [--shard i/N] [--resume journal.jsonl] [--progress]`
 //!
 //! `--json` prints the full `SweepResult` as JSON instead of tables —
-//! the machine-readable output downstream plotting consumes.
+//! the machine-readable output downstream plotting consumes. The
+//! sharding flags are the standard set
+//! ([`shg_bench::sweep::run_experiment`]).
 
 use shg_bench::{arg_value, has_flag};
 use shg_core::{AnnotatedTopology, Scenario};
@@ -77,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         routes,
         annotated.link_latencies.clone(),
     ));
-    let result = experiment.run_parallel();
+    let result = shg_bench::sweep::run_experiment(&experiment);
     if has_flag("--json") {
         println!("{}", result.to_json());
         return Ok(());

@@ -10,7 +10,8 @@
 //! shared sweep engine.
 //!
 //! Run with: `cargo run --release -p shg-bench --bin pareto --
-//! [--rows 6] [--cols 6] [--alloc request-queue|full-scan]`
+//! [--rows 6] [--cols 6] [--alloc request-queue|full-scan]
+//! [--shard i/N] [--resume journal.jsonl] [--progress]`
 //!
 //! The frontier validation sweeps at 10% rate resolution (tightened
 //! from 16.7% once request-driven allocation made Phase C cheap);
@@ -154,13 +155,12 @@ fn main() {
     .all_patterns()
     .default_hotspot_low_rates();
     let mut cache = TopologyCache::new();
-    let result = annotated_experiment(
+    let result = shg_bench::sweep::run_experiment(&annotated_experiment(
         &scenario.params,
         &toolchain.model_options,
         &mut cache,
         &topologies,
         spec,
-    )
-    .run_parallel();
+    ));
     println!("\n{}", pattern_saturation_table(&result, 0.05));
 }

@@ -139,31 +139,29 @@ fn to_json(samples: usize, headlines: &[Entry], info: &[Entry]) -> String {
 }
 
 /// Extracts the `name → value` pairs of one JSON section written by
-/// [`to_json`] (the vendored serde_json is serialize-only, so the
-/// baseline is re-read with this purpose-built scanner).
-fn parse_section(text: &str, label: &str) -> Vec<(String, f64)> {
-    let Some(start) = text.find(&format!("\"{label}\"")) else {
-        return Vec::new();
-    };
-    let body = &text[start..];
-    let Some(open) = body.find('{') else {
-        return Vec::new();
-    };
-    let Some(close) = body.find('}') else {
-        return Vec::new();
-    };
-    let mut entries = Vec::new();
-    for line in body[open + 1..close].lines() {
-        let line = line.trim().trim_end_matches(',');
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        let name = name.trim().trim_matches('"');
-        if let Ok(value) = value.trim().parse::<f64>() {
-            entries.push((name.to_owned(), value));
-        }
-    }
-    entries
+/// [`to_json`], via the vendored `serde_json` value parser (the same
+/// reading path the sweep journals use).
+///
+/// # Errors
+///
+/// Fails if the text is not JSON or the section is not a flat object
+/// of numbers.
+fn parse_section(text: &str, label: &str) -> Result<Vec<(String, f64)>, String> {
+    let value: serde_json::Value = text
+        .parse()
+        .map_err(|e: serde_json::ParseError| e.to_string())?;
+    let section = value
+        .get(label)
+        .and_then(serde_json::Value::as_object)
+        .ok_or_else(|| format!("no '{label}' object in the baseline"))?;
+    section
+        .iter()
+        .map(|(name, v)| {
+            v.as_f64()
+                .map(|v| (name.clone(), v))
+                .ok_or_else(|| format!("'{label}.{name}' is not a number"))
+        })
+        .collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -209,7 +207,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let baseline = std::fs::read_to_string(&baseline_path)?;
     let mut failures = Vec::new();
-    for (name, expected) in parse_section(&baseline, "headlines") {
+    for (name, expected) in parse_section(&baseline, "headlines")? {
         match headlines.iter().find(|e| e.name == name) {
             None => failures.push(format!("{name}: in baseline but not measured")),
             Some(entry) => {

@@ -8,7 +8,8 @@
 //! across all seven traffic patterns on the shared sweep engine.
 //!
 //! Run with: `cargo run --release -p shg-bench --bin ruche_comparison --
-//! [--scenario a] [--alloc request-queue|full-scan]`
+//! [--scenario a] [--alloc request-queue|full-scan]
+//! [--shard i/N] [--resume journal.jsonl] [--progress]`
 //!
 //! The head-to-head sweep runs at 6.25% rate resolution (tightened
 //! from 12.5% once request-driven allocation made Phase C cheap);
@@ -117,14 +118,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .all_patterns()
     .default_hotspot_low_rates();
     let mut cache = TopologyCache::new();
-    let result = annotated_experiment(
+    let result = shg_bench::sweep::run_experiment(&annotated_experiment(
         &scenario.params,
         &toolchain.model_options,
         &mut cache,
         &contenders,
         spec,
-    )
-    .run_parallel();
+    ));
     println!(
         "\nSeven-pattern head-to-head (simulated, resolution 6.25%):\n\n{}",
         pattern_saturation_table(&result, 0.05)

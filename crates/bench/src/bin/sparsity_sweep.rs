@@ -8,7 +8,8 @@
 //! seven traffic patterns on the shared sweep engine.
 //!
 //! Run with: `cargo run --release -p shg-bench --bin sparsity_sweep --
-//! [--scenario a] [--alloc request-queue|full-scan]`
+//! [--scenario a] [--alloc request-queue|full-scan]
+//! [--shard i/N] [--resume journal.jsonl] [--progress]`
 //!
 //! The seven-pattern validation runs at 6.25% rate resolution
 //! (tightened from 12.5% once request-driven allocation made Phase C
@@ -75,7 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ..toolchain
     };
-    let (per_pattern, _) = sweep_toolchain.evaluate_patterns(&scenario.params, &topology, 16)?;
+    let experiment = sweep_toolchain.pattern_experiment(&scenario.params, &topology, 16)?;
+    let result = shg_bench::sweep::run_experiment(&experiment);
+    let per_pattern = sweep_toolchain.pattern_performance(&result, &topology.kind().to_string());
     println!(
         "\nSeven-pattern validation of {} (simulated, resolution 6.25%,\n\
          hot-spot grid log-extended down to 1%):",

@@ -1,0 +1,112 @@
+//! One shard of the standard scenario pattern sweep (the fig6 grid),
+//! run to a resumable JSONL journal — the worker half of cross-machine
+//! sweep sharding (`sweep_merge` recombines the journals).
+//!
+//! Run with:
+//! `cargo run --release -p shg-bench --bin sweep_worker --
+//!  [--scenario a|b|c|d] [--fast] [--rate-points N]
+//!  [--alloc request-queue|full-scan]
+//!  --shard i/N (--out journal.jsonl | --resume journal.jsonl)
+//!  [--progress]`
+//!
+//! `--out` starts the shard from scratch (truncating any existing
+//! file); `--resume` continues an interrupted journal after validating
+//! that it was written under the same plan (spec, topologies,
+//! latencies — the fingerprint) and shard, recomputing only the
+//! missing cells: the finished journal is byte-identical to an
+//! uninterrupted run's.
+//!
+//! `--single-shot result.json` ignores sharding and writes the full
+//! `run_parallel` sweep JSON — the reference the CI `shard-smoke` job
+//! diffs the merged shards against.
+//!
+//! Every worker of one sweep must be given the same scenario flags;
+//! the journal header's plan fingerprint lets `sweep_merge` reject
+//! mismatches instead of silently concatenating different sweeps.
+
+use shg_bench::sweep::{annotated_experiment, scenario_sweep_spec, TopologyCache};
+use shg_bench::{arg_value, has_flag, named_topologies};
+use shg_core::Scenario;
+use shg_floorplan::ModelOptions;
+use shg_sim::sweep::run_journaled;
+use shg_sim::{ShardSpec, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = arg_value("--scenario").unwrap_or_else(|| "a".to_owned());
+    let mut scenario =
+        Scenario::by_name(&which).ok_or_else(|| format!("unknown scenario '{which}'"))?;
+    let fast = has_flag("--fast");
+    // Mirror fig6's pattern-sweep setup exactly, so a sharded worker
+    // fleet reproduces the very grid the single-process binary prints.
+    let model_options = ModelOptions {
+        cell_scale: if fast { 4.0 } else { 2.0 },
+        ..ModelOptions::default()
+    };
+    if fast {
+        scenario.sim = SimConfig::fast_test();
+    }
+    scenario.sim.alloc = shg_bench::alloc_policy_from_args();
+    let rate_points: usize = arg_value("--rate-points").map_or(if fast { 10 } else { 20 }, |v| {
+        v.parse().expect("--rate-points")
+    });
+    let spec = scenario_sweep_spec(&scenario, rate_points);
+    let topologies = named_topologies(&scenario);
+    let mut cache = TopologyCache::new();
+    let experiment = annotated_experiment(
+        &scenario.params,
+        &model_options,
+        &mut cache,
+        &topologies,
+        spec,
+    );
+    let plan = experiment.plan();
+
+    if let Some(path) = arg_value("--single-shot") {
+        let result = experiment.run_parallel();
+        std::fs::write(&path, result.to_json())?;
+        println!(
+            "single shot: scenario ({}), {} cells (fingerprint {:#018x}) → {path}",
+            scenario.name,
+            plan.num_cells(),
+            plan.fingerprint()
+        );
+        return Ok(());
+    }
+
+    let shard = arg_value("--shard").map_or(Ok(ShardSpec::SOLO), |s| ShardSpec::parse(&s))?;
+    let (journal, resume) = match (arg_value("--out"), arg_value("--resume")) {
+        (Some(path), None) => (path, false),
+        (None, Some(path)) => (path, true),
+        (None, None) => (
+            format!(
+                "sweep_{}_{}_of_{}.jsonl",
+                scenario.name,
+                shard.index + 1,
+                shard.count
+            ),
+            false,
+        ),
+        (Some(_), Some(_)) => return Err("--out and --resume are mutually exclusive".into()),
+    };
+    let progress = has_flag("--progress");
+    let shard_cells = plan.shard_cells(shard).len();
+    println!(
+        "scenario ({}): shard {shard} = {shard_cells} of {} cells \
+         (fingerprint {:#018x}) → {journal}{}",
+        scenario.name,
+        plan.num_cells(),
+        plan.fingerprint(),
+        if resume { " (resuming)" } else { "" }
+    );
+    let result = run_journaled(&experiment, shard, &journal, resume, |done, total| {
+        if progress {
+            eprintln!("[sweep_worker] {done}/{total} cells done (shard {shard})");
+        }
+    })
+    .map_err(|e| format!("{journal}: {e}"))?;
+    println!(
+        "shard {shard} complete: {} cells journaled to {journal}",
+        result.points.len()
+    );
+    Ok(())
+}

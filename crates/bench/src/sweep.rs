@@ -1,5 +1,6 @@
 //! Scenario-level sweep support: floorplan-annotated sweep cases with a
-//! topology-keyed cache.
+//! topology-keyed cache, and the shard-/journal-aware executor every
+//! harness binary funnels its sweeps through.
 //!
 //! The sim-level engine ([`shg_sim::sweep`]) shares route tables and
 //! latencies across the (rate × pattern) cells of one case. This layer
@@ -9,15 +10,24 @@
 //! topology structure, so a topology evaluated by several experiment
 //! stages (toolchain evaluation, load sweeps, frontier re-checks) pays
 //! for prediction exactly once per binary.
+//!
+//! [`run_experiment`] is the execution choke point: it reads the
+//! standard sharding flags (`--shard i/N`, `--resume <journal>`,
+//! `--progress`) so every simulating binary can run one shard of its
+//! grid to a resumable journal without per-binary plumbing.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use shg_core::Scenario;
 use shg_floorplan::{predict, ArchParams, ModelOptions};
-use shg_sim::{Experiment, SweepCase, SweepResult, SweepSpec};
+use shg_sim::sweep::run_journaled;
+use shg_sim::{Experiment, ShardSpec, SweepCase, SweepResult, SweepSpec};
 use shg_topology::routing::{self, Routes};
 use shg_topology::Topology;
 use shg_units::Cycles;
+
+use crate::{arg_value, has_flag};
 
 /// A structural fingerprint of a topology: grid dimensions, kind and
 /// the (canonically ordered) link list, FNV-1a hashed.
@@ -139,9 +149,22 @@ pub fn annotated_experiment<'a>(
     experiment
 }
 
+/// The spec of the standard wide scenario sweep: all seven traffic
+/// patterns × `rate_points` linear rates with the default hot-spot low
+/// end — shared by `fig6` and `sweep_worker` so a sharded worker's plan
+/// fingerprint matches the single-process sweep it will be merged
+/// against.
+#[must_use]
+pub fn scenario_sweep_spec(scenario: &Scenario, rate_points: usize) -> SweepSpec {
+    SweepSpec::new(scenario.sim.clone())
+        .linear_rates(rate_points, 1.0)
+        .all_patterns()
+        .default_hotspot_low_rates()
+}
+
 /// The standard wide sweep of a scenario: every applicable topology ×
 /// all seven traffic patterns × a linear rate grid, floorplan-annotated
-/// and run in parallel.
+/// and run through [`run_experiment`] (so the sharding flags apply).
 #[must_use]
 pub fn scenario_sweep(
     scenario: &Scenario,
@@ -149,12 +172,89 @@ pub fn scenario_sweep(
     topologies: &[(String, Topology)],
     rate_points: usize,
 ) -> SweepResult {
-    let spec = SweepSpec::new(scenario.sim.clone())
-        .linear_rates(rate_points, 1.0)
-        .all_patterns()
-        .default_hotspot_low_rates();
+    let spec = scenario_sweep_spec(scenario, rate_points);
     let mut cache = TopologyCache::new();
-    annotated_experiment(&scenario.params, options, &mut cache, topologies, spec).run_parallel()
+    run_experiment(&annotated_experiment(
+        &scenario.params,
+        options,
+        &mut cache,
+        topologies,
+        spec,
+    ))
+}
+
+/// How many sweeps this process has already journaled (each gets a
+/// distinct journal path suffix, so multi-sweep binaries like
+/// `fig6 --scenario all` don't clobber one journal).
+static JOURNALED_SWEEPS: AtomicUsize = AtomicUsize::new(0);
+
+/// The journal path for the `nth` (0-based) sweep of this process:
+/// the flag value as-is for the first, `<path>.2`, `<path>.3`, … after.
+fn nth_journal_path(path: &str, nth: usize) -> String {
+    if nth == 0 {
+        path.to_owned()
+    } else {
+        format!("{path}.{}", nth + 1)
+    }
+}
+
+/// Runs an experiment under the standard sharding flags; the execution
+/// path every simulating harness binary shares.
+///
+/// * `--shard i/N` — run only the `i`-th of `N` strided shards
+///   ([`ShardSpec::parse`], one-based `i`). Tables and saturation
+///   estimates then cover just that shard's cells; journal the shard
+///   and merge with `sweep_merge` to recover the full result.
+/// * `--resume <journal>` — journal completed cells to the given JSONL
+///   path, resuming (and validating the plan fingerprint) if the file
+///   already has cells from an interrupted run. Each further sweep in
+///   the same process appends `.2`, `.3`, … to the path.
+/// * `--progress` — log `cells done / total` to stderr as chunks
+///   complete.
+///
+/// Without any of the flags this is exactly
+/// [`Experiment::run_parallel`].
+///
+/// # Panics
+///
+/// Panics on a malformed `--shard`, a journal that does not match the
+/// experiment (fingerprint, shard or prefix mismatch — the error names
+/// the cause), or journal I/O failure.
+#[must_use]
+pub fn run_experiment(experiment: &Experiment<'_>) -> SweepResult {
+    let shard = arg_value("--shard").map_or(ShardSpec::SOLO, |text| {
+        ShardSpec::parse(&text).unwrap_or_else(|e| panic!("{e}"))
+    });
+    let journal = arg_value("--resume");
+    let progress = has_flag("--progress");
+    let total_cells = experiment.num_points();
+    let report = move |done: usize, total: usize| {
+        if progress {
+            eprintln!("[sweep] {done}/{total} cells done (shard {shard} of {total_cells} total)");
+        }
+    };
+    match journal {
+        Some(path) => {
+            let nth = JOURNALED_SWEEPS.fetch_add(1, Ordering::Relaxed);
+            let path = nth_journal_path(&path, nth);
+            run_journaled(experiment, shard, &path, true, report)
+                .unwrap_or_else(|e| panic!("journal {path}: {e}"))
+        }
+        None if shard == ShardSpec::SOLO && !progress => experiment.run_parallel(),
+        None => {
+            let cells = experiment.plan().shard_cells(shard);
+            report(0, cells.len());
+            let mut done = 0;
+            let points = experiment
+                .run_cells_chunked(&cells, |chunk, _| {
+                    done += chunk.len();
+                    report(done, cells.len());
+                    Ok::<(), std::convert::Infallible>(())
+                })
+                .unwrap_or_else(|never| match never {});
+            SweepResult { points }
+        }
+    }
 }
 
 /// Renders a per-pattern saturation summary of a sweep: one row per
@@ -226,6 +326,29 @@ mod tests {
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(a.link_latencies, b.link_latencies);
         assert_eq!(a.link_latencies.len(), mesh.num_links());
+    }
+
+    #[test]
+    fn run_experiment_without_flags_is_run_parallel() {
+        // The test binary's argv carries none of the sharding flags, so
+        // the executor must take the plain path and reproduce the
+        // single-shot bytes.
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let spec = shg_sim::SweepSpec::new(shg_sim::SimConfig::fast_test()).rates([0.05, 0.2]);
+        let experiment = shg_sim::Experiment::new(spec)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("mesh routes");
+        assert_eq!(
+            run_experiment(&experiment).to_json(),
+            experiment.run_parallel().to_json()
+        );
+    }
+
+    #[test]
+    fn journal_paths_of_later_sweeps_get_suffixes() {
+        assert_eq!(nth_journal_path("a.jsonl", 0), "a.jsonl");
+        assert_eq!(nth_journal_path("a.jsonl", 1), "a.jsonl.2");
+        assert_eq!(nth_journal_path("a.jsonl", 2), "a.jsonl.3");
     }
 
     #[test]

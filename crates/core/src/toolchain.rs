@@ -213,26 +213,53 @@ impl Toolchain {
         topology: &Topology,
         rate_points: usize,
     ) -> Result<(Vec<PatternPerformance>, SweepResult), EvaluateError> {
+        let experiment = self.pattern_experiment(params, topology, rate_points)?;
+        let result = experiment.run_parallel();
+        let per_pattern = self.pattern_performance(&result, &topology.kind().to_string());
+        Ok((per_pattern, result))
+    }
+
+    /// The experiment behind [`Toolchain::evaluate_patterns`], not yet
+    /// run: one floorplan-annotated case for `topology` over the
+    /// standard wide grid (all seven patterns, `rate_points` linear
+    /// rates, the default hot-spot low end). Exposed so harnesses can
+    /// run it through a shard- or journal-aware executor instead of a
+    /// plain [`Experiment::run_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluateError::Routing`] if no deadlock-free hop-minimal
+    /// routing applies to the topology.
+    pub fn pattern_experiment<'a>(
+        &self,
+        params: &ArchParams,
+        topology: &'a Topology,
+        rate_points: usize,
+    ) -> Result<Experiment<'a>, EvaluateError> {
         let routes = routing::default_routes(topology)?;
         let prediction = predict(params, topology, &self.model_options);
-        let name = topology.kind().to_string();
         let spec = SweepSpec::new(self.sim.clone())
             .linear_rates(rate_points.max(1), 1.0)
             .all_patterns()
             .default_hotspot_low_rates();
-        let result = Experiment::new(spec)
-            .with_case(SweepCase::annotated(
-                name.clone(),
-                topology,
-                routes,
-                prediction.estimates.link_latencies,
-            ))
-            .run_parallel();
-        let per_pattern = shg_sim::sweep::ALL_PATTERNS
+        Ok(Experiment::new(spec).with_case(SweepCase::annotated(
+            topology.kind().to_string(),
+            topology,
+            routes,
+            prediction.estimates.link_latencies,
+        )))
+    }
+
+    /// Extracts per-pattern performance for case `name` from a sweep
+    /// result (the summarization half of
+    /// [`Toolchain::evaluate_patterns`]).
+    #[must_use]
+    pub fn pattern_performance(&self, result: &SweepResult, name: &str) -> Vec<PatternPerformance> {
+        shg_sim::sweep::ALL_PATTERNS
             .iter()
             .map(|&pattern| {
                 let low_load_latency = result
-                    .points_for(&name)
+                    .points_for(name)
                     .filter(|p| p.pattern == pattern)
                     .map(|p| (p.rate, p.outcome.avg_packet_latency))
                     .fold(None::<(f64, f64)>, |best, (rate, lat)| match best {
@@ -241,7 +268,7 @@ impl Toolchain {
                     })
                     .map_or(0.0, |(_, lat)| lat);
                 let saturation_throughput = result
-                    .saturation_estimate(&name, pattern, self.search.slack)
+                    .saturation_estimate(name, pattern, self.search.slack)
                     .unwrap_or(0.0);
                 PatternPerformance {
                     pattern,
@@ -249,8 +276,7 @@ impl Toolchain {
                     saturation_throughput,
                 }
             })
-            .collect();
-        Ok((per_pattern, result))
+            .collect()
     }
 }
 

@@ -61,5 +61,8 @@ pub use runner::{
     zero_load_latency, Performance, SaturationSearch,
 };
 pub use stats::{percentile, SimOutcome};
-pub use sweep::{Experiment, SweepCase, SweepPoint, SweepResult, SweepSpec};
+pub use sweep::{
+    CellId, Experiment, ShardResult, ShardSpec, SweepCase, SweepPlan, SweepPoint, SweepResult,
+    SweepSpec,
+};
 pub use traffic::TrafficPattern;

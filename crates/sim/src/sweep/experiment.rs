@@ -1,0 +1,404 @@
+//! The execution layer: cases (topology + routes + latencies, computed
+//! once and shared by all grid cells) and the [`Experiment`] that fans
+//! the grid — or any subset of its cells — out over threads.
+
+use rayon::prelude::*;
+
+use shg_topology::routing::{self, BuildRoutesError, Routes};
+use shg_topology::Topology;
+use shg_units::Cycles;
+
+use super::plan::{CellId, SweepPlan};
+use super::result::{ShardResult, SweepPoint, SweepResult};
+use super::shard::ShardSpec;
+use super::spec::SweepSpec;
+use crate::config::SimConfig;
+use crate::network::Network;
+
+/// One topology under sweep: its routing table and per-link latencies
+/// are computed once and shared by all grid cells of the case.
+#[derive(Debug)]
+pub struct SweepCase<'a> {
+    /// Display name of the case (topology or configuration label).
+    pub name: String,
+    /// The topology.
+    pub topology: &'a Topology,
+    /// Routing table (computed once per case).
+    pub routes: Routes,
+    /// Per-link latencies, e.g. from the floorplan model.
+    pub link_latencies: Vec<Cycles>,
+}
+
+impl<'a> SweepCase<'a> {
+    /// A case with precomputed routes and latencies (the floorplan-fed
+    /// path; see `shg-bench`'s scenario sweep for the cached producer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_latencies` does not match the topology's links.
+    #[must_use]
+    pub fn annotated(
+        name: impl Into<String>,
+        topology: &'a Topology,
+        routes: Routes,
+        link_latencies: Vec<Cycles>,
+    ) -> Self {
+        assert_eq!(
+            link_latencies.len(),
+            topology.num_links(),
+            "one latency per link required"
+        );
+        Self {
+            name: name.into(),
+            topology,
+            routes,
+            link_latencies,
+        }
+    }
+
+    /// A case with default routes and unit link latencies (the
+    /// floorplan-free path used by tests and microbenchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Returns the routing error if no deadlock-free minimal routing
+    /// applies to the topology.
+    pub fn unit_latency(
+        name: impl Into<String>,
+        topology: &'a Topology,
+    ) -> Result<Self, BuildRoutesError> {
+        let routes = routing::default_routes(topology)?;
+        let link_latencies = vec![Cycles::one(); topology.num_links()];
+        Ok(Self::annotated(name, topology, routes, link_latencies))
+    }
+}
+
+/// A sweep ready to run: cases plus the grid spec.
+///
+/// # Examples
+///
+/// A full load-curve sweep in three lines (the README quickstart):
+///
+/// ```
+/// # use shg_sim::{Experiment, SimConfig, SweepSpec};
+/// # use shg_topology::{generators, Grid};
+/// # let mesh = generators::mesh(Grid::new(4, 4));
+/// let spec = SweepSpec::new(SimConfig::fast_test()).linear_rates(5, 0.5).all_patterns();
+/// let result = Experiment::new(spec).with_unit_latency_case("mesh", &mesh)?.run_parallel();
+/// println!("{}", result.table());
+/// # Ok::<(), shg_topology::routing::BuildRoutesError>(())
+/// ```
+#[derive(Debug)]
+pub struct Experiment<'a> {
+    spec: SweepSpec,
+    cases: Vec<SweepCase<'a>>,
+}
+
+impl<'a> Experiment<'a> {
+    /// An experiment over the given grid, with no cases yet.
+    #[must_use]
+    pub fn new(spec: SweepSpec) -> Self {
+        Self {
+            spec,
+            cases: Vec::new(),
+        }
+    }
+
+    /// Adds a prepared case (builder style).
+    #[must_use]
+    pub fn with_case(mut self, case: SweepCase<'a>) -> Self {
+        self.cases.push(case);
+        self
+    }
+
+    /// Adds a case with default routes and unit latencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns the routing error if no deadlock-free minimal routing
+    /// applies to the topology.
+    pub fn with_unit_latency_case(
+        self,
+        name: impl Into<String>,
+        topology: &'a Topology,
+    ) -> Result<Self, BuildRoutesError> {
+        Ok(self.with_case(SweepCase::unit_latency(name, topology)?))
+    }
+
+    /// Adds a prepared case in place.
+    pub fn push_case(&mut self, case: SweepCase<'a>) {
+        self.cases.push(case);
+    }
+
+    /// The grid spec.
+    #[must_use]
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// The total number of grid cells.
+    #[must_use]
+    pub fn num_points(&self) -> usize {
+        self.cases.len() * self.spec.cells_per_case()
+    }
+
+    /// The cell enumeration and fingerprint of this experiment (see
+    /// [`SweepPlan`]): the coordinates sharding, journaling and merging
+    /// all speak.
+    #[must_use]
+    pub fn plan(&self) -> SweepPlan {
+        SweepPlan::new(&self.spec, &self.cases)
+    }
+
+    /// Runs every grid cell, fanned out over the current thread pool.
+    #[must_use]
+    pub fn run_parallel(&self) -> SweepResult {
+        let cells: Vec<CellId> = self.plan().cells().collect();
+        SweepResult {
+            points: self.run_cells(&cells),
+        }
+    }
+
+    /// Runs the given cells, fanned out over the current thread pool;
+    /// points come back in the order of `cells`. Each point's RNG seed
+    /// derives from its grid coordinates alone, so any partition of the
+    /// cell list — across threads, processes or machines — reproduces
+    /// the exact points of a single-shot [`Experiment::run_parallel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell is out of the plan's range.
+    #[must_use]
+    pub fn run_cells(&self, cells: &[CellId]) -> Vec<SweepPoint> {
+        cells.par_iter().map(|&cell| self.run_point(cell)).collect()
+    }
+
+    /// Runs `cells` in order as pool-sized chunks (a couple per worker
+    /// — large enough to keep the pool busy, small enough to bound the
+    /// work lost to a kill), invoking `after_chunk(chunk, points)` as
+    /// each chunk completes, and returns all points in cell order. The
+    /// chunk boundary is the one place journaled execution flushes and
+    /// progress is reported, so the two cannot drift; an error from
+    /// `after_chunk` aborts the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error `after_chunk` returns.
+    pub fn run_cells_chunked<E>(
+        &self,
+        cells: &[CellId],
+        mut after_chunk: impl FnMut(&[CellId], &[SweepPoint]) -> Result<(), E>,
+    ) -> Result<Vec<SweepPoint>, E> {
+        let chunk_size = rayon::current_num_threads().max(1) * 2;
+        let mut points = Vec::with_capacity(cells.len());
+        for chunk in cells.chunks(chunk_size.max(1)) {
+            let chunk_points = self.run_cells(chunk);
+            after_chunk(chunk, &chunk_points)?;
+            points.extend(chunk_points);
+        }
+        Ok(points)
+    }
+
+    /// Runs one shard of the sweep (see [`ShardSpec`]), returning its
+    /// points tagged with everything [`SweepResult::merge`] validates.
+    #[must_use]
+    pub fn run_shard(&self, shard: ShardSpec) -> ShardResult {
+        let plan = self.plan();
+        let cells = plan.shard_cells(shard);
+        let points = self.run_cells(&cells);
+        ShardResult {
+            fingerprint: plan.fingerprint(),
+            shard,
+            plan_cells: plan.num_cells() as u64,
+            entries: cells.into_iter().zip(points).collect(),
+        }
+    }
+
+    /// Runs the sweep on exactly `threads` workers. Produces the same
+    /// result as [`Experiment::run_parallel`] — the determinism
+    /// regression test pins 1 vs N and compares JSON bytes.
+    ///
+    /// Builds a fresh pool per call; callers running several sweeps at
+    /// one thread count should build the pool once and use
+    /// [`Experiment::run_in_pool`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread pool cannot be built (the vendored rayon
+    /// stand-in never fails).
+    #[must_use]
+    pub fn run_with_threads(&self, threads: usize) -> SweepResult {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool builds");
+        self.run_in_pool(&pool)
+    }
+
+    /// Runs the sweep on an existing thread pool.
+    #[must_use]
+    pub fn run_in_pool(&self, pool: &rayon::ThreadPool) -> SweepResult {
+        pool.install(|| self.run_parallel())
+    }
+
+    /// Runs one grid cell. The per-point seed depends only on the root
+    /// seed and the grid coordinates, never on scheduling.
+    fn run_point(&self, cell: CellId) -> SweepPoint {
+        let case = &self.cases[cell.case as usize];
+        let pattern = self.spec.patterns[cell.pattern as usize];
+        let rate = self.spec.rates_of(pattern)[cell.rate as usize];
+        let seed = derive_seed(
+            self.spec.config.seed,
+            u64::from(cell.case),
+            u64::from(cell.pattern),
+            u64::from(cell.rate),
+        );
+        let config = SimConfig {
+            seed,
+            ..self.spec.config.clone()
+        };
+        let mut network = Network::new(case.topology, &case.routes, &case.link_latencies, config);
+        let outcome = network.run(rate, pattern);
+        SweepPoint {
+            case: case.name.clone(),
+            pattern,
+            rate,
+            seed,
+            outcome,
+        }
+    }
+}
+
+/// SplitMix64-style mixing of the root seed with grid coordinates.
+fn derive_seed(root: u64, case: u64, pattern: u64, rate: u64) -> u64 {
+    crate::injection::splitmix64_mix(
+        root.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(pattern.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(rate.wrapping_mul(0x94d0_49bb_1331_11eb)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficPattern;
+    use shg_topology::{generators, Grid};
+
+    fn small_experiment(topology: &Topology) -> Experiment<'_> {
+        let spec = SweepSpec::new(SimConfig::fast_test())
+            .rates([0.02, 0.1])
+            .patterns([TrafficPattern::UniformRandom, TrafficPattern::Transpose]);
+        Experiment::new(spec)
+            .with_unit_latency_case("mesh", topology)
+            .expect("mesh routes")
+    }
+
+    #[test]
+    fn grid_order_is_case_pattern_rate() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let result = small_experiment(&mesh).run_parallel();
+        assert_eq!(result.points.len(), 4);
+        let labels: Vec<(String, f64)> = result
+            .points
+            .iter()
+            .map(|p| (p.pattern.to_string(), p.rate))
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                ("uniform-random".to_owned(), 0.02),
+                ("uniform-random".to_owned(), 0.1),
+                ("transpose".to_owned(), 0.02),
+                ("transpose".to_owned(), 0.1),
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_equals_single_threaded() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let experiment = small_experiment(&mesh);
+        let serial = experiment.run_with_threads(1);
+        let parallel = experiment.run_with_threads(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn per_point_seeds_differ() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let result = small_experiment(&mesh).run_parallel();
+        let seeds: std::collections::HashSet<u64> = result.points.iter().map(|p| p.seed).collect();
+        assert_eq!(seeds.len(), result.points.len());
+    }
+
+    #[test]
+    fn saturation_estimate_reads_stable_frontier() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let spec = SweepSpec::new(SimConfig::fast_test()).rates([0.02, 0.1, 0.9]);
+        let result = Experiment::new(spec)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("routes")
+            .run_parallel();
+        let sat = result
+            .saturation_estimate("mesh", TrafficPattern::UniformRandom, 0.05)
+            .expect("low rates are stable");
+        assert!(sat >= 0.1, "mesh sustains 0.1: {sat}");
+        assert!(sat < 0.9, "mesh cannot sustain 0.9: {sat}");
+    }
+
+    #[test]
+    fn json_contains_every_point() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let result = small_experiment(&mesh).run_parallel();
+        let json = result.to_json();
+        assert_eq!(json.matches("\"case\"").count(), result.points.len());
+        assert!(json.contains("\"avg_packet_latency\""));
+    }
+
+    #[test]
+    fn overridden_grid_keeps_case_pattern_rate_order() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let spec = SweepSpec::new(SimConfig::fast_test())
+            .rates([0.1])
+            .patterns([TrafficPattern::UniformRandom, TrafficPattern::Hotspot(20)])
+            .rates_for(TrafficPattern::Hotspot(20), [0.02, 0.1]);
+        let result = Experiment::new(spec)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("routes")
+            .run_parallel();
+        let labels: Vec<(String, f64)> = result
+            .points
+            .iter()
+            .map(|p| (p.pattern.to_string(), p.rate))
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                ("uniform-random".to_owned(), 0.1),
+                ("hotspot-20%".to_owned(), 0.02),
+                ("hotspot-20%".to_owned(), 0.1),
+            ]
+        );
+    }
+
+    #[test]
+    fn run_shard_computes_exactly_the_strided_cells() {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let experiment = small_experiment(&mesh);
+        let full = experiment.run_parallel();
+        let shard = experiment.run_shard(ShardSpec::new(1, 3));
+        assert_eq!(shard.plan_cells, 4);
+        assert_eq!(shard.entries.len(), 1, "cells 0..4, stride 3, offset 1");
+        let (cell, point) = &shard.entries[0];
+        assert_eq!(
+            *cell,
+            CellId {
+                case: 0,
+                pattern: 0,
+                rate: 1
+            }
+        );
+        assert_eq!(*point, full.points[1], "shard points match the single shot");
+    }
+}

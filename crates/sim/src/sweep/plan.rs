@@ -1,0 +1,232 @@
+//! The cell enumeration layer: stable coordinates for every grid cell
+//! of a sweep, in one canonical total order, plus the plan fingerprint
+//! that sharded and resumed executions validate against.
+
+use serde::Serialize;
+
+use super::experiment::SweepCase;
+use super::shard::ShardSpec;
+use super::spec::SweepSpec;
+
+/// Stable coordinates of one grid cell: `(case, pattern, rate)`
+/// indices into the experiment's case list, the spec's pattern list,
+/// and that pattern's rate grid. The derived `Ord` is the canonical
+/// total order (case-major, then pattern, then rate) — the order
+/// [`crate::Experiment::run_parallel`] emits points in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct CellId {
+    /// Index into the experiment's case list.
+    pub case: u32,
+    /// Index into the spec's pattern list.
+    pub pattern: u32,
+    /// Index into that pattern's rate grid ([`SweepSpec::rates_of`]).
+    pub rate: u32,
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.case, self.pattern, self.rate)
+    }
+}
+
+/// The enumerable shape of a sweep: how many cases, and how many rates
+/// each pattern sweeps — everything needed to list every [`CellId`] in
+/// canonical order — plus a fingerprint of the inputs that produced it.
+///
+/// Two executions (shards of one sweep, or an interrupted run and its
+/// resume) may only be combined when their fingerprints match: the
+/// fingerprint digests the full [`SweepSpec`] (simulator configuration,
+/// seed, rate grids, patterns) and every case's name, topology links
+/// and per-link latencies, so any change that could alter a simulated
+/// point changes the fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPlan {
+    num_cases: usize,
+    /// Rates per pattern, in spec order.
+    rates_per_pattern: Vec<usize>,
+    fingerprint: u64,
+}
+
+/// FNV-1a over a byte stream.
+fn fnv_bytes(hash: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+    for byte in bytes {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+impl SweepPlan {
+    /// The plan of an experiment over `spec` with `cases`.
+    pub(crate) fn new(spec: &SweepSpec, cases: &[SweepCase<'_>]) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let spec_json = serde_json::to_string(spec).expect("spec serializes");
+        fnv_bytes(&mut hash, spec_json.bytes());
+        for case in cases {
+            fnv_bytes(&mut hash, case.name.bytes());
+            fnv_bytes(&mut hash, u64::from(case.topology.rows()).to_le_bytes());
+            fnv_bytes(&mut hash, u64::from(case.topology.cols()).to_le_bytes());
+            for link in case.topology.links() {
+                fnv_bytes(&mut hash, (link.a.index() as u64).to_le_bytes());
+                fnv_bytes(&mut hash, (link.b.index() as u64).to_le_bytes());
+            }
+            for latency in &case.link_latencies {
+                fnv_bytes(&mut hash, latency.value().to_le_bytes());
+            }
+        }
+        Self {
+            num_cases: cases.len(),
+            rates_per_pattern: spec
+                .patterns
+                .iter()
+                .map(|&p| spec.rates_of(p).len())
+                .collect(),
+            fingerprint: hash,
+        }
+    }
+
+    /// Rebuilds a plan from its recorded shape (a journal header), so
+    /// readers can validate entries against the exact cell sequence the
+    /// writer enumerated without access to the original experiment.
+    pub(crate) fn from_shape(
+        num_cases: usize,
+        rates_per_pattern: Vec<usize>,
+        fingerprint: u64,
+    ) -> Self {
+        Self {
+            num_cases,
+            rates_per_pattern,
+            fingerprint,
+        }
+    }
+
+    /// The fingerprint sharded/resumed executions must agree on.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The number of cases.
+    #[must_use]
+    pub fn num_cases(&self) -> usize {
+        self.num_cases
+    }
+
+    /// How many rates each pattern sweeps, in spec order.
+    #[must_use]
+    pub fn rates_per_pattern(&self) -> &[usize] {
+        &self.rates_per_pattern
+    }
+
+    /// The total number of grid cells.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.num_cases * self.rates_per_pattern.iter().sum::<usize>()
+    }
+
+    /// Every cell in canonical order (case-major, then pattern, then
+    /// rate).
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.num_cases).flat_map(move |c| {
+            self.rates_per_pattern
+                .iter()
+                .enumerate()
+                .flat_map(move |(p, &rates)| {
+                    (0..rates).map(move |r| CellId {
+                        case: c as u32,
+                        pattern: p as u32,
+                        rate: r as u32,
+                    })
+                })
+        })
+    }
+
+    /// The cells `shard` computes, in canonical order (the strided
+    /// subsequence of [`SweepPlan::cells`]).
+    #[must_use]
+    pub fn shard_cells(&self, shard: ShardSpec) -> Vec<CellId> {
+        self.cells()
+            .enumerate()
+            .filter(|&(ordinal, _)| shard.owns(ordinal))
+            .map(|(_, cell)| cell)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::experiment::Experiment;
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::traffic::TrafficPattern;
+    use shg_topology::{generators, Grid};
+
+    fn plan_for(spec: SweepSpec) -> SweepPlan {
+        let mesh = generators::mesh(Grid::new(4, 4));
+        Experiment::new(spec)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("mesh routes")
+            .plan()
+    }
+
+    fn base_spec() -> SweepSpec {
+        SweepSpec::new(SimConfig::fast_test())
+            .rates([0.02, 0.1])
+            .patterns([TrafficPattern::UniformRandom, TrafficPattern::Hotspot(20)])
+            .rates_for(TrafficPattern::Hotspot(20), [0.01, 0.05, 0.2])
+    }
+
+    #[test]
+    fn cells_enumerate_in_canonical_order_with_overrides() {
+        let plan = plan_for(base_spec());
+        assert_eq!(plan.num_cells(), 2 + 3);
+        let cells: Vec<CellId> = plan.cells().collect();
+        assert_eq!(cells.len(), 5);
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        assert_eq!(cells, sorted, "canonical order is the derived Ord");
+        assert_eq!(
+            cells[2],
+            CellId {
+                case: 0,
+                pattern: 1,
+                rate: 0
+            }
+        );
+    }
+
+    #[test]
+    fn shards_partition_the_cells() {
+        let plan = plan_for(base_spec());
+        let all: Vec<CellId> = plan.cells().collect();
+        for count in 1..=4u32 {
+            let mut union: Vec<CellId> = (0..count)
+                .flat_map(|i| plan.shard_cells(ShardSpec::new(i, count)))
+                .collect();
+            union.sort_unstable();
+            assert_eq!(union, all, "{count} shards form an exact cover");
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_spec_and_cases() {
+        let base = plan_for(base_spec());
+        assert_eq!(base, plan_for(base_spec()), "same inputs reproduce");
+        let other_rate = plan_for(base_spec().rates([0.02, 0.11]));
+        assert_ne!(base.fingerprint(), other_rate.fingerprint());
+        let other_seed = plan_for(SweepSpec {
+            config: SimConfig {
+                seed: 7,
+                ..SimConfig::fast_test()
+            },
+            ..base_spec()
+        });
+        assert_ne!(base.fingerprint(), other_seed.fingerprint());
+        // A different topology under the same case name changes it too.
+        let torus = generators::torus(Grid::new(4, 4));
+        let renamed = Experiment::new(base_spec())
+            .with_unit_latency_case("mesh", &torus)
+            .expect("torus routes")
+            .plan();
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
+    }
+}

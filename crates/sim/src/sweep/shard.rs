@@ -1,0 +1,139 @@
+//! The shard planner: how a sweep's cell sequence is divided between
+//! independent workers (processes or machines).
+//!
+//! Assignment is **strided**: cell ordinal `k` belongs to shard
+//! `k mod count`. Because the canonical cell order enumerates each
+//! pattern's rates from low to high, striding spreads the expensive
+//! saturated high-rate cells evenly across shards instead of handing
+//! one shard a contiguous block of them.
+
+use serde::Serialize;
+
+/// One shard of a sweep: which stride of the canonical cell sequence
+/// this worker computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct ShardSpec {
+    /// Zero-based shard index, `< count`.
+    pub index: u32,
+    /// Total number of shards the sweep is divided into.
+    pub count: u32,
+}
+
+/// Error from [`ShardSpec::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardParseError(String);
+
+impl std::fmt::Display for ShardParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid shard '{}': expected i/N with 1 <= i <= N (e.g. 2/3)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ShardParseError {}
+
+impl ShardSpec {
+    /// The whole sweep as a single shard.
+    pub const SOLO: Self = Self { index: 0, count: 1 };
+
+    /// A shard with a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    #[must_use]
+    pub fn new(index: u32, count: u32) -> Self {
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        Self { index, count }
+    }
+
+    /// Parses the CLI form `i/N` with **one-based** `i` (so `1/3`,
+    /// `2/3`, `3/3` name the three shards of a three-way split).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the input is `i/N` with `1 <= i <= N`.
+    pub fn parse(text: &str) -> Result<Self, ShardParseError> {
+        let err = || ShardParseError(text.to_owned());
+        let (i, n) = text.split_once('/').ok_or_else(err)?;
+        let i: u32 = i.trim().parse().map_err(|_| err())?;
+        let n: u32 = n.trim().parse().map_err(|_| err())?;
+        if i == 0 || n == 0 || i > n {
+            return Err(err());
+        }
+        Ok(Self {
+            index: i - 1,
+            count: n,
+        })
+    }
+
+    /// `true` if this shard computes the cell at canonical ordinal
+    /// `ordinal` (strided assignment).
+    #[must_use]
+    pub fn owns(self, ordinal: usize) -> bool {
+        ordinal % self.count as usize == self.index as usize
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    /// The one-based CLI form, `i/N`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index + 1, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_is_one_based_and_validates() {
+        assert_eq!(
+            ShardSpec::parse("1/3").expect("valid"),
+            ShardSpec::new(0, 3)
+        );
+        assert_eq!(
+            ShardSpec::parse("3/3").expect("valid"),
+            ShardSpec::new(2, 3)
+        );
+        assert_eq!(ShardSpec::parse("1/1").expect("valid"), ShardSpec::SOLO);
+        for bad in ["0/3", "4/3", "3", "a/b", "1/0", "", "1/3/2"] {
+            let err = ShardSpec::parse(bad).expect_err(bad);
+            assert!(err.to_string().contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for spec in [ShardSpec::SOLO, ShardSpec::new(0, 3), ShardSpec::new(2, 5)] {
+            assert_eq!(
+                ShardSpec::parse(&spec.to_string()).expect("roundtrip"),
+                spec
+            );
+        }
+    }
+
+    #[test]
+    fn strides_partition_the_ordinals() {
+        let count = 3;
+        for ordinal in 0..20 {
+            let owners: Vec<u32> = (0..count)
+                .filter(|&i| ShardSpec::new(i, count).owns(ordinal))
+                .collect();
+            assert_eq!(owners.len(), 1, "ordinal {ordinal} owned once");
+            assert_eq!(owners[0], (ordinal % count as usize) as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let _ = ShardSpec::new(3, 3);
+    }
+}

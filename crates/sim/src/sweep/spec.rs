@@ -1,0 +1,254 @@
+//! The grid specification layer: which patterns and rates a sweep
+//! covers, and the simulator configuration shared by every point.
+
+use serde::Serialize;
+
+use crate::config::SimConfig;
+use crate::traffic::TrafficPattern;
+
+/// Every traffic pattern the simulator models, in the order used by the
+/// wide-evaluation sweeps (hot-spot at 20%, a common stress setting).
+pub const ALL_PATTERNS: [TrafficPattern; 7] = [
+    TrafficPattern::UniformRandom,
+    TrafficPattern::Transpose,
+    TrafficPattern::BitComplement,
+    TrafficPattern::Reverse,
+    TrafficPattern::Tornado,
+    TrafficPattern::Neighbor,
+    TrafficPattern::Hotspot(20),
+];
+
+/// `n` geometrically spaced rates in `[lo, hi)`: `lo · (hi/lo)^(i/n)`.
+///
+/// The log-spaced low end sweeps cover: patterns that saturate far
+/// below a linear grid's coarsest point (hot-spot traffic on larger
+/// networks) still get several stable points without paying for a fine
+/// linear grid everywhere.
+///
+/// # Panics
+///
+/// Panics unless `n > 0` and `0 < lo < hi`.
+#[must_use]
+pub fn log_spaced(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one rate");
+    assert!(lo > 0.0 && lo < hi, "need 0 < lo < hi, got [{lo}, {hi})");
+    let ratio = hi / lo;
+    (0..n)
+        .map(|i| lo * ratio.powf(i as f64 / n as f64))
+        .collect()
+}
+
+/// A per-pattern override of the sweep's rate grid.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PatternRates {
+    /// The pattern whose grid is overridden.
+    pub pattern: TrafficPattern,
+    /// Its injection rates in flits per node per cycle.
+    pub rates: Vec<f64>,
+}
+
+/// The grid of a sweep: injection rates × traffic patterns, plus the
+/// simulator configuration shared by every point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepSpec {
+    /// Injection rates in flits per node per cycle (the default grid
+    /// for every pattern without an entry in `rate_overrides`).
+    pub rates: Vec<f64>,
+    /// Traffic patterns to sweep.
+    pub patterns: Vec<TrafficPattern>,
+    /// Per-pattern rate-grid overrides (see [`SweepSpec::rates_for`]).
+    pub rate_overrides: Vec<PatternRates>,
+    /// Simulator configuration; `config.seed` is the root seed every
+    /// per-point seed derives from.
+    pub config: SimConfig,
+}
+
+impl SweepSpec {
+    /// A spec with the given simulator configuration, uniform-random
+    /// traffic and no rates yet.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Self {
+            rates: Vec::new(),
+            patterns: vec![TrafficPattern::UniformRandom],
+            rate_overrides: Vec::new(),
+            config,
+        }
+    }
+
+    /// Replaces the injection-rate grid.
+    #[must_use]
+    pub fn rates(mut self, rates: impl IntoIterator<Item = f64>) -> Self {
+        self.rates = rates.into_iter().collect();
+        self
+    }
+
+    /// `n` evenly spaced rates in `(0, max]`.
+    #[must_use]
+    pub fn linear_rates(self, n: usize, max: f64) -> Self {
+        let rates: Vec<f64> = (1..=n).map(|i| max * i as f64 / n as f64).collect();
+        self.rates(rates)
+    }
+
+    /// Overrides the rate grid for one pattern; every other pattern
+    /// keeps the shared `rates` grid.
+    #[must_use]
+    pub fn rates_for(
+        mut self,
+        pattern: TrafficPattern,
+        rates: impl IntoIterator<Item = f64>,
+    ) -> Self {
+        let rates: Vec<f64> = rates.into_iter().collect();
+        if let Some(existing) = self
+            .rate_overrides
+            .iter_mut()
+            .find(|o| o.pattern == pattern)
+        {
+            existing.rates = rates;
+        } else {
+            self.rate_overrides.push(PatternRates { pattern, rates });
+        }
+        self
+    }
+
+    /// The rate grid `pattern` actually sweeps.
+    #[must_use]
+    pub fn rates_of(&self, pattern: TrafficPattern) -> &[f64] {
+        self.rate_overrides
+            .iter()
+            .find(|o| o.pattern == pattern)
+            .map_or(&self.rates, |o| &o.rates)
+    }
+
+    /// Extends every hot-spot pattern's grid with a log-spaced low end:
+    /// `extra` geometrically spaced rates from `floor` up to (and
+    /// excluding) the lowest shared rate, ahead of the shared grid.
+    ///
+    /// Hot-spot traffic funnels a fixed share of *all* packets through
+    /// one ejection port, so its saturation rate falls like `1/N` and
+    /// drops below the coarsest linear grid point on larger networks —
+    /// without the low end, such sweeps report no stable rate at all.
+    ///
+    /// **Call this last**, after the shared rates and the pattern list
+    /// are final: the override snapshots the shared grid as it stands,
+    /// and with no rates yet, no hot-spot pattern yet, or a `floor` at
+    /// or above the lowest shared rate there is nothing to extend and
+    /// the spec is returned unchanged.
+    #[must_use]
+    pub fn hotspot_low_rates(mut self, extra: usize, floor: f64) -> Self {
+        let lowest = self.rates.iter().copied().fold(f64::INFINITY, f64::min);
+        if extra == 0 || !lowest.is_finite() || floor >= lowest {
+            return self;
+        }
+        let hotspots: Vec<TrafficPattern> = self
+            .patterns
+            .iter()
+            .copied()
+            .filter(|p| matches!(p, TrafficPattern::Hotspot(_)))
+            .collect();
+        for pattern in hotspots {
+            let mut rates = log_spaced(extra, floor, lowest);
+            rates.extend(self.rates.iter().copied());
+            self = self.rates_for(pattern, rates);
+        }
+        self
+    }
+
+    /// [`SweepSpec::hotspot_low_rates`] with the wide-evaluation
+    /// default — 4 log-spaced points down to 1% of injection capacity —
+    /// shared by the Fig. 6-style sweeps so the low-end policy cannot
+    /// drift between binaries.
+    #[must_use]
+    pub fn default_hotspot_low_rates(self) -> Self {
+        self.hotspot_low_rates(4, 0.01)
+    }
+
+    /// Replaces the traffic-pattern list.
+    #[must_use]
+    pub fn patterns(mut self, patterns: impl IntoIterator<Item = TrafficPattern>) -> Self {
+        self.patterns = patterns.into_iter().collect();
+        self
+    }
+
+    /// Sweeps all seven modeled traffic patterns.
+    #[must_use]
+    pub fn all_patterns(self) -> Self {
+        self.patterns(ALL_PATTERNS)
+    }
+
+    /// The number of grid cells per case.
+    #[must_use]
+    pub fn cells_per_case(&self) -> usize {
+        self.patterns.iter().map(|&p| self.rates_of(p).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_spaced_is_geometric_and_in_range() {
+        let rates = log_spaced(4, 0.01, 0.16);
+        assert_eq!(rates.len(), 4);
+        assert!((rates[0] - 0.01).abs() < 1e-12);
+        assert!(*rates.last().expect("non-empty") < 0.16);
+        for pair in rates.windows(2) {
+            let ratio = pair[1] / pair[0];
+            assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn per_pattern_override_changes_only_that_pattern() {
+        let spec = SweepSpec::new(SimConfig::fast_test())
+            .rates([0.2, 0.4])
+            .patterns([TrafficPattern::UniformRandom, TrafficPattern::Hotspot(20)])
+            .rates_for(TrafficPattern::Hotspot(20), [0.01, 0.05, 0.2]);
+        assert_eq!(spec.rates_of(TrafficPattern::UniformRandom), &[0.2, 0.4]);
+        assert_eq!(
+            spec.rates_of(TrafficPattern::Hotspot(20)),
+            &[0.01, 0.05, 0.2]
+        );
+        assert_eq!(spec.cells_per_case(), 5);
+        // Re-overriding replaces instead of accumulating.
+        let spec = spec.rates_for(TrafficPattern::Hotspot(20), [0.1]);
+        assert_eq!(spec.rates_of(TrafficPattern::Hotspot(20)), &[0.1]);
+        assert_eq!(spec.rate_overrides.len(), 1);
+    }
+
+    #[test]
+    fn hotspot_low_rates_prepends_a_log_low_end() {
+        let spec = SweepSpec::new(SimConfig::fast_test())
+            .linear_rates(5, 1.0)
+            .all_patterns()
+            .hotspot_low_rates(4, 0.01);
+        // Only the hot-spot pattern is overridden.
+        assert_eq!(spec.rate_overrides.len(), 1);
+        let hotspot = spec.rates_of(TrafficPattern::Hotspot(20));
+        assert_eq!(hotspot.len(), 4 + 5);
+        assert!((hotspot[0] - 0.01).abs() < 1e-12);
+        assert!(hotspot[3] < 0.2, "low end stays below the linear grid");
+        assert_eq!(&hotspot[4..], spec.rates_of(TrafficPattern::Tornado));
+        // Without a hot-spot pattern (or with a floor above the grid)
+        // nothing changes.
+        let plain = SweepSpec::new(SimConfig::fast_test())
+            .linear_rates(5, 1.0)
+            .hotspot_low_rates(4, 0.01);
+        assert!(plain.rate_overrides.is_empty());
+        let too_high = SweepSpec::new(SimConfig::fast_test())
+            .linear_rates(5, 1.0)
+            .all_patterns()
+            .hotspot_low_rates(4, 0.5);
+        assert!(too_high.rate_overrides.is_empty());
+    }
+
+    #[test]
+    fn all_patterns_constant_covers_the_enum() {
+        // Seven documented patterns; keep the constant in sync.
+        assert_eq!(ALL_PATTERNS.len(), 7);
+        let unique: std::collections::HashSet<String> =
+            ALL_PATTERNS.iter().map(ToString::to_string).collect();
+        assert_eq!(unique.len(), 7);
+    }
+}

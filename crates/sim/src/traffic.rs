@@ -97,6 +97,28 @@ impl TrafficPattern {
     }
 }
 
+impl TrafficPattern {
+    /// Decodes the pattern from its serialized JSON form (unit variants
+    /// as their name string, `Hotspot(p)` as `{"Hotspot": p}`) — the
+    /// inverse of the derived `Serialize`, used by the sweep journal
+    /// reader.
+    pub(crate) fn from_json(value: &serde_json::Value) -> Option<Self> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "UniformRandom" => Some(Self::UniformRandom),
+                "Transpose" => Some(Self::Transpose),
+                "BitComplement" => Some(Self::BitComplement),
+                "Reverse" => Some(Self::Reverse),
+                "Tornado" => Some(Self::Tornado),
+                "Neighbor" => Some(Self::Neighbor),
+                _ => None,
+            };
+        }
+        let percent = value.get("Hotspot")?.as_u64()?;
+        u8::try_from(percent).ok().map(Self::Hotspot)
+    }
+}
+
 impl std::fmt::Display for TrafficPattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -116,6 +138,26 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn json_roundtrips_every_pattern() {
+        for pattern in [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Reverse,
+            TrafficPattern::Tornado,
+            TrafficPattern::Neighbor,
+            TrafficPattern::Hotspot(20),
+            TrafficPattern::Hotspot(0),
+        ] {
+            let json = serde_json::to_string(&pattern).expect("serializes");
+            let value: serde_json::Value = json.parse().expect("parses");
+            assert_eq!(TrafficPattern::from_json(&value), Some(pattern), "{json}");
+        }
+        let bogus: serde_json::Value = "\"Sideways\"".parse().expect("parses");
+        assert_eq!(TrafficPattern::from_json(&bogus), None);
+    }
 
     #[test]
     fn uniform_never_self() {

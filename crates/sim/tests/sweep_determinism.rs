@@ -4,16 +4,36 @@
 //! batching, remote backends) builds on. The per-tile injection
 //! streams must preserve it: every tile seed derives from the
 //! per-point seed, which derives from grid coordinates alone.
+//!
+//! The sharding consequence is pinned here too: any N-way shard split
+//! of a sweep, merged, serializes to the single-shot bytes — across
+//! shard counts and every injection/allocation policy (proptest).
 
+use proptest::prelude::*;
+use rayon::ThreadPool;
 use shg_sim::sweep::ALL_PATTERNS;
-use shg_sim::{AllocPolicy, Experiment, InjectionPolicy, SimConfig, SweepSpec, TrafficPattern};
+use shg_sim::{
+    AllocPolicy, Experiment, InjectionPolicy, ShardSpec, SimConfig, SweepResult, SweepSpec,
+    TrafficPattern,
+};
 use shg_topology::{generators, Grid};
+
+/// One pool per thread count, built once — `run_with_threads` would
+/// rebuild the pool on every invocation inside the policy loop.
+fn pool(threads: usize) -> ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool builds")
+}
 
 #[test]
 fn one_thread_and_many_threads_produce_identical_json() {
     let grid = Grid::new(4, 4);
     let mesh = generators::mesh(grid);
     let torus = generators::torus(grid);
+    let single_pool = pool(1);
+    let pools: Vec<ThreadPool> = [2, 4, 8].into_iter().map(pool).collect();
     // Pairs cover both injection policies and both allocation policies
     // without paying for the full cross product.
     for (injection, alloc) in [
@@ -33,17 +53,17 @@ fn one_thread_and_many_threads_produce_identical_json() {
             .expect("mesh routes")
             .with_unit_latency_case("torus", &torus)
             .expect("torus routes");
-        let single = experiment.run_with_threads(1);
-        for threads in [2, 4, 8] {
-            let parallel = experiment.run_with_threads(threads);
+        let single = experiment.run_in_pool(&single_pool);
+        for parallel_pool in &pools {
+            let parallel = experiment.run_in_pool(parallel_pool);
             assert_eq!(
                 single, parallel,
-                "{injection}/{alloc}: outcomes differ between 1 and {threads} threads"
+                "{injection}/{alloc}: outcomes differ between 1 and N threads"
             );
             assert_eq!(
                 single.to_json(),
                 parallel.to_json(),
-                "{injection}/{alloc}: JSON bytes differ between 1 and {threads} threads"
+                "{injection}/{alloc}: JSON bytes differ between 1 and N threads"
             );
         }
         // Re-running the whole experiment reproduces the bytes too.
@@ -132,4 +152,51 @@ fn distinct_seeds_change_results_but_stay_deterministic() {
         a1.points[0].outcome.measured_packets, b.points[0].outcome.measured_packets,
         "different root seeds should measure different packet counts"
     );
+}
+
+const SHARD_COUNTS: [u32; 5] = [1, 2, 3, 5, 8];
+const INJECTIONS: [InjectionPolicy; 3] = [
+    InjectionPolicy::EventDriven,
+    InjectionPolicy::PerCycleScan,
+    InjectionPolicy::SharedScan,
+];
+const ALLOCS: [AllocPolicy; 2] = [AllocPolicy::RequestQueue, AllocPolicy::FullScan];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Shard-union byte-identity: for any shard count and any
+    /// injection/allocation policy pair, merging the N shard runs
+    /// serializes to exactly the bytes of the single-shot
+    /// `run_parallel` JSON.
+    #[test]
+    fn sharded_runs_merge_to_the_single_shot_bytes(
+        count_idx in 0..SHARD_COUNTS.len(),
+        injection_idx in 0..INJECTIONS.len(),
+        alloc_idx in 0..ALLOCS.len(),
+        seed in 0u64..1_000,
+    ) {
+        let count = SHARD_COUNTS[count_idx];
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let spec = SweepSpec::new(SimConfig {
+            injection: INJECTIONS[injection_idx],
+            alloc: ALLOCS[alloc_idx],
+            seed,
+            ..SimConfig::fast_test()
+        })
+        .rates([0.05, 0.3])
+        .patterns([TrafficPattern::UniformRandom, TrafficPattern::Hotspot(20)])
+        .hotspot_low_rates(2, 0.01);
+        let experiment = Experiment::new(spec)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("mesh routes");
+        let single = experiment.run_parallel().to_json();
+        // Merge in a scrambled order: canonical re-ordering is merge's job.
+        let mut shards: Vec<_> = (0..count)
+            .map(|i| experiment.run_shard(ShardSpec::new(i, count)))
+            .collect();
+        shards.rotate_left(count as usize / 2);
+        let merged = SweepResult::merge(shards).expect("disjoint, complete shards merge");
+        prop_assert_eq!(merged.to_json(), single);
+    }
 }

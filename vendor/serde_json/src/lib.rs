@@ -1,5 +1,7 @@
 //! Offline stand-in for `serde_json`: compact and pretty JSON emission
-//! over the vendored `serde::Serialize` trait.
+//! over the vendored `serde::Serialize` trait, plus a minimal [`Value`]
+//! parser for the line-oriented readers (sweep journals, perf-smoke
+//! baselines) — the workspace's one JSON-reading code path.
 
 use serde::{JsonWriter, Serialize};
 
@@ -101,6 +103,360 @@ fn prettify(compact: &str) -> String {
     out
 }
 
+/// A parsed JSON document, mirroring the real crate's `Value` (the
+/// object variant is an ordered field list instead of a map, and
+/// numbers keep their source text so integers beyond 2^53 — e.g. the
+/// sweep engine's 64-bit seeds — survive a parse → serialize round trip
+/// byte-exactly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw decimal source text.
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as the field list in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value of object field `key`, if this is an object with one.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Self::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The element at `index`, if this is an array with one.
+    #[must_use]
+    pub fn index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Self::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer in range.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Self::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Self::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in source order, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Self::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Error from parsing JSON text, with the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl std::str::FromStr for Value {
+    type Err = ParseError;
+
+    /// Parses one JSON document (as the real crate's `Value: FromStr`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v: serde_json::Value = r#"{"seed":18446744073709551615}"#.parse().unwrap();
+    /// assert_eq!(v.get("seed").and_then(|s| s.as_u64()), Some(u64::MAX));
+    /// ```
+    fn from_str(text: &str) -> Result<Self, ParseError> {
+        let mut p = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_whitespace();
+        let value = p.parse_value()?;
+        p.skip_whitespace();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.expect_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.expect_literal("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(escape) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by the
+                            // writer (it only \u-escapes controls), so a
+                            // lone surrogate is rejected rather than
+                            // paired.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.error(format!("unknown escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar; `pos` only ever rests on
+                    // char boundaries, so slicing the source is safe.
+                    let c = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("unexpected end"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .to_owned();
+        if raw.is_empty() || raw == "-" || raw.parse::<f64>().is_err() {
+            return Err(self.error("invalid number"));
+        }
+        Ok(Value::Number(raw))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +493,71 @@ mod tests {
             }
         }
         assert_eq!(stripped, compact);
+    }
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v: Value = r#"{"a":[1,2.5,-3e2],"b":{"c":"x"},"d":null,"e":true,"f":[]}"#
+            .parse()
+            .expect("parses");
+        assert_eq!(
+            v.get("a").and_then(|a| a.index(1)).and_then(Value::as_f64),
+            Some(2.5)
+        );
+        assert_eq!(
+            v.get("a").and_then(|a| a.index(2)).and_then(Value::as_f64),
+            Some(-300.0)
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Value::as_str),
+            Some("x")
+        );
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("e").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("f").and_then(Value::as_array).map(<[Value]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn numbers_keep_raw_text_for_exact_u64() {
+        let v: Value = format!("{{\"seed\":{}}}", u64::MAX)
+            .parse()
+            .expect("parses");
+        assert_eq!(v.get("seed").and_then(Value::as_u64), Some(u64::MAX));
+        // f64 view of a big integer is lossy, but the u64 view is exact.
+        assert_eq!(v.get("seed").and_then(Value::as_i64), None);
+    }
+
+    #[test]
+    fn strings_unescape() {
+        let v: Value = r#""a\"b\\c\nA""#.parse().expect("parses");
+        assert_eq!(v.as_str(), Some("a\"b\\c\nA"));
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip_is_lossless() {
+        // The property the sweep journal relies on: Rust's shortest
+        // float formatting parses back to the same bits, so parse →
+        // re-serialize reproduces the source bytes.
+        for x in [0.1f64, 1.0 / 3.0, 6.25e-2, f64::MIN_POSITIVE, 1e300] {
+            let text = to_string(&x).expect("serializes");
+            let v: Value = text.parse().expect("parses");
+            assert_eq!(
+                to_string(&v.as_f64().expect("number")).expect("serializes"),
+                text
+            );
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = "{\"a\":}".parse::<Value>().expect_err("invalid");
+        assert_eq!(err.offset, 5);
+        assert!(err.to_string().contains("byte 5"), "{err}");
+        assert!("[1,2".parse::<Value>().is_err());
+        assert!("1 2".parse::<Value>().is_err());
+        assert!("tru".parse::<Value>().is_err());
     }
 }
