@@ -6,11 +6,17 @@
 //! Run with:
 //! `cargo run --release -p shg-bench --bin fig6 -- [--scenario a|b|c|d|all]
 //!  [--fast] [--customize] [--alloc request-queue|full-scan]
-//!  [--shard i/N] [--resume journal.jsonl] [--progress]`
+//!  [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
+//!  [--backend per-cell|reuse] [--progress]`
 //!
 //! The pattern sweeps run through the standard shard-/journal-aware
-//! executor ([`shg_bench::sweep::run_experiment`]); `sweep_worker` and
-//! `sweep_merge` are the purpose-built pair for cross-machine runs.
+//! executor ([`shg_bench::sweep::run_experiment`]), which also reads
+//! the incremental flags: `--cache <dir>` re-simulates only cells no
+//! earlier run cached (re-running a scenario after a model or grid
+//! widening touches just the delta) and `--backend reuse` batches
+//! cells per topology onto one reset-reused `Network`; `sweep_worker`
+//! and `sweep_merge` are the purpose-built pair for cross-machine
+//! runs.
 //!
 //! `--fast` replaces the cycle-accurate saturation search with the
 //! analytic channel-load bound, coarsens the detailed-routing grid and

@@ -5,7 +5,8 @@
 //! `cargo run --release -p shg-bench --bin load_curve -- [--scenario a]
 //!  [--topology shg|mesh|torus|fb|ring] [--pattern all|uniform|transpose|...]
 //!  [--alloc request-queue|full-scan] [--json]
-//!  [--shard i/N] [--resume journal.jsonl] [--progress]`
+//!  [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
+//!  [--backend per-cell|reuse] [--progress]`
 //!
 //! `--json` prints the full `SweepResult` as JSON instead of tables —
 //! the machine-readable output downstream plotting consumes. The
@@ -74,13 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Hot-spot curves saturate below 0.05 on the KNC grids; give
         // them a log-spaced low end so the curve has a stable segment.
         .hotspot_low_rates(4, 0.005);
-    let experiment = Experiment::new(spec).with_case(SweepCase::annotated(
+    let mut experiment = Experiment::new(spec).with_case(SweepCase::annotated(
         topology_name.clone(),
         &annotated.topology,
         routes,
         annotated.link_latencies.clone(),
     ));
-    let result = shg_bench::sweep::run_experiment(&experiment);
+    let result = shg_bench::sweep::run_experiment(&mut experiment);
     if has_flag("--json") {
         println!("{}", result.to_json());
         return Ok(());

@@ -11,7 +11,8 @@
 //!
 //! Run with: `cargo run --release -p shg-bench --bin pareto --
 //! [--rows 6] [--cols 6] [--alloc request-queue|full-scan]
-//! [--shard i/N] [--resume journal.jsonl] [--progress]`
+//! [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
+//!  [--backend per-cell|reuse] [--progress]`
 //!
 //! The frontier validation sweeps at 10% rate resolution (tightened
 //! from 16.7% once request-driven allocation made Phase C cheap);
@@ -155,12 +156,13 @@ fn main() {
     .all_patterns()
     .default_hotspot_low_rates();
     let mut cache = TopologyCache::new();
-    let result = shg_bench::sweep::run_experiment(&annotated_experiment(
+    let mut experiment = annotated_experiment(
         &scenario.params,
         &toolchain.model_options,
         &mut cache,
         &topologies,
         spec,
-    ));
+    );
+    let result = shg_bench::sweep::run_experiment(&mut experiment);
     println!("\n{}", pattern_saturation_table(&result, 0.05));
 }

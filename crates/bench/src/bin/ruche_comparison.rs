@@ -9,7 +9,8 @@
 //!
 //! Run with: `cargo run --release -p shg-bench --bin ruche_comparison --
 //! [--scenario a] [--alloc request-queue|full-scan]
-//! [--shard i/N] [--resume journal.jsonl] [--progress]`
+//! [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
+//!  [--backend per-cell|reuse] [--progress]`
 //!
 //! The head-to-head sweep runs at 6.25% rate resolution (tightened
 //! from 12.5% once request-driven allocation made Phase C cheap);
@@ -118,13 +119,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .all_patterns()
     .default_hotspot_low_rates();
     let mut cache = TopologyCache::new();
-    let result = shg_bench::sweep::run_experiment(&annotated_experiment(
+    let mut experiment = annotated_experiment(
         &scenario.params,
         &toolchain.model_options,
         &mut cache,
         &contenders,
         spec,
-    ));
+    );
+    let result = shg_bench::sweep::run_experiment(&mut experiment);
     println!(
         "\nSeven-pattern head-to-head (simulated, resolution 6.25%):\n\n{}",
         pattern_saturation_table(&result, 0.05)

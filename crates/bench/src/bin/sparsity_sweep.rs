@@ -9,7 +9,8 @@
 //!
 //! Run with: `cargo run --release -p shg-bench --bin sparsity_sweep --
 //! [--scenario a] [--alloc request-queue|full-scan]
-//! [--shard i/N] [--resume journal.jsonl] [--progress]`
+//! [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
+//!  [--backend per-cell|reuse] [--progress]`
 //!
 //! The seven-pattern validation runs at 6.25% rate resolution
 //! (tightened from 12.5% once request-driven allocation made Phase C
@@ -76,8 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ..toolchain
     };
-    let experiment = sweep_toolchain.pattern_experiment(&scenario.params, &topology, 16)?;
-    let result = shg_bench::sweep::run_experiment(&experiment);
+    let mut experiment = sweep_toolchain.pattern_experiment(&scenario.params, &topology, 16)?;
+    let result = shg_bench::sweep::run_experiment(&mut experiment);
     let per_pattern = sweep_toolchain.pattern_performance(&result, &topology.kind().to_string());
     println!(
         "\nSeven-pattern validation of {} (simulated, resolution 6.25%,\n\

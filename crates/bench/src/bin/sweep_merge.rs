@@ -19,6 +19,18 @@ use shg_bench::{arg_value, has_flag};
 use shg_sim::sweep::read_journal;
 use shg_sim::SweepResult;
 
+const USAGE: &str = "\
+Usage: sweep_merge shard1.jsonl shard2.jsonl .. [--out result.json] [--table]
+
+  Validates that every journal carries the same plan fingerprint, that
+  no cell appears twice and that the union covers the whole plan, then
+  writes the canonical SweepResult JSON — byte-identical to a
+  single-process run (a warm `sweep_worker --cache` run included: the
+  cell cache changes which cells are simulated, never their bytes).
+
+  --out    write the merged JSON here instead of stdout
+  --table  also print the human-readable point table to stderr";
+
 /// Flags whose value must not be mistaken for a journal path.
 const VALUE_FLAGS: [&str; 1] = ["--out"];
 
@@ -36,11 +48,13 @@ fn journal_paths() -> Vec<String> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if has_flag("--help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
     let paths = journal_paths();
     if paths.is_empty() {
-        return Err(
-            "no journals given (usage: sweep_merge shard1.jsonl ... [--out result.json])".into(),
-        );
+        return Err(format!("no journals given\n{USAGE}").into());
     }
     let mut shards = Vec::new();
     for path in &paths {

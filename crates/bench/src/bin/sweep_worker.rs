@@ -4,8 +4,9 @@
 //!
 //! Run with:
 //! `cargo run --release -p shg-bench --bin sweep_worker --
-//!  [--scenario a|b|c|d] [--fast] [--rate-points N]
-//!  [--alloc request-queue|full-scan]
+//!  [--scenario a|b|c|d] [--fast] [--rate-points N] [--add-rates r,..]
+//!  [--alloc request-queue|full-scan] [--backend per-cell|reuse]
+//!  [--cache <dir>]
 //!  --shard i/N (--out journal.jsonl | --resume journal.jsonl)
 //!  [--progress]`
 //!
@@ -17,21 +18,58 @@
 //! uninterrupted run's.
 //!
 //! `--single-shot result.json` ignores sharding and writes the full
-//! `run_parallel` sweep JSON — the reference the CI `shard-smoke` job
-//! diffs the merged shards against.
+//! `run_parallel` sweep JSON — the reference the CI `shard-smoke` and
+//! `cache-smoke` jobs diff incremental executions against.
+//!
+//! `--cache <dir>` attaches the cross-run cell-result cache: cells any
+//! earlier run stored (same case, pattern, rate, seed and simulator
+//! config) are answered from disk, and only new cells simulate —
+//! `--add-rates 0.31,0.44` *appends* extra shared-grid rates, the
+//! widening move that keeps every existing cell's coordinates (and
+//! therefore its cache identity) intact. The final
+//! `cache: cached=… simulated=… total=…` line reports the split.
 //!
 //! Every worker of one sweep must be given the same scenario flags;
 //! the journal header's plan fingerprint lets `sweep_merge` reject
 //! mismatches instead of silently concatenating different sweeps.
 
-use shg_bench::sweep::{annotated_experiment, scenario_sweep_spec, TopologyCache};
+use shg_bench::sweep::{
+    annotated_experiment, cache_summary, configure_experiment, scenario_sweep_spec, TopologyCache,
+};
 use shg_bench::{arg_value, has_flag, named_topologies};
 use shg_core::Scenario;
 use shg_floorplan::ModelOptions;
 use shg_sim::sweep::run_journaled;
 use shg_sim::{ShardSpec, SimConfig};
 
+const USAGE: &str = "\
+Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
+                    [--add-rates r1,r2,..] [--alloc request-queue|full-scan]
+                    [--backend per-cell|reuse] [--cache <dir>]
+                    [--shard i/N] (--out j.jsonl | --resume j.jsonl)
+                    [--single-shot result.json] [--progress]
+
+  --scenario     KNC scenario whose grid to sweep (default: a)
+  --fast         fast-test simulator config and coarser floorplan model
+  --rate-points  linear rate-grid points (default: 10 fast / 20 full)
+  --add-rates    extra rates APPENDED to the shared grid — widens the
+                 sweep without shifting existing cells' coordinates,
+                 so a warm --cache re-simulates only these new cells
+  --alloc        allocation policy (default: request-queue)
+  --backend      execution backend (default: per-cell; reuse batches
+                 cells per topology onto one reset-reused Network)
+  --cache        cell-result cache directory (cross-run, content
+                 addressed; prints cached/simulated counts at the end)
+  --shard i/N    run only the i-th of N strided shards (one-based i)
+  --out          fresh journal path    --resume  continue a journal
+  --single-shot  skip sharding, write the full run_parallel JSON
+  --progress     log cells done (and the cached/simulated split)";
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if has_flag("--help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
     let which = arg_value("--scenario").unwrap_or_else(|| "a".to_owned());
     let mut scenario =
         Scenario::by_name(&which).ok_or_else(|| format!("unknown scenario '{which}'"))?;
@@ -49,16 +87,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rate_points: usize = arg_value("--rate-points").map_or(if fast { 10 } else { 20 }, |v| {
         v.parse().expect("--rate-points")
     });
-    let spec = scenario_sweep_spec(&scenario, rate_points);
+    let mut spec = scenario_sweep_spec(&scenario, rate_points);
+    if let Some(extra) = arg_value("--add-rates") {
+        // Appended after the hot-spot low-end override snapshotted the
+        // shared grid: existing cells (including the hot-spot ones)
+        // keep their coordinates, the new rates take fresh indices.
+        for rate in extra.split(',') {
+            let value: f64 = rate
+                .trim()
+                .parse()
+                .map_err(|e| format!("--add-rates '{rate}': {e}"))?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!(
+                    "--add-rates '{rate}': injection rates must be finite and positive"
+                )
+                .into());
+            }
+            spec.rates.push(value);
+        }
+    }
     let topologies = named_topologies(&scenario);
     let mut cache = TopologyCache::new();
-    let experiment = annotated_experiment(
+    let mut experiment = annotated_experiment(
         &scenario.params,
         &model_options,
         &mut cache,
         &topologies,
         spec,
     );
+    configure_experiment(&mut experiment);
+    let experiment = experiment; // flags applied; execution is read-only
     let plan = experiment.plan();
 
     if let Some(path) = arg_value("--single-shot") {
@@ -70,6 +128,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             plan.num_cells(),
             plan.fingerprint()
         );
+        if let Some(summary) = cache_summary(&experiment) {
+            println!("{summary}");
+        }
         return Ok(());
     }
 
@@ -108,5 +169,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "shard {shard} complete: {} cells journaled to {journal}",
         result.points.len()
     );
+    if let Some(summary) = cache_summary(&experiment) {
+        println!("{summary}");
+    }
     Ok(())
 }

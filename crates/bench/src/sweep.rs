@@ -13,8 +13,11 @@
 //!
 //! [`run_experiment`] is the execution choke point: it reads the
 //! standard sharding flags (`--shard i/N`, `--resume <journal>`,
-//! `--progress`) so every simulating binary can run one shard of its
-//! grid to a resumable journal without per-binary plumbing.
+//! `--progress`) plus the incremental-execution flags (`--cache <dir>`
+//! for the cross-run cell-result cache, `--backend per-cell|reuse` for
+//! the execution backend) so every simulating binary can run one shard
+//! of its grid to a resumable journal — re-simulating only cells no
+//! earlier run has cached — without per-binary plumbing.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,7 +25,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use shg_core::Scenario;
 use shg_floorplan::{predict, ArchParams, ModelOptions};
 use shg_sim::sweep::run_journaled;
-use shg_sim::{Experiment, ShardSpec, SweepCase, SweepResult, SweepSpec};
+use shg_sim::{CellCache, ExecBackend, Experiment, ShardSpec, SweepCase, SweepResult, SweepSpec};
 use shg_topology::routing::{self, Routes};
 use shg_topology::Topology;
 use shg_units::Cycles;
@@ -174,13 +177,9 @@ pub fn scenario_sweep(
 ) -> SweepResult {
     let spec = scenario_sweep_spec(scenario, rate_points);
     let mut cache = TopologyCache::new();
-    run_experiment(&annotated_experiment(
-        &scenario.params,
-        options,
-        &mut cache,
-        topologies,
-        spec,
-    ))
+    let mut experiment =
+        annotated_experiment(&scenario.params, options, &mut cache, topologies, spec);
+    run_experiment(&mut experiment)
 }
 
 /// How many sweeps this process has already journaled (each gets a
@@ -198,6 +197,66 @@ fn nth_journal_path(path: &str, nth: usize) -> String {
     }
 }
 
+/// Parses an execution-backend name (the `--backend` values the
+/// harness binaries accept).
+#[must_use]
+pub fn backend_by_name(name: &str) -> Option<ExecBackend> {
+    match name {
+        "per-cell" => Some(ExecBackend::PerCell),
+        "reuse" => Some(ExecBackend::Reuse),
+        _ => None,
+    }
+}
+
+/// Applies the incremental-execution flags to an experiment:
+///
+/// * `--cache <dir>` — attach the cross-run [`CellCache`] at `dir`
+///   (created if missing): cells any earlier run stored are answered
+///   from disk, only new cells simulate.
+/// * `--backend per-cell|reuse` — select the [`ExecBackend`]
+///   (default: the per-cell reference; `reuse` batches a shard's cells
+///   per topology onto one reset-reused `Network` allocation).
+///
+/// Shared by [`run_experiment`] and the binaries (e.g. `sweep_worker`)
+/// that drive journaled execution themselves.
+///
+/// # Panics
+///
+/// Panics on an unknown `--backend` name or an unusable cache
+/// directory.
+pub fn configure_experiment(experiment: &mut Experiment<'_>) {
+    if let Some(dir) = arg_value("--cache") {
+        let cache = CellCache::open(&dir).unwrap_or_else(|e| panic!("--cache {dir}: {e}"));
+        experiment.set_cache(cache);
+    }
+    if let Some(name) = arg_value("--backend") {
+        let backend = backend_by_name(&name)
+            .unwrap_or_else(|| panic!("unknown --backend '{name}' (use per-cell|reuse)"));
+        experiment.set_backend(backend);
+    }
+}
+
+/// One-line cache-effectiveness summary (`cache: cached=… simulated=…
+/// total=…`) of an experiment's execution so far, or `None` when no
+/// cache is attached. `total` is the number of cells this execution
+/// resolved (cached + simulated) — a shard runs a subset of the plan,
+/// and a journal resume skips already-journaled cells outside the
+/// cache entirely, so the grid size would not add up. Binaries print
+/// it so long sweeps — and the CI cache-smoke job — can see exactly
+/// how many cells were re-simulated.
+#[must_use]
+pub fn cache_summary(experiment: &Experiment<'_>) -> Option<String> {
+    experiment.cache().map(|cache| {
+        let stats = cache.stats();
+        format!(
+            "cache: cached={} simulated={} total={}",
+            stats.cached,
+            stats.simulated,
+            stats.cached + stats.simulated
+        )
+    })
+}
+
 /// Runs an experiment under the standard sharding flags; the execution
 /// path every simulating harness binary shares.
 ///
@@ -209,19 +268,25 @@ fn nth_journal_path(path: &str, nth: usize) -> String {
 ///   path, resuming (and validating the plan fingerprint) if the file
 ///   already has cells from an interrupted run. Each further sweep in
 ///   the same process appends `.2`, `.3`, … to the path.
+/// * `--cache <dir>` / `--backend per-cell|reuse` — incremental
+///   execution (see [`configure_experiment`]).
 /// * `--progress` — log `cells done / total` to stderr as chunks
-///   complete.
+///   complete; with a cache attached, the cached/simulated split is
+///   reported alongside.
 ///
 /// Without any of the flags this is exactly
 /// [`Experiment::run_parallel`].
 ///
 /// # Panics
 ///
-/// Panics on a malformed `--shard`, a journal that does not match the
-/// experiment (fingerprint, shard or prefix mismatch — the error names
-/// the cause), or journal I/O failure.
+/// Panics on a malformed `--shard` or `--backend`, an unusable
+/// `--cache` directory, a journal that does not match the experiment
+/// (fingerprint, shard or prefix mismatch — the error names the
+/// cause), or journal I/O failure.
 #[must_use]
-pub fn run_experiment(experiment: &Experiment<'_>) -> SweepResult {
+pub fn run_experiment(experiment: &mut Experiment<'_>) -> SweepResult {
+    configure_experiment(experiment);
+    let experiment: &Experiment<'_> = experiment;
     let shard = arg_value("--shard").map_or(ShardSpec::SOLO, |text| {
         ShardSpec::parse(&text).unwrap_or_else(|e| panic!("{e}"))
     });
@@ -230,16 +295,24 @@ pub fn run_experiment(experiment: &Experiment<'_>) -> SweepResult {
     let total_cells = experiment.num_points();
     let report = move |done: usize, total: usize| {
         if progress {
-            eprintln!("[sweep] {done}/{total} cells done (shard {shard} of {total_cells} total)");
+            let cache = experiment.cache().map_or(String::new(), |cache| {
+                let stats = cache.stats();
+                format!(", {} cached / {} simulated", stats.cached, stats.simulated)
+            });
+            eprintln!(
+                "[sweep] {done}/{total} cells done (shard {shard} of {total_cells} total{cache})"
+            );
         }
     };
-    match journal {
+    let result = match journal {
         Some(path) => {
             let nth = JOURNALED_SWEEPS.fetch_add(1, Ordering::Relaxed);
             let path = nth_journal_path(&path, nth);
             run_journaled(experiment, shard, &path, true, report)
                 .unwrap_or_else(|e| panic!("journal {path}: {e}"))
         }
+        // `run_parallel` consults the cache through `run_cells`, so the
+        // plain path stays correct with `--cache` too.
         None if shard == ShardSpec::SOLO && !progress => experiment.run_parallel(),
         None => {
             let cells = experiment.plan().shard_cells(shard);
@@ -254,7 +327,11 @@ pub fn run_experiment(experiment: &Experiment<'_>) -> SweepResult {
                 .unwrap_or_else(|never| match never {});
             SweepResult { points }
         }
+    };
+    if let Some(summary) = cache_summary(experiment) {
+        eprintln!("[sweep] {summary}");
     }
+    result
 }
 
 /// Renders a per-pattern saturation summary of a sweep: one row per
@@ -335,13 +412,22 @@ mod tests {
         // single-shot bytes.
         let mesh = generators::mesh(Grid::new(4, 4));
         let spec = shg_sim::SweepSpec::new(shg_sim::SimConfig::fast_test()).rates([0.05, 0.2]);
-        let experiment = shg_sim::Experiment::new(spec)
+        let mut experiment = shg_sim::Experiment::new(spec)
             .with_unit_latency_case("mesh", &mesh)
             .expect("mesh routes");
-        assert_eq!(
-            run_experiment(&experiment).to_json(),
-            experiment.run_parallel().to_json()
+        let executed = run_experiment(&mut experiment).to_json();
+        assert_eq!(executed, experiment.run_parallel().to_json());
+        assert!(
+            cache_summary(&experiment).is_none(),
+            "no --cache flag, no cache"
         );
+    }
+
+    #[test]
+    fn backend_names_parse() {
+        assert_eq!(backend_by_name("per-cell"), Some(ExecBackend::PerCell));
+        assert_eq!(backend_by_name("reuse"), Some(ExecBackend::Reuse));
+        assert_eq!(backend_by_name("other"), None);
     }
 
     #[test]

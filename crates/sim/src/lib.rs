@@ -62,7 +62,7 @@ pub use runner::{
 };
 pub use stats::{percentile, SimOutcome};
 pub use sweep::{
-    CellId, Experiment, ShardResult, ShardSpec, SweepCase, SweepPlan, SweepPoint, SweepResult,
-    SweepSpec,
+    CacheStats, CellCache, CellId, ExecBackend, Experiment, ShardResult, ShardSpec, SweepCase,
+    SweepPlan, SweepPoint, SweepResult, SweepSpec,
 };
 pub use traffic::TrafficPattern;

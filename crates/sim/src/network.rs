@@ -134,6 +134,15 @@ impl ActiveSet {
         sweep.clear();
         self.scratch = sweep;
     }
+
+    /// Empties the set in O(members), visiting each former member.
+    fn clear_with(&mut self, mut visit: impl FnMut(usize)) {
+        for &i in &self.members {
+            self.is_member[i] = false;
+            visit(i);
+        }
+        self.members.clear();
+    }
 }
 
 /// A cycle-accurate NoC simulation instance.
@@ -174,6 +183,16 @@ pub struct Network<'a> {
     active_routers: ActiveSet,
     /// Channels with in-flight flits or credits.
     active_channels: ActiveSet,
+    /// Routers that have held a flit since construction (or the last
+    /// [`Network::reset`]) — a monotone superset of `active_routers`.
+    /// All per-router mutable state (buffers, credits, round-robin
+    /// pointers, request bitmasks) only ever changes on routers in this
+    /// set, so a reset cleans exactly these and leaves untouched
+    /// routers alone.
+    touched_routers: ActiveSet,
+    /// Channels that have carried a flit or credit since construction
+    /// (or the last reset) — the monotone twin for the link pipelines.
+    touched_channels: ActiveSet,
 }
 
 impl<'a> Network<'a> {
@@ -248,7 +267,41 @@ impl<'a> Network<'a> {
             credit_pipe: vec![VecDeque::new(); channels],
             active_routers: ActiveSet::new(n),
             active_channels: ActiveSet::new(channels),
+            touched_routers: ActiveSet::new(n),
+            touched_channels: ActiveSet::new(channels),
         }
+    }
+
+    /// Returns the instance to its just-constructed state under a new
+    /// RNG seed, **without re-allocating** routers, buffers or link
+    /// pipelines: only the routers and channels actually touched since
+    /// construction (or the previous reset) are cleaned, so the cost is
+    /// O(touched) rather than O(network).
+    ///
+    /// A `reset(seed)` followed by [`Network::run`] is bit-identical to
+    /// a fresh [`Network::new`] with `config.seed = seed` followed by
+    /// the same run — for every scan, injection and allocation policy —
+    /// which is what lets a sweep backend reuse one `Network` across
+    /// the cells of a topology (see `ExecBackend::Reuse` in the sweep
+    /// engine). The equivalence suite pins this under
+    /// [`Network::run_validated`], where any stale request or
+    /// active-set state trips an invariant assertion.
+    pub fn reset(&mut self, seed: u64) {
+        self.config.seed = seed;
+        let routers = &mut self.routers;
+        let config = &self.config;
+        self.touched_routers
+            .clear_with(|r| routers[r].reset(config));
+        let (data, credit) = (&mut self.data_pipe, &mut self.credit_pipe);
+        self.touched_channels.clear_with(|c| {
+            data[c].clear();
+            credit[c].clear();
+        });
+        // The active sets are subsets of the touched sets; their
+        // members' state is already clean, only the membership flags
+        // remain to drop.
+        self.active_routers.clear_with(|_| ());
+        self.active_channels.clear_with(|_| ());
     }
 
     /// Runs warm-up, measurement and drain phases at the given injection
@@ -367,6 +420,7 @@ impl<'a> Network<'a> {
                         self.routers[t].enqueue(inj, 0, flit);
                     }
                     self.active_routers.insert(t);
+                    self.touched_routers.insert(t);
                 }
             });
             if let Some(p) = profile.as_deref_mut() {
@@ -397,11 +451,13 @@ impl<'a> Network<'a> {
                     let lat = self.latency[channel.index()];
                     self.credit_pipe[channel.index()].push_back((now + lat, vc));
                     self.active_channels.insert(channel.index());
+                    self.touched_channels.insert(channel.index());
                 }
                 for (channel, flit) in traversal.forwards.drain(..) {
                     let lat = self.latency[channel.index()];
                     self.data_pipe[channel.index()].push_back((now + lat, flit));
                     self.active_channels.insert(channel.index());
+                    self.touched_channels.insert(channel.index());
                 }
                 for flit in traversal.ejected.drain(..) {
                     if flit.is_tail {
@@ -480,6 +536,7 @@ impl<'a> Network<'a> {
                 );
                 router.enqueue(p as usize, flit.vc as usize, flit);
                 self.active_routers.insert(r);
+                self.touched_routers.insert(r);
             }
             while let Some(&(ready, _)) = self.credit_pipe[c].front() {
                 if ready > now {

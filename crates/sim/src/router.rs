@@ -544,6 +544,45 @@ impl Router {
         out.forwards.push((out_channel, flit));
     }
 
+    /// Returns the router to its just-constructed state: empty buffers,
+    /// no reservations, full credits, zeroed round-robin pointers and
+    /// cleared request bitmasks — without releasing any allocation, so
+    /// a [`crate::Network::reset`] between sweep cells reuses every
+    /// buffer's capacity instead of re-allocating it. The post-reset
+    /// state is indistinguishable from [`Router::new`]'s (capacity
+    /// aside), which is what makes reset-reuse bit-identical to fresh
+    /// construction.
+    pub(crate) fn reset(&mut self, config: &SimConfig) {
+        for port in &mut self.buffers {
+            for buffer in port {
+                buffer.clear();
+            }
+        }
+        for port in &mut self.in_state {
+            port.fill(InVc::default());
+        }
+        for port in &mut self.out_owner {
+            port.fill(None);
+        }
+        for port in &mut self.credits {
+            port.fill(config.buffer_depth);
+        }
+        self.va_rr.fill(0);
+        self.sa_in_rr.fill(0);
+        self.sa_out_rr.fill(0);
+        self.occupied = 0;
+        self.va_mask.fill(0);
+        self.sa_mask.fill(0);
+        self.sa_ports.fill(0);
+        self.out_vc_used.fill(0);
+        // Per-cycle scratch is already empty after any completed cycle;
+        // clear defensively so reset never depends on that invariant.
+        for requests in &mut self.out_requests {
+            requests.clear();
+        }
+        self.touched_outputs.clear();
+    }
+
     /// Asserts every cross-structure invariant of the router's state —
     /// the consistency contract `AllocPolicy::RequestQueue` relies on.
     /// Called per cycle by [`Network::run_validated`]

@@ -1,6 +1,7 @@
 //! The execution layer: cases (topology + routes + latencies, computed
 //! once and shared by all grid cells) and the [`Experiment`] that fans
-//! the grid — or any subset of its cells — out over threads.
+//! the grid — or any subset of its cells — out over threads, through a
+//! pluggable [`ExecBackend`] and an optional [`CellCache`].
 
 use rayon::prelude::*;
 
@@ -8,12 +9,51 @@ use shg_topology::routing::{self, BuildRoutesError, Routes};
 use shg_topology::Topology;
 use shg_units::Cycles;
 
+use super::cache::{self, CellCache};
 use super::plan::{CellId, SweepPlan};
 use super::result::{ShardResult, SweepPoint, SweepResult};
 use super::shard::ShardSpec;
 use super::spec::SweepSpec;
 use crate::config::SimConfig;
 use crate::network::Network;
+use crate::stats::SimOutcome;
+use crate::traffic::TrafficPattern;
+
+/// How [`Experiment::run_cells`] turns a cell list into simulations.
+///
+/// Both backends produce bit-identical points for every cell — the
+/// reuse backend is built on [`Network::reset`], whose equivalence to
+/// fresh construction is pinned under `Network::run_validated` across
+/// all scan/injection/allocation policy combinations — so the choice
+/// is purely a performance lever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// One fresh [`Network`] per cell (the reference): maximal
+    /// parallelism, pays router/buffer allocation per cell.
+    #[default]
+    PerCell,
+    /// Groups consecutive cells of the same case and reuses one
+    /// `Network` allocation per group, [`Network::reset`]-ing between
+    /// cells in O(touched) — amortizing per-cell setup cost, which
+    /// dominates grids of many short cells.
+    Reuse,
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PerCell => write!(f, "per-cell"),
+            Self::Reuse => write!(f, "reuse"),
+        }
+    }
+}
+
+/// The smallest cell group [`ExecBackend::Reuse`] hands one `Network`
+/// (when a case has that many consecutive cells): each construction is
+/// amortized over at least this many cells even inside the short
+/// chunks journaled execution runs, at the cost of proportionally
+/// coarser parallelism on tiny cell lists.
+const MIN_REUSE_GROUP: usize = 4;
 
 /// One topology under sweep: its routing table and per-link latencies
 /// are computed once and shared by all grid cells of the case.
@@ -92,22 +132,70 @@ impl<'a> SweepCase<'a> {
 pub struct Experiment<'a> {
     spec: SweepSpec,
     cases: Vec<SweepCase<'a>>,
+    backend: ExecBackend,
+    cache: Option<CellCache>,
+    /// Memoized per-case cache digests (routing tables make them
+    /// O(n²) to compute); invalidated when a case is added.
+    case_digests: std::sync::OnceLock<Vec<u64>>,
 }
 
 impl<'a> Experiment<'a> {
-    /// An experiment over the given grid, with no cases yet.
+    /// An experiment over the given grid, with no cases yet, the
+    /// per-cell reference backend and no cell cache.
     #[must_use]
     pub fn new(spec: SweepSpec) -> Self {
         Self {
             spec,
             cases: Vec::new(),
+            backend: ExecBackend::default(),
+            cache: None,
+            case_digests: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Selects the execution backend (builder style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.set_backend(backend);
+        self
+    }
+
+    /// Selects the execution backend in place.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
+    }
+
+    /// The selected execution backend.
+    #[must_use]
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// Attaches a cell-result cache (builder style): every execution
+    /// path consults it per cell and stores what it simulates.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CellCache) -> Self {
+        self.set_cache(cache);
+        self
+    }
+
+    /// Attaches a cell-result cache in place.
+    pub fn set_cache(&mut self, cache: CellCache) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached cell cache, if any (its
+    /// [`stats`](CellCache::stats) report this execution's
+    /// cached/simulated split).
+    #[must_use]
+    pub fn cache(&self) -> Option<&CellCache> {
+        self.cache.as_ref()
     }
 
     /// Adds a prepared case (builder style).
     #[must_use]
     pub fn with_case(mut self, case: SweepCase<'a>) -> Self {
-        self.cases.push(case);
+        self.push_case(case);
         self
     }
 
@@ -128,6 +216,7 @@ impl<'a> Experiment<'a> {
     /// Adds a prepared case in place.
     pub fn push_case(&mut self, case: SweepCase<'a>) {
         self.cases.push(case);
+        let _ = self.case_digests.take(); // memo covers the old case list
     }
 
     /// The grid spec.
@@ -165,21 +254,106 @@ impl<'a> Experiment<'a> {
     /// cell list — across threads, processes or machines — reproduces
     /// the exact points of a single-shot [`Experiment::run_parallel`].
     ///
+    /// Cells found in the attached [`CellCache`] are answered from disk
+    /// instead of simulated; the backend and the cache are both
+    /// transparent to the result, which stays bit-identical (and
+    /// byte-identical once serialized) to the cache-less per-cell
+    /// reference.
+    ///
     /// # Panics
     ///
     /// Panics if a cell is out of the plan's range.
     #[must_use]
     pub fn run_cells(&self, cells: &[CellId]) -> Vec<SweepPoint> {
-        cells.par_iter().map(|&cell| self.run_point(cell)).collect()
+        // One digest per case (memoized — digesting a routing table is
+        // O(n²) paths), shared by all its cells' fingerprints.
+        let digests = self.cache.as_ref().map(|_| {
+            self.case_digests
+                .get_or_init(|| self.cases.iter().map(cache::case_digest).collect())
+                .as_slice()
+        });
+        match self.backend {
+            ExecBackend::PerCell => cells
+                .par_iter()
+                .map(|&cell| self.run_point(cell, digests))
+                .collect(),
+            ExecBackend::Reuse => self.run_cells_reuse(cells, digests),
+        }
     }
 
-    /// Runs `cells` in order as pool-sized chunks (a couple per worker
-    /// — large enough to keep the pool busy, small enough to bound the
+    /// The reuse backend: consecutive same-case cells are grouped, each
+    /// group runs sequentially on one `Network` ([`Network::reset`]
+    /// between cells), and the groups fan out over the pool. Long
+    /// groups are split so the pool stays busy — but never below
+    /// [`MIN_REUSE_GROUP`] cells, so the small chunks the journaled
+    /// path feeds through here still amortize each construction over
+    /// several resets instead of degenerating to one network per cell.
+    /// Since every cell is independent, the split cannot affect any
+    /// point.
+    fn run_cells_reuse(&self, cells: &[CellId], digests: Option<&[u64]>) -> Vec<SweepPoint> {
+        let target = cells
+            .len()
+            .div_ceil(rayon::current_num_threads().max(1) * 2)
+            .max(MIN_REUSE_GROUP);
+        let mut groups: Vec<&[CellId]> = Vec::new();
+        let mut rest = cells;
+        while let Some(first) = rest.first() {
+            let same_case = rest
+                .iter()
+                .take_while(|c| c.case == first.case)
+                .count()
+                .min(target);
+            let (group, tail) = rest.split_at(same_case);
+            groups.push(group);
+            rest = tail;
+        }
+        let grouped: Vec<Vec<SweepPoint>> = groups
+            .par_iter()
+            .map(|group| self.run_group(group, digests))
+            .collect();
+        grouped.into_iter().flatten().collect()
+    }
+
+    /// Runs one same-case cell group on a single reused `Network`. The
+    /// network is built lazily on the first cache miss, so a fully
+    /// cached group allocates nothing.
+    fn run_group(&self, group: &[CellId], digests: Option<&[u64]>) -> Vec<SweepPoint> {
+        let mut network: Option<Network<'_>> = None;
+        group
+            .iter()
+            .map(|&cell| {
+                self.run_point_with(cell, digests, |case, config, rate, pattern| match network {
+                    Some(ref mut net) => {
+                        net.reset(config.seed);
+                        net.run(rate, pattern)
+                    }
+                    None => {
+                        let net = network.insert(Network::new(
+                            case.topology,
+                            &case.routes,
+                            &case.link_latencies,
+                            config,
+                        ));
+                        net.run(rate, pattern)
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Runs `cells` in order as pool-sized chunks (a few per worker —
+    /// large enough to keep the pool busy, small enough to bound the
     /// work lost to a kill), invoking `after_chunk(chunk, points)` as
     /// each chunk completes, and returns all points in cell order. The
     /// chunk boundary is the one place journaled execution flushes and
     /// progress is reported, so the two cannot drift; an error from
     /// `after_chunk` aborts the run.
+    ///
+    /// Under [`ExecBackend::Reuse`] the chunks are a few times larger:
+    /// each chunk is grouped per case onto reused `Network`s, so the
+    /// chunk length bounds how many resets amortize one construction —
+    /// the price is a proportionally larger recompute window after a
+    /// kill.
     ///
     /// # Errors
     ///
@@ -189,7 +363,11 @@ impl<'a> Experiment<'a> {
         cells: &[CellId],
         mut after_chunk: impl FnMut(&[CellId], &[SweepPoint]) -> Result<(), E>,
     ) -> Result<Vec<SweepPoint>, E> {
-        let chunk_size = rayon::current_num_threads().max(1) * 2;
+        let per_worker = match self.backend {
+            ExecBackend::PerCell => 2,
+            ExecBackend::Reuse => 2 * MIN_REUSE_GROUP,
+        };
+        let chunk_size = rayon::current_num_threads().max(1) * per_worker;
         let mut points = Vec::with_capacity(cells.len());
         for chunk in cells.chunks(chunk_size.max(1)) {
             let chunk_points = self.run_cells(chunk);
@@ -241,9 +419,27 @@ impl<'a> Experiment<'a> {
         pool.install(|| self.run_parallel())
     }
 
-    /// Runs one grid cell. The per-point seed depends only on the root
-    /// seed and the grid coordinates, never on scheduling.
-    fn run_point(&self, cell: CellId) -> SweepPoint {
+    /// Runs one grid cell on a fresh `Network` (the per-cell reference
+    /// backend). The per-point seed depends only on the root seed and
+    /// the grid coordinates, never on scheduling.
+    fn run_point(&self, cell: CellId, digests: Option<&[u64]>) -> SweepPoint {
+        self.run_point_with(cell, digests, |case, config, rate, pattern| {
+            Network::new(case.topology, &case.routes, &case.link_latencies, config)
+                .run(rate, pattern)
+        })
+    }
+
+    /// The shared per-cell skeleton: derives the cell's inputs, probes
+    /// the cache, and only on a miss calls `simulate` (the backend's
+    /// way of producing the outcome), storing what it computed. The
+    /// case reference handed to `simulate` borrows from `self`, so a
+    /// reuse backend can keep a `Network` built on it across calls.
+    fn run_point_with<'s>(
+        &'s self,
+        cell: CellId,
+        digests: Option<&[u64]>,
+        simulate: impl FnOnce(&'s SweepCase<'a>, SimConfig, f64, TrafficPattern) -> SimOutcome,
+    ) -> SweepPoint {
         let case = &self.cases[cell.case as usize];
         let pattern = self.spec.patterns[cell.pattern as usize];
         let rate = self.spec.rates_of(pattern)[cell.rate as usize];
@@ -257,15 +453,26 @@ impl<'a> Experiment<'a> {
             seed,
             ..self.spec.config.clone()
         };
-        let mut network = Network::new(case.topology, &case.routes, &case.link_latencies, config);
-        let outcome = network.run(rate, pattern);
-        SweepPoint {
+        let fingerprint = digests.map(|digests| {
+            cache::cell_fingerprint(digests[cell.case as usize], &config, pattern, rate)
+        });
+        if let (Some(cache), Some(fp)) = (&self.cache, fingerprint) {
+            if let Some(point) = cache.load(fp, &case.name, pattern, rate, seed) {
+                return point;
+            }
+        }
+        let outcome = simulate(case, config, rate, pattern);
+        let point = SweepPoint {
             case: case.name.clone(),
             pattern,
             rate,
             seed,
             outcome,
+        };
+        if let (Some(cache), Some(fp)) = (&self.cache, fingerprint) {
+            cache.store(fp, &point);
         }
+        point
     }
 }
 

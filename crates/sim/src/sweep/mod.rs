@@ -26,12 +26,24 @@
 //! * [`experiment`] — [`Experiment`]: runs the whole grid
 //!   ([`Experiment::run_parallel`]), an arbitrary cell subset
 //!   ([`Experiment::run_cells`]) or one shard
-//!   ([`Experiment::run_shard`]).
+//!   ([`Experiment::run_shard`]), on a pluggable [`ExecBackend`]
+//!   (per-cell reference, or `Network`-reusing batched execution).
+//! * [`cache`] — [`CellCache`]: a content-addressed on-disk store of
+//!   completed cells keyed per cell (not per plan), so re-runs and
+//!   widened grids simulate only what actually changed.
 //! * [`journal`] — append-only JSONL of completed cells
 //!   ([`run_journaled`]) enabling kill-and-resume workers.
 //! * [`result`] — [`SweepResult`], its deterministic JSON, and
 //!   [`SweepResult::merge`] recombining shards into the single-shot
 //!   bytes.
+//!
+//! The journal and the cache compose: the journal is the
+//! crash-consistency layer of **one** execution (plan-fingerprinted,
+//! strict ordering), while the cache is the **cross-run** layer
+//! (per-cell identity, survives grid changes). A resumed journal skips
+//! its completed cells outright; the remainder flows through
+//! [`Experiment::run_cells`], where the cache answers every cell it
+//! has seen before.
 //!
 //! # Examples
 //!
@@ -64,6 +76,7 @@
 //! # Ok::<(), shg_topology::routing::BuildRoutesError>(())
 //! ```
 
+pub mod cache;
 pub mod experiment;
 pub mod journal;
 pub mod plan;
@@ -71,7 +84,8 @@ pub mod result;
 pub mod shard;
 pub mod spec;
 
-pub use experiment::{Experiment, SweepCase};
+pub use cache::{CacheStats, CellCache};
+pub use experiment::{ExecBackend, Experiment, SweepCase};
 pub use journal::{read_journal, run_journaled, JournalError};
 pub use plan::{CellId, SweepPlan};
 pub use result::{MergeError, ShardResult, SweepPoint, SweepResult};

@@ -47,8 +47,8 @@ pub struct SweepPlan {
     fingerprint: u64,
 }
 
-/// FNV-1a over a byte stream.
-fn fnv_bytes(hash: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+/// FNV-1a over a byte stream (shared with the cell-cache fingerprint).
+pub(crate) fn fnv_bytes(hash: &mut u64, bytes: impl IntoIterator<Item = u8>) {
     for byte in bytes {
         *hash ^= u64::from(byte);
         *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
