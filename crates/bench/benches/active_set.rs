@@ -17,6 +17,13 @@
 //!   with router radix: the 16×16 flattened butterfly (the high-radix
 //!   shape SlimNoC-style topologies concentrate traffic on) is an
 //!   order of magnitude beyond the bar, whole-run.
+//! * **Batched lanes** — whole short-cell sweeps through the
+//!   struct-of-arrays lane-parallel core (`ExecBackend::Batched`) at
+//!   K = 1/4/8 lanes vs. the per-cell reference, single-threaded
+//!   (cells-per-core throughput). Short, construction-dominated cells
+//!   are the batched core's target regime — the one the auto probe
+//!   routes to it; acceptance bar ≥2× at K = 8 on the high-radix
+//!   flattened butterfly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -24,7 +31,10 @@ use shg_bench::{
     drive_injection_phase, median, profile_allocation_phase, profile_setup_phase, AllocationSample,
     SetupSample,
 };
-use shg_sim::{AllocPolicy, InjectionPolicy, Network, ScanPolicy, SimConfig, TrafficPattern};
+use shg_sim::{
+    AllocPolicy, ExecBackend, Experiment, InjectionPolicy, Network, ScanPolicy, SimConfig,
+    SweepSpec, TrafficPattern,
+};
 use shg_topology::{generators, routing, Grid, Topology};
 use shg_units::Cycles;
 
@@ -306,11 +316,72 @@ fn bench_setup_phase(c: &mut Criterion) {
     }
 }
 
+/// Lane-parallel batched core: whole short-cell sweep grids through
+/// `ExecBackend::Batched` at K = 1/4/8 lanes vs. the per-cell
+/// reference, on a single thread — cells-per-core throughput, the
+/// quantity a sharded sweep fleet scales by. The grid uses short,
+/// construction-dominated cells: that is the regime the auto probe
+/// routes to the batched core (one struct-of-arrays build plus cheap
+/// per-lane resets instead of a fresh `Network::new` per cell); long
+/// simulation-dominated cells go to the reuse backend instead. Every
+/// backend/width is bit-identical — the equivalence suite pins that —
+/// so this group is purely about throughput.
+fn bench_batched_lanes(c: &mut Criterion) {
+    let grids = [(64usize, Grid::new(8, 8)), (256, Grid::new(16, 16))];
+    let config = SimConfig {
+        warmup: 10,
+        measure: 30,
+        drain_limit: 120,
+        ..SimConfig::default()
+    };
+    let spec = || {
+        SweepSpec::new(config.clone())
+            .rates([0.002, 0.004, 0.006, 0.008, 0.01, 0.012])
+            .patterns([TrafficPattern::UniformRandom, TrafficPattern::Transpose])
+    };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("thread pool builds");
+    let mut group = c.benchmark_group("batched_lanes");
+    group.sample_size(10);
+    for (tiles, grid) in grids {
+        let cases = [
+            ("mesh", generators::mesh(grid)),
+            ("fb", generators::flattened_butterfly(grid)),
+        ];
+        for (case, topology) in &cases {
+            let experiment = |backend: ExecBackend, lanes: usize| {
+                Experiment::new(spec())
+                    .with_backend(backend)
+                    .with_lanes(lanes)
+                    .with_unit_latency_case(*case, topology)
+                    .expect("routes build")
+            };
+            let per_cell = experiment(ExecBackend::PerCell, 1);
+            group.bench_function(BenchmarkId::new(format!("{case}/per_cell"), tiles), |b| {
+                b.iter(|| per_cell.run_in_pool(&pool));
+            });
+            for lanes in [1usize, 4, 8] {
+                let batched = experiment(ExecBackend::Batched, lanes);
+                group.bench_function(
+                    BenchmarkId::new(format!("{case}/batched_k{lanes}"), tiles),
+                    |b| {
+                        b.iter(|| batched.run_in_pool(&pool));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_active_set,
     bench_injection,
     bench_allocation,
-    bench_setup_phase
+    bench_setup_phase,
+    bench_batched_lanes
 );
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! `cargo run --release -p shg-bench --bin fig6 -- [--scenario a|b|c|d|all]
 //!  [--fast] [--customize] [--alloc request-queue|full-scan]
 //!  [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
-//!  [--backend per-cell|reuse] [--progress]`
+//!  [--backend per-cell|reuse|batched|auto] [--lanes K] [--progress]`
 //!
 //! The pattern sweeps run through the standard shard-/journal-aware
 //! executor ([`shg_bench::sweep::run_experiment`]), which also reads

@@ -6,7 +6,7 @@
 //!  [--topology shg|mesh|torus|fb|ring] [--pattern all|uniform|transpose|...]
 //!  [--alloc request-queue|full-scan] [--json]
 //!  [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
-//!  [--backend per-cell|reuse] [--progress]`
+//!  [--backend per-cell|reuse|batched|auto] [--lanes K] [--progress]`
 //!
 //! `--json` prints the full `SweepResult` as JSON instead of tables —
 //! the machine-readable output downstream plotting consumes. The

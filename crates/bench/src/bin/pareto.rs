@@ -12,7 +12,7 @@
 //! Run with: `cargo run --release -p shg-bench --bin pareto --
 //! [--rows 6] [--cols 6] [--alloc request-queue|full-scan]
 //! [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
-//!  [--backend per-cell|reuse] [--progress]`
+//!  [--backend per-cell|reuse|batched|auto] [--lanes K] [--progress]`
 //!
 //! The frontier validation sweeps at 10% rate resolution (tightened
 //! from 16.7% once request-driven allocation made Phase C cheap);

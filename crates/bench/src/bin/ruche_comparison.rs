@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p shg-bench --bin ruche_comparison --
 //! [--scenario a] [--alloc request-queue|full-scan]
 //! [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
-//!  [--backend per-cell|reuse] [--progress]`
+//!  [--backend per-cell|reuse|batched|auto] [--lanes K] [--progress]`
 //!
 //! The head-to-head sweep runs at 6.25% rate resolution (tightened
 //! from 12.5% once request-driven allocation made Phase C cheap);

@@ -5,10 +5,16 @@
 //! Run with:
 //! `cargo run --release -p shg-bench --bin sweep_worker --
 //!  [--scenario a|b|c|d] [--fast] [--rate-points N] [--add-rates r,..]
-//!  [--alloc request-queue|full-scan] [--backend per-cell|reuse]
-//!  [--cache <dir>]
+//!  [--alloc request-queue|full-scan]
+//!  [--backend per-cell|reuse|batched|auto] [--lanes K] [--cache <dir>]
 //!  --shard i/N (--out journal.jsonl | --resume journal.jsonl)
 //!  [--progress]`
+//!
+//! The worker defaults to `--backend auto`: each cell group runs on
+//! whichever backend a timed first-cell probe picks (the lane-parallel
+//! batched core where setup dominates, network reuse where simulation
+//! dominates). All backends are bit-identical, so the choice never
+//! shows in the journal or the merged bytes.
 //!
 //! `--out` starts the shard from scratch (truncating any existing
 //! file); `--resume` continues an interrupted journal after validating
@@ -45,7 +51,8 @@ use shg_sim::{ShardSpec, SimConfig};
 const USAGE: &str = "\
 Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
                     [--add-rates r1,r2,..] [--alloc request-queue|full-scan]
-                    [--backend per-cell|reuse] [--cache <dir>]
+                    [--backend per-cell|reuse|batched|auto] [--lanes K]
+                    [--cache <dir>]
                     [--shard i/N] (--out j.jsonl | --resume j.jsonl)
                     [--single-shot result.json] [--progress]
 
@@ -56,8 +63,11 @@ Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
                  sweep without shifting existing cells' coordinates,
                  so a warm --cache re-simulates only these new cells
   --alloc        allocation policy (default: request-queue)
-  --backend      execution backend (default: per-cell; reuse batches
-                 cells per topology onto one reset-reused Network)
+  --backend      execution backend (default: auto — a timed probe picks
+                 batched or reuse per cell group; batched steps --lanes
+                 cells in lockstep through the struct-of-arrays core;
+                 all backends produce bit-identical results)
+  --lanes        batch width of the batched/auto backends (default: 8)
   --cache        cell-result cache directory (cross-run, content
                  addressed; prints cached/simulated counts at the end)
   --shard i/N    run only the i-th of N strided shards (one-based i)
@@ -115,6 +125,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &topologies,
         spec,
     );
+    // The worker's default backend is auto (bit-identical to per-cell,
+    // usually faster); an explicit --backend below overrides it.
+    experiment.set_backend(shg_sim::ExecBackend::Auto);
     configure_experiment(&mut experiment);
     let experiment = experiment; // flags applied; execution is read-only
     let plan = experiment.plan();

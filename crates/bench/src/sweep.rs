@@ -14,8 +14,9 @@
 //! [`run_experiment`] is the execution choke point: it reads the
 //! standard sharding flags (`--shard i/N`, `--resume <journal>`,
 //! `--progress`) plus the incremental-execution flags (`--cache <dir>`
-//! for the cross-run cell-result cache, `--backend per-cell|reuse` for
-//! the execution backend) so every simulating binary can run one shard
+//! for the cross-run cell-result cache, `--backend
+//! per-cell|reuse|batched|auto` and `--lanes <K>` for the execution
+//! backend) so every simulating binary can run one shard
 //! of its grid to a resumable journal — re-simulating only cells no
 //! earlier run has cached — without per-binary plumbing.
 
@@ -204,6 +205,8 @@ pub fn backend_by_name(name: &str) -> Option<ExecBackend> {
     match name {
         "per-cell" => Some(ExecBackend::PerCell),
         "reuse" => Some(ExecBackend::Reuse),
+        "batched" => Some(ExecBackend::Batched),
+        "auto" => Some(ExecBackend::Auto),
         _ => None,
     }
 }
@@ -213,26 +216,38 @@ pub fn backend_by_name(name: &str) -> Option<ExecBackend> {
 /// * `--cache <dir>` — attach the cross-run [`CellCache`] at `dir`
 ///   (created if missing): cells any earlier run stored are answered
 ///   from disk, only new cells simulate.
-/// * `--backend per-cell|reuse` — select the [`ExecBackend`]
-///   (default: the per-cell reference; `reuse` batches a shard's cells
-///   per topology onto one reset-reused `Network` allocation).
+/// * `--backend per-cell|reuse|batched|auto` — select the
+///   [`ExecBackend`] (default: the per-cell reference; `reuse` groups
+///   a shard's cells per topology onto one reset-reused `Network`
+///   allocation; `batched` steps up to `--lanes` cells of one topology
+///   in lockstep through the struct-of-arrays core; `auto` picks per
+///   cell group from a timed probe).
+/// * `--lanes <K>` — the batch width of the batched/auto backends
+///   (default 8; results are identical at every width).
 ///
 /// Shared by [`run_experiment`] and the binaries (e.g. `sweep_worker`)
 /// that drive journaled execution themselves.
 ///
 /// # Panics
 ///
-/// Panics on an unknown `--backend` name or an unusable cache
-/// directory.
+/// Panics on an unknown `--backend` name, a non-numeric `--lanes`
+/// value, or an unusable cache directory.
 pub fn configure_experiment(experiment: &mut Experiment<'_>) {
     if let Some(dir) = arg_value("--cache") {
         let cache = CellCache::open(&dir).unwrap_or_else(|e| panic!("--cache {dir}: {e}"));
         experiment.set_cache(cache);
     }
     if let Some(name) = arg_value("--backend") {
-        let backend = backend_by_name(&name)
-            .unwrap_or_else(|| panic!("unknown --backend '{name}' (use per-cell|reuse)"));
+        let backend = backend_by_name(&name).unwrap_or_else(|| {
+            panic!("unknown --backend '{name}' (use per-cell|reuse|batched|auto)")
+        });
         experiment.set_backend(backend);
+    }
+    if let Some(lanes) = arg_value("--lanes") {
+        let lanes: usize = lanes
+            .parse()
+            .unwrap_or_else(|e| panic!("--lanes {lanes}: {e}"));
+        experiment.set_lanes(lanes);
     }
 }
 
@@ -244,16 +259,29 @@ pub fn configure_experiment(experiment: &mut Experiment<'_>) {
 /// cache entirely, so the grid size would not add up. Binaries print
 /// it so long sweeps — and the CI cache-smoke job — can see exactly
 /// how many cells were re-simulated.
+///
+/// When a non-default backend simulated anything, the per-backend cell
+/// split is appended *after* the `total=` field (`backends:
+/// batched=… reuse=… per-cell=…`), so consumers matching the original
+/// three-field prefix keep working unchanged.
 #[must_use]
 pub fn cache_summary(experiment: &Experiment<'_>) -> Option<String> {
     experiment.cache().map(|cache| {
         let stats = cache.stats();
-        format!(
+        let mut line = format!(
             "cache: cached={} simulated={} total={}",
             stats.cached,
             stats.simulated,
             stats.cached + stats.simulated
-        )
+        );
+        let exec = experiment.exec_stats();
+        if exec.batched_cells > 0 || exec.reuse_cells > 0 {
+            line.push_str(&format!(
+                " backends: batched={} reuse={} per-cell={} peak-lanes={}",
+                exec.batched_cells, exec.reuse_cells, exec.per_cell_cells, exec.peak_lanes
+            ));
+        }
+        line
     })
 }
 
@@ -268,8 +296,9 @@ pub fn cache_summary(experiment: &Experiment<'_>) -> Option<String> {
 ///   path, resuming (and validating the plan fingerprint) if the file
 ///   already has cells from an interrupted run. Each further sweep in
 ///   the same process appends `.2`, `.3`, … to the path.
-/// * `--cache <dir>` / `--backend per-cell|reuse` — incremental
-///   execution (see [`configure_experiment`]).
+/// * `--cache <dir>` / `--backend per-cell|reuse|batched|auto` /
+///   `--lanes <K>` — incremental execution (see
+///   [`configure_experiment`]).
 /// * `--progress` — log `cells done / total` to stderr as chunks
 ///   complete; with a cache attached, the cached/simulated split is
 ///   reported alongside.
@@ -299,8 +328,14 @@ pub fn run_experiment(experiment: &mut Experiment<'_>) -> SweepResult {
                 let stats = cache.stats();
                 format!(", {} cached / {} simulated", stats.cached, stats.simulated)
             });
+            let exec = experiment.exec_stats();
+            let lanes = if exec.batched_cells > 0 || exec.lanes_in_flight > 0 {
+                format!(", lanes={} peak={}", exec.lanes_in_flight, exec.peak_lanes)
+            } else {
+                String::new()
+            };
             eprintln!(
-                "[sweep] {done}/{total} cells done (shard {shard} of {total_cells} total{cache})"
+                "[sweep] {done}/{total} cells done (shard {shard} of {total_cells} total{cache}{lanes})"
             );
         }
     };
@@ -427,6 +462,8 @@ mod tests {
     fn backend_names_parse() {
         assert_eq!(backend_by_name("per-cell"), Some(ExecBackend::PerCell));
         assert_eq!(backend_by_name("reuse"), Some(ExecBackend::Reuse));
+        assert_eq!(backend_by_name("batched"), Some(ExecBackend::Batched));
+        assert_eq!(backend_by_name("auto"), Some(ExecBackend::Auto));
         assert_eq!(backend_by_name("other"), None);
     }
 

@@ -1,0 +1,23 @@
+//! Data-oriented batched simulator core.
+//!
+//! The object model (`Router` + `Network`) is this crate's *reference*:
+//! readable, heavily asserted, and the semantics oracle every
+//! optimization is measured against — the same role it plays for the
+//! scan, injection and allocation policies. This module is the fourth
+//! leg of that pattern: the **hot state** of a whole network, flattened
+//! into struct-of-arrays storage ([`layout`] for the immutable
+//! geometry, [`state`] for the mutable arrays), plus a lane-parallel
+//! driver ([`batch`]) that steps K independent sweep cells of one
+//! topology through that core in lockstep.
+//!
+//! Bit-identity with the reference is a hard contract, not an
+//! aspiration: `tests/batched_equivalence.rs` pins every lane of every
+//! batch shape against a fresh per-cell `Network` across the pattern ×
+//! injection × allocation matrix, and the sweep layer's serialization
+//! is byte-identical whichever engine produced it.
+
+mod batch;
+mod layout;
+mod state;
+
+pub(crate) use batch::{run_batch, LaneJob};

@@ -1,0 +1,197 @@
+//! The mutable hot state of the batched core: every router and channel
+//! structure of the object model, flattened into lane-major
+//! struct-of-arrays storage.
+//!
+//! Each logical slot (an in-VC, an out-VC, a port, a router, a channel)
+//! owns `K` consecutive entries — one per lane — so `array[slot * K +
+//! lane]` keeps the K independent simulations of one batch adjacent in
+//! memory: the per-router inner loop over lanes is a unit-stride sweep,
+//! and a slot touched by several lanes in the same cycle stays in
+//! cache. The field-by-field correspondence to
+//! [`crate::router::Router`]:
+//!
+//! | object model                  | core array                | index      |
+//! |-------------------------------|---------------------------|------------|
+//! | `buffers[p][v]`               | `buffers`                 | in-VC · K  |
+//! | `in_state[p][v]` (3 fields)   | `in_active/in_out_port/in_out_vc` | in-VC · K |
+//! | `out_owner[o][v]`             | `out_owner` (packed `u16`)| out-VC · K |
+//! | `credits[o][v]`               | `credits`                 | out-VC · K |
+//! | `va_rr[o]` / `sa_out_rr[o]`   | `va_rr` / `sa_out_rr`     | out-slot · K |
+//! | `sa_in_rr[p]`                 | `sa_in_rr`                | in-slot · K |
+//! | `va_mask` / `sa_mask[p]`      | `va_vc_mask` / `sa_vc_mask` | in-slot · K |
+//! | `out_vc_used[o]`              | `out_vc_used`             | out-slot · K |
+//! | `occupied`                    | `occupied`                | router · K |
+//! | `Network::data_pipe[c]`       | `data_pipe`               | channel · K |
+//! | `Network::credit_pipe[c]`     | `credit_pipe`             | channel · K |
+//!
+//! The reference keeps one `va_mask` word stream over all (port, VC)
+//! slots and a `sa_ports` summary bitmap; the core stores one VC-mask
+//! word per in-slot for both stages instead. Iterating ports in
+//! ascending order and each word's bits in ascending VC order visits
+//! requests in exactly the reference's ascending (port, VC) order, so
+//! the arbitration outcome is unchanged.
+
+use std::collections::VecDeque;
+
+use crate::flit::Flit;
+
+use super::layout::CoreLayout;
+
+/// Packed `out_owner` entry: `(in_port << 8) | vc`, [`NO_OWNER`] for
+/// a free output VC (the object model's `None`).
+pub(crate) const NO_OWNER: u16 = u16::MAX;
+
+#[inline]
+pub(crate) fn pack_owner(p: usize, v: usize) -> u16 {
+    ((p as u16) << 8) | v as u16
+}
+
+/// All mutable per-lane simulation state of one batch.
+#[derive(Debug)]
+pub(crate) struct CoreState {
+    /// Lane count `K` — the stride of every array below.
+    pub(crate) lanes: usize,
+    /// `buffers[ivc · K + lane]`: the flit queue of one input VC.
+    pub(crate) buffers: Vec<VecDeque<Flit>>,
+    /// `in_state.active`, split to its own byte array.
+    pub(crate) in_active: Vec<bool>,
+    /// `in_state.out_port`.
+    pub(crate) in_out_port: Vec<u8>,
+    /// `in_state.out_vc`.
+    pub(crate) in_out_vc: Vec<u8>,
+    /// Packed `out_owner[out-VC]` (see [`pack_owner`]).
+    pub(crate) out_owner: Vec<u16>,
+    /// Free downstream buffer slots per out-VC.
+    pub(crate) credits: Vec<u16>,
+    /// Occupied output VCs per out-slot (bitmask twin of `out_owner`).
+    pub(crate) out_vc_used: Vec<u64>,
+    /// VCs whose buffer front awaits VC allocation, per in-slot.
+    pub(crate) va_vc_mask: Vec<u64>,
+    /// Active VCs with buffered flits (switch requests), per in-slot.
+    pub(crate) sa_vc_mask: Vec<u64>,
+    /// VC-allocation round-robin pointer per out-slot.
+    pub(crate) va_rr: Vec<u8>,
+    /// Switch-allocation input round-robin pointer per in-slot.
+    pub(crate) sa_in_rr: Vec<u8>,
+    /// Switch-allocation output round-robin pointer per out-slot.
+    pub(crate) sa_out_rr: Vec<u8>,
+    /// Occupied buffer slots per router (the active-set criterion).
+    pub(crate) occupied: Vec<u32>,
+    /// In-flight flits per channel: `(arrival_cycle, flit)`.
+    pub(crate) data_pipe: Vec<VecDeque<(u64, Flit)>>,
+    /// In-flight credits per channel (flowing source-ward).
+    pub(crate) credit_pipe: Vec<VecDeque<(u64, u8)>>,
+}
+
+impl CoreState {
+    /// Fresh state for `lanes` lanes over `layout`'s index spaces —
+    /// per lane, exactly the just-constructed state of the object
+    /// model: empty buffers, full credits, zeroed pointers and masks.
+    pub(crate) fn new(layout: &CoreLayout<'_>, lanes: usize) -> Self {
+        let vcs = layout.vcs;
+        let ivc = layout.total_in_slots() * vcs * lanes;
+        let ovc = layout.total_out_slots() * vcs * lanes;
+        let islots = layout.total_in_slots() * lanes;
+        let oslots = layout.total_out_slots() * lanes;
+        Self {
+            lanes,
+            buffers: vec![VecDeque::new(); ivc],
+            in_active: vec![false; ivc],
+            in_out_port: vec![0; ivc],
+            in_out_vc: vec![0; ivc],
+            out_owner: vec![NO_OWNER; ovc],
+            credits: vec![layout.config.buffer_depth; ovc],
+            out_vc_used: vec![0; oslots],
+            va_vc_mask: vec![0; islots],
+            sa_vc_mask: vec![0; islots],
+            va_rr: vec![0; oslots],
+            sa_in_rr: vec![0; islots],
+            sa_out_rr: vec![0; oslots],
+            occupied: vec![0; layout.n_routers * lanes],
+            data_pipe: vec![VecDeque::new(); layout.n_channels * lanes],
+            credit_pipe: vec![VecDeque::new(); layout.n_channels * lanes],
+        }
+    }
+
+    /// Index of input VC `(r, p, v)` in lane `lane`.
+    #[inline]
+    pub(crate) fn ivc(
+        &self,
+        layout: &CoreLayout<'_>,
+        r: usize,
+        p: usize,
+        v: usize,
+        lane: usize,
+    ) -> usize {
+        (layout.islot(r, p) * layout.vcs + v) * self.lanes + lane
+    }
+
+    /// Index of output VC `(r, o, v)` in lane `lane`.
+    #[inline]
+    pub(crate) fn ovc(
+        &self,
+        layout: &CoreLayout<'_>,
+        r: usize,
+        o: usize,
+        v: usize,
+        lane: usize,
+    ) -> usize {
+        (layout.oslot(r, o) * layout.vcs + v) * self.lanes + lane
+    }
+
+    /// Index of in-slot `(r, p)` in lane `lane`.
+    #[inline]
+    pub(crate) fn islot(&self, layout: &CoreLayout<'_>, r: usize, p: usize, lane: usize) -> usize {
+        layout.islot(r, p) * self.lanes + lane
+    }
+
+    /// Index of out-slot `(r, o)` in lane `lane`.
+    #[inline]
+    pub(crate) fn oslot(&self, layout: &CoreLayout<'_>, r: usize, o: usize, lane: usize) -> usize {
+        layout.oslot(r, o) * self.lanes + lane
+    }
+
+    /// Returns one router's slice of `lane` to its just-constructed
+    /// state — the core's analogue of `Router::reset`, called for each
+    /// router the finished lane touched so a refilled lane starts from
+    /// state indistinguishable from a fresh [`CoreState::new`].
+    pub(crate) fn reset_router_lane(&mut self, layout: &CoreLayout<'_>, r: usize, lane: usize) {
+        let vcs = layout.vcs;
+        let k = self.lanes;
+        for p in 0..layout.in_ports(r) {
+            let islot = layout.islot(r, p);
+            for v in 0..vcs {
+                let i = (islot * vcs + v) * k + lane;
+                self.buffers[i].clear();
+                self.in_active[i] = false;
+                self.in_out_port[i] = 0;
+                self.in_out_vc[i] = 0;
+            }
+            let s = islot * k + lane;
+            self.va_vc_mask[s] = 0;
+            self.sa_vc_mask[s] = 0;
+            self.sa_in_rr[s] = 0;
+        }
+        for o in 0..layout.out_ports(r) {
+            let oslot = layout.oslot(r, o);
+            for v in 0..vcs {
+                let i = (oslot * vcs + v) * k + lane;
+                self.out_owner[i] = NO_OWNER;
+                self.credits[i] = layout.config.buffer_depth;
+            }
+            let s = oslot * k + lane;
+            self.out_vc_used[s] = 0;
+            self.va_rr[s] = 0;
+            self.sa_out_rr[s] = 0;
+        }
+        self.occupied[r * k + lane] = 0;
+    }
+
+    /// Clears one channel's lane of both link pipelines — the per-lane
+    /// analogue of `Network::reset`'s touched-channel cleanup.
+    pub(crate) fn reset_channel_lane(&mut self, c: usize, lane: usize) {
+        let i = c * self.lanes + lane;
+        self.data_pipe[i].clear();
+        self.credit_pipe[i].clear();
+    }
+}

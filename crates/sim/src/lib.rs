@@ -42,6 +42,7 @@
 //! ```
 
 mod config;
+mod core;
 mod flit;
 mod injection;
 mod network;
@@ -62,7 +63,7 @@ pub use runner::{
 };
 pub use stats::{percentile, SimOutcome};
 pub use sweep::{
-    CacheStats, CellCache, CellId, ExecBackend, Experiment, ShardResult, ShardSpec, SweepCase,
-    SweepPlan, SweepPoint, SweepResult, SweepSpec,
+    CacheStats, CellCache, CellId, ExecBackend, ExecStats, Experiment, ShardResult, ShardSpec,
+    SweepCase, SweepPlan, SweepPoint, SweepResult, SweepSpec,
 };
 pub use traffic::TrafficPattern;

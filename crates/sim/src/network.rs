@@ -86,8 +86,10 @@ pub enum ScanPolicy {
 
 /// An index set over `0..len` with O(1) insertion, deduplication via a
 /// membership bitmap, and deterministic (ascending) iteration order.
+/// Shared with the batched struct-of-arrays core (`crate::core`), which
+/// keeps one union set per structure across all of its lanes.
 #[derive(Debug)]
-struct ActiveSet {
+pub(crate) struct ActiveSet {
     members: Vec<usize>,
     is_member: Vec<bool>,
     /// Last cycle's sweep buffer, recycled so the per-cycle sweep is
@@ -96,7 +98,7 @@ struct ActiveSet {
 }
 
 impl ActiveSet {
-    fn new(len: usize) -> Self {
+    pub(crate) fn new(len: usize) -> Self {
         Self {
             members: Vec::new(),
             is_member: vec![false; len],
@@ -105,7 +107,7 @@ impl ActiveSet {
     }
 
     #[inline]
-    fn insert(&mut self, index: usize) {
+    pub(crate) fn insert(&mut self, index: usize) {
         if !self.is_member[index] {
             self.is_member[index] = true;
             self.members.push(index);
@@ -116,7 +118,7 @@ impl ActiveSet {
     /// recycled buffer from the previous sweep as the new (empty)
     /// member list. Call [`ActiveSet::keep`] for every index to
     /// retain, then return the buffer via [`ActiveSet::finish_sweep`].
-    fn start_sweep(&mut self) -> Vec<usize> {
+    pub(crate) fn start_sweep(&mut self) -> Vec<usize> {
         let mut sweep = std::mem::replace(&mut self.members, std::mem::take(&mut self.scratch));
         sweep.sort_unstable();
         for &i in &sweep {
@@ -126,17 +128,17 @@ impl ActiveSet {
     }
 
     #[inline]
-    fn keep(&mut self, index: usize) {
+    pub(crate) fn keep(&mut self, index: usize) {
         self.insert(index);
     }
 
-    fn finish_sweep(&mut self, mut sweep: Vec<usize>) {
+    pub(crate) fn finish_sweep(&mut self, mut sweep: Vec<usize>) {
         sweep.clear();
         self.scratch = sweep;
     }
 
     /// Empties the set in O(members), visiting each former member.
-    fn clear_with(&mut self, mut visit: impl FnMut(usize)) {
+    pub(crate) fn clear_with(&mut self, mut visit: impl FnMut(usize)) {
         for &i in &self.members {
             self.is_member[i] = false;
             visit(i);
@@ -380,8 +382,8 @@ impl<'a> Network<'a> {
     ) -> SimOutcome {
         let config = self.config.clone();
         let packet_prob = rate / f64::from(config.packet_len);
-        let measure_start = config.warmup;
-        let measure_end = config.warmup + config.measure;
+        let mut recorder = crate::stats::OutcomeRecorder::new(&config);
+        let measure_end = recorder.measure_end();
         let hard_stop = measure_end + config.drain_limit;
         let grid = self.topology.grid();
         let mut injector = Injector::new(
@@ -392,10 +394,6 @@ impl<'a> Network<'a> {
             hard_stop,
         );
         let mut next_packet = 0u64;
-        let mut outstanding_measured = 0u64;
-        let mut latencies = Vec::new();
-        let mut ejected_in_window = 0u64;
-        let mut injected_in_window = 0u64;
         let mut now = 0u64;
         let mut traversal = TraversalOutput::default();
         loop {
@@ -408,11 +406,7 @@ impl<'a> Network<'a> {
             injector.fire_at(now, |t, stream| {
                 let src = TileId::new(t as u32);
                 if let Some(dst) = pattern.destination(grid, src, stream) {
-                    let measured = now >= measure_start && now < measure_end;
-                    if measured {
-                        outstanding_measured += 1;
-                        injected_in_window += u64::from(config.packet_len);
-                    }
+                    recorder.record_injection(now);
                     let id = next_packet;
                     next_packet += 1;
                     let inj = self.routers[t].injection_port();
@@ -460,16 +454,7 @@ impl<'a> Network<'a> {
                     self.touched_channels.insert(channel.index());
                 }
                 for flit in traversal.ejected.drain(..) {
-                    if flit.is_tail {
-                        let measured = flit.created >= measure_start && flit.created < measure_end;
-                        if measured {
-                            latencies.push((now - flit.created) as f64);
-                            outstanding_measured -= 1;
-                        }
-                    }
-                    if now >= measure_start && now < measure_end {
-                        ejected_in_window += 1;
-                    }
+                    recorder.record_ejection(&flit, now);
                 }
                 if policy == ScanPolicy::ActiveSet && self.routers[r].has_occupied_buffers() {
                     self.active_routers.keep(r);
@@ -487,32 +472,14 @@ impl<'a> Network<'a> {
                 }
             }
             now += 1;
-            if now >= measure_end && outstanding_measured == 0 {
+            if now >= measure_end && recorder.drained() {
                 break;
             }
             if now >= hard_stop {
                 break;
             }
         }
-        let stable = outstanding_measured == 0;
-        let avg_latency = if latencies.is_empty() {
-            0.0
-        } else {
-            latencies.iter().sum::<f64>() / latencies.len() as f64
-        };
-        let max_latency = latencies.iter().copied().fold(0.0f64, f64::max);
-        let nodes = self.topology.num_tiles() as f64;
-        SimOutcome {
-            offered_rate: injected_in_window as f64 / (config.measure as f64 * nodes),
-            accepted_rate: ejected_in_window as f64 / (config.measure as f64 * nodes),
-            avg_packet_latency: avg_latency,
-            p50_packet_latency: crate::stats::percentile(&latencies, 0.5),
-            p99_packet_latency: crate::stats::percentile(&latencies, 0.99),
-            max_packet_latency: max_latency,
-            measured_packets: latencies.len() as u64,
-            stable,
-            cycles: now,
-        }
+        recorder.finalize(now, self.topology.num_tiles() as f64)
     }
 
     /// Delivers due flits and credits on (active) channels.

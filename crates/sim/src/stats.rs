@@ -2,6 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::config::SimConfig;
+use crate::flit::Flit;
+
 /// The measured result of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimOutcome {
@@ -36,6 +39,98 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
     sorted[rank]
+}
+
+/// The per-run statistics accumulator shared by every execution engine
+/// (`Network::run_inner` and the batched struct-of-arrays core): window
+/// accounting, outstanding-packet tracking and the final
+/// [`SimOutcome`] arithmetic live here exactly once, so two engines
+/// cannot drift in how they *measure* even while they differ in how
+/// they *simulate*.
+#[derive(Debug)]
+pub(crate) struct OutcomeRecorder {
+    measure_start: u64,
+    measure_end: u64,
+    measure: u64,
+    packet_len: u16,
+    outstanding_measured: u64,
+    latencies: Vec<f64>,
+    ejected_in_window: u64,
+    injected_in_window: u64,
+}
+
+impl OutcomeRecorder {
+    pub(crate) fn new(config: &SimConfig) -> Self {
+        Self {
+            measure_start: config.warmup,
+            measure_end: config.warmup + config.measure,
+            measure: config.measure,
+            packet_len: config.packet_len,
+            outstanding_measured: 0,
+            latencies: Vec::new(),
+            ejected_in_window: 0,
+            injected_in_window: 0,
+        }
+    }
+
+    /// Accounts one injected packet created at cycle `now`.
+    #[inline]
+    pub(crate) fn record_injection(&mut self, now: u64) {
+        if now >= self.measure_start && now < self.measure_end {
+            self.outstanding_measured += 1;
+            self.injected_in_window += u64::from(self.packet_len);
+        }
+    }
+
+    /// Accounts one ejected flit at cycle `now` (latency is recorded on
+    /// the tail flit of each packet created inside the window).
+    #[inline]
+    pub(crate) fn record_ejection(&mut self, flit: &Flit, now: u64) {
+        if flit.is_tail {
+            let measured = flit.created >= self.measure_start && flit.created < self.measure_end;
+            if measured {
+                self.latencies.push((now - flit.created) as f64);
+                self.outstanding_measured -= 1;
+            }
+        }
+        if now >= self.measure_start && now < self.measure_end {
+            self.ejected_in_window += 1;
+        }
+    }
+
+    /// `true` once every measured packet has been ejected.
+    #[inline]
+    pub(crate) fn drained(&self) -> bool {
+        self.outstanding_measured == 0
+    }
+
+    /// End of the measurement window (warmup + measure cycles).
+    #[inline]
+    pub(crate) fn measure_end(&self) -> u64 {
+        self.measure_end
+    }
+
+    /// Folds the accumulated statistics into the final outcome.
+    pub(crate) fn finalize(&self, now: u64, nodes: f64) -> SimOutcome {
+        let stable = self.outstanding_measured == 0;
+        let avg_latency = if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<f64>() / self.latencies.len() as f64
+        };
+        let max_latency = self.latencies.iter().copied().fold(0.0f64, f64::max);
+        SimOutcome {
+            offered_rate: self.injected_in_window as f64 / (self.measure as f64 * nodes),
+            accepted_rate: self.ejected_in_window as f64 / (self.measure as f64 * nodes),
+            avg_packet_latency: avg_latency,
+            p50_packet_latency: percentile(&self.latencies, 0.5),
+            p99_packet_latency: percentile(&self.latencies, 0.99),
+            max_packet_latency: max_latency,
+            measured_packets: self.latencies.len() as u64,
+            stable,
+            cycles: now,
+        }
+    }
 }
 
 impl SimOutcome {

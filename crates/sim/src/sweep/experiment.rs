@@ -3,6 +3,9 @@
 //! the grid — or any subset of its cells — out over threads, through a
 //! pluggable [`ExecBackend`] and an optional [`CellCache`].
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
 use rayon::prelude::*;
 
 use shg_topology::routing::{self, BuildRoutesError, Routes};
@@ -15,17 +18,20 @@ use super::result::{ShardResult, SweepPoint, SweepResult};
 use super::shard::ShardSpec;
 use super::spec::SweepSpec;
 use crate::config::SimConfig;
+use crate::core::{run_batch, LaneJob};
 use crate::network::Network;
 use crate::stats::SimOutcome;
 use crate::traffic::TrafficPattern;
 
 /// How [`Experiment::run_cells`] turns a cell list into simulations.
 ///
-/// Both backends produce bit-identical points for every cell — the
+/// Every backend produces bit-identical points for every cell — the
 /// reuse backend is built on [`Network::reset`], whose equivalence to
 /// fresh construction is pinned under `Network::run_validated` across
-/// all scan/injection/allocation policy combinations — so the choice
-/// is purely a performance lever.
+/// all scan/injection/allocation policy combinations, and the batched
+/// backend's struct-of-arrays core is pinned lane-by-lane against the
+/// per-cell reference in `tests/batched_equivalence.rs` — so the
+/// choice is purely a performance lever.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecBackend {
     /// One fresh [`Network`] per cell (the reference): maximal
@@ -37,6 +43,17 @@ pub enum ExecBackend {
     /// cells in O(touched) — amortizing per-cell setup cost, which
     /// dominates grids of many short cells.
     Reuse,
+    /// Groups consecutive cells of the same case and steps up to
+    /// [`Experiment::lanes`] of them in lockstep through one
+    /// struct-of-arrays core (see `crate::core`): one topology
+    /// construction and one hot working set serve K cells at once,
+    /// with completed lanes refilled from the group's remaining cells.
+    Batched,
+    /// Picks a backend per cell group: tiny groups run per-cell; for
+    /// the rest, a timed first-cell probe compares setup cost against
+    /// simulation cost and picks [`ExecBackend::Batched`] when setup
+    /// is worth amortizing, [`ExecBackend::Reuse`] otherwise.
+    Auto,
 }
 
 impl std::fmt::Display for ExecBackend {
@@ -44,7 +61,60 @@ impl std::fmt::Display for ExecBackend {
         match self {
             Self::PerCell => write!(f, "per-cell"),
             Self::Reuse => write!(f, "reuse"),
+            Self::Batched => write!(f, "batched"),
+            Self::Auto => write!(f, "auto"),
         }
+    }
+}
+
+/// A snapshot of [`Experiment::exec_stats`]: how many cells each
+/// backend actually simulated (cache hits excluded) and how many
+/// batch lanes are in flight. Progress reporters poll this; it never
+/// affects results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Cells simulated on fresh per-cell networks (includes the auto
+    /// backend's probe cells and its small-group fallback).
+    pub per_cell_cells: u64,
+    /// Cells simulated on reused networks.
+    pub reuse_cells: u64,
+    /// Cells simulated as lanes of a batched core.
+    pub batched_cells: u64,
+    /// Batch lanes currently stepping (0 outside batched execution).
+    pub lanes_in_flight: u64,
+    /// High-water mark of `lanes_in_flight` over the experiment.
+    pub peak_lanes: u64,
+}
+
+/// Interior counters behind [`ExecStats`] — relaxed atomics, bumped
+/// from worker threads.
+#[derive(Debug, Default)]
+struct ExecCounters {
+    per_cell_cells: AtomicU64,
+    reuse_cells: AtomicU64,
+    batched_cells: AtomicU64,
+    lanes_in_flight: AtomicU64,
+    peak_lanes: AtomicU64,
+}
+
+impl ExecCounters {
+    fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            per_cell_cells: self.per_cell_cells.load(Relaxed),
+            reuse_cells: self.reuse_cells.load(Relaxed),
+            batched_cells: self.batched_cells.load(Relaxed),
+            lanes_in_flight: self.lanes_in_flight.load(Relaxed),
+            peak_lanes: self.peak_lanes.load(Relaxed),
+        }
+    }
+
+    fn lanes_up(&self, k: u64) {
+        let now = self.lanes_in_flight.fetch_add(k, Relaxed) + k;
+        self.peak_lanes.fetch_max(now, Relaxed);
+    }
+
+    fn lanes_down(&self, k: u64) {
+        self.lanes_in_flight.fetch_sub(k, Relaxed);
     }
 }
 
@@ -54,6 +124,12 @@ impl std::fmt::Display for ExecBackend {
 /// chunks journaled execution runs, at the cost of proportionally
 /// coarser parallelism on tiny cell lists.
 const MIN_REUSE_GROUP: usize = 4;
+
+/// Default lane count of [`ExecBackend::Batched`]: wide enough to
+/// amortize setup and share sweeps across typical per-case rate grids,
+/// narrow enough that lane-major arrays of a 256-tile case stay
+/// cache-resident.
+const DEFAULT_LANES: usize = 8;
 
 /// One topology under sweep: its routing table and per-link latencies
 /// are computed once and shared by all grid cells of the case.
@@ -133,7 +209,9 @@ pub struct Experiment<'a> {
     spec: SweepSpec,
     cases: Vec<SweepCase<'a>>,
     backend: ExecBackend,
+    lanes: usize,
     cache: Option<CellCache>,
+    counters: ExecCounters,
     /// Memoized per-case cache digests (routing tables make them
     /// O(n²) to compute); invalidated when a case is added.
     case_digests: std::sync::OnceLock<Vec<u64>>,
@@ -148,7 +226,9 @@ impl<'a> Experiment<'a> {
             spec,
             cases: Vec::new(),
             backend: ExecBackend::default(),
+            lanes: DEFAULT_LANES,
             cache: None,
+            counters: ExecCounters::default(),
             case_digests: std::sync::OnceLock::new(),
         }
     }
@@ -169,6 +249,34 @@ impl<'a> Experiment<'a> {
     #[must_use]
     pub fn backend(&self) -> ExecBackend {
         self.backend
+    }
+
+    /// Sets the maximum lane count of [`ExecBackend::Batched`] and
+    /// [`ExecBackend::Auto`] batches (builder style). Clamped to at
+    /// least 1; results are identical at every lane count.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.set_lanes(lanes);
+        self
+    }
+
+    /// Sets the maximum batch lane count in place.
+    pub fn set_lanes(&mut self, lanes: usize) {
+        self.lanes = lanes.max(1);
+    }
+
+    /// The maximum lane count of a batched-core group.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// A snapshot of the per-backend execution counters (cells each
+    /// backend simulated, batch lanes in flight). Cheap; safe to poll
+    /// from a progress reporter while a run is in flight.
+    #[must_use]
+    pub fn exec_stats(&self) -> ExecStats {
+        self.counters.snapshot()
     }
 
     /// Attaches a cell-result cache (builder style): every execution
@@ -278,23 +386,16 @@ impl<'a> Experiment<'a> {
                 .map(|&cell| self.run_point(cell, digests))
                 .collect(),
             ExecBackend::Reuse => self.run_cells_reuse(cells, digests),
+            ExecBackend::Batched => self.run_cells_batched(cells, digests),
+            ExecBackend::Auto => self.run_cells_auto(cells, digests),
         }
     }
 
-    /// The reuse backend: consecutive same-case cells are grouped, each
-    /// group runs sequentially on one `Network` ([`Network::reset`]
-    /// between cells), and the groups fan out over the pool. Long
-    /// groups are split so the pool stays busy — but never below
-    /// [`MIN_REUSE_GROUP`] cells, so the small chunks the journaled
-    /// path feeds through here still amortize each construction over
-    /// several resets instead of degenerating to one network per cell.
-    /// Since every cell is independent, the split cannot affect any
-    /// point.
-    fn run_cells_reuse(&self, cells: &[CellId], digests: Option<&[u64]>) -> Vec<SweepPoint> {
-        let target = cells
-            .len()
-            .div_ceil(rayon::current_num_threads().max(1) * 2)
-            .max(MIN_REUSE_GROUP);
+    /// Splits `cells` into runs of consecutive same-case cells, at most
+    /// `target` long — the shared grouping step of every grouping
+    /// backend. Long runs are split so the pool stays busy; since every
+    /// cell is independent, the split cannot affect any point.
+    fn split_same_case_groups(cells: &[CellId], target: usize) -> Vec<&[CellId]> {
         let mut groups: Vec<&[CellId]> = Vec::new();
         let mut rest = cells;
         while let Some(first) = rest.first() {
@@ -307,9 +408,57 @@ impl<'a> Experiment<'a> {
             groups.push(group);
             rest = tail;
         }
-        let grouped: Vec<Vec<SweepPoint>> = groups
+        groups
+    }
+
+    /// The reuse backend: consecutive same-case cells are grouped, each
+    /// group runs sequentially on one `Network` ([`Network::reset`]
+    /// between cells), and the groups fan out over the pool. Groups
+    /// never drop below [`MIN_REUSE_GROUP`] cells, so the small chunks
+    /// the journaled path feeds through here still amortize each
+    /// construction over several resets instead of degenerating to one
+    /// network per cell.
+    fn run_cells_reuse(&self, cells: &[CellId], digests: Option<&[u64]>) -> Vec<SweepPoint> {
+        let target = cells
+            .len()
+            .div_ceil(rayon::current_num_threads().max(1) * 2)
+            .max(MIN_REUSE_GROUP);
+        let grouped: Vec<Vec<SweepPoint>> = Self::split_same_case_groups(cells, target)
             .par_iter()
             .map(|group| self.run_group(group, digests))
+            .collect();
+        grouped.into_iter().flatten().collect()
+    }
+
+    /// The batched backend: consecutive same-case cells are grouped
+    /// (at least [`Experiment::lanes`] per group where the case allows,
+    /// so every batch can fill its lanes) and each group runs as one
+    /// lane-parallel batch on the struct-of-arrays core; the groups fan
+    /// out over the pool.
+    fn run_cells_batched(&self, cells: &[CellId], digests: Option<&[u64]>) -> Vec<SweepPoint> {
+        let target = cells
+            .len()
+            .div_ceil(rayon::current_num_threads().max(1) * 2)
+            .max(MIN_REUSE_GROUP)
+            .max(self.lanes);
+        let grouped: Vec<Vec<SweepPoint>> = Self::split_same_case_groups(cells, target)
+            .par_iter()
+            .map(|group| self.run_group_batched(group, digests))
+            .collect();
+        grouped.into_iter().flatten().collect()
+    }
+
+    /// The auto backend: same grouping as batched, backend chosen per
+    /// group (see [`Experiment::run_group_auto`]).
+    fn run_cells_auto(&self, cells: &[CellId], digests: Option<&[u64]>) -> Vec<SweepPoint> {
+        let target = cells
+            .len()
+            .div_ceil(rayon::current_num_threads().max(1) * 2)
+            .max(MIN_REUSE_GROUP)
+            .max(self.lanes);
+        let grouped: Vec<Vec<SweepPoint>> = Self::split_same_case_groups(cells, target)
+            .par_iter()
+            .map(|group| self.run_group_auto(group, digests))
             .collect();
         grouped.into_iter().flatten().collect()
     }
@@ -322,23 +471,126 @@ impl<'a> Experiment<'a> {
         group
             .iter()
             .map(|&cell| {
-                self.run_point_with(cell, digests, |case, config, rate, pattern| match network {
-                    Some(ref mut net) => {
-                        net.reset(config.seed);
-                        net.run(rate, pattern)
-                    }
-                    None => {
-                        let net = network.insert(Network::new(
-                            case.topology,
-                            &case.routes,
-                            &case.link_latencies,
-                            config,
-                        ));
-                        net.run(rate, pattern)
+                self.run_point_with(cell, digests, |case, config, rate, pattern| {
+                    self.counters.reuse_cells.fetch_add(1, Relaxed);
+                    match network {
+                        Some(ref mut net) => {
+                            net.reset(config.seed);
+                            net.run(rate, pattern)
+                        }
+                        None => {
+                            let net = network.insert(Network::new(
+                                case.topology,
+                                &case.routes,
+                                &case.link_latencies,
+                                config,
+                            ));
+                            net.run(rate, pattern)
+                        }
                     }
                 })
             })
             .collect()
+    }
+
+    /// Runs one same-case cell group as a lane-parallel batch: every
+    /// cell is probed against the cache first (a cached cell must not
+    /// occupy a lane), the misses run together through one
+    /// struct-of-arrays core with up to [`Experiment::lanes`] lanes in
+    /// flight, and the points come back in group order.
+    fn run_group_batched(&self, group: &[CellId], digests: Option<&[u64]>) -> Vec<SweepPoint> {
+        let inputs: Vec<CellInputs> = group
+            .iter()
+            .map(|&cell| self.cell_inputs(cell, digests))
+            .collect();
+        let mut points: Vec<Option<SweepPoint>> = inputs
+            .iter()
+            .map(|inputs| self.load_cached(inputs))
+            .collect();
+        let misses: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.is_none().then_some(i))
+            .collect();
+        if !misses.is_empty() {
+            let case = &self.cases[inputs[misses[0]].case];
+            let jobs: Vec<LaneJob> = misses
+                .iter()
+                .map(|&i| LaneJob {
+                    seed: inputs[i].seed,
+                    rate: inputs[i].rate,
+                    pattern: inputs[i].pattern,
+                })
+                .collect();
+            let k = self.lanes.min(jobs.len()) as u64;
+            self.counters
+                .batched_cells
+                .fetch_add(jobs.len() as u64, Relaxed);
+            self.counters.lanes_up(k);
+            let outcomes = run_batch(
+                case.topology,
+                &case.routes,
+                &case.link_latencies,
+                &self.spec.config,
+                &jobs,
+                self.lanes,
+            );
+            self.counters.lanes_down(k);
+            for (&i, outcome) in misses.iter().zip(outcomes) {
+                points[i] = Some(self.finish_point(&inputs[i], outcome));
+            }
+        }
+        points
+            .into_iter()
+            .map(|p| p.expect("every group cell is cached or batched"))
+            .collect()
+    }
+
+    /// Runs one same-case cell group under the auto backend. Groups too
+    /// small to amortize anything run per-cell. Otherwise the first
+    /// cache-missing cell runs per-cell with its construction and
+    /// simulation separately timed, and the rest of the group goes to
+    /// the batched core when construction is the dominant cost
+    /// (simulation under twice construction) or to network reuse when
+    /// simulation dominates — long cells gain little from lockstep
+    /// lanes, and reuse keeps peak memory at one network.
+    fn run_group_auto(&self, group: &[CellId], digests: Option<&[u64]>) -> Vec<SweepPoint> {
+        if group.len() < MIN_REUSE_GROUP {
+            return group
+                .iter()
+                .map(|&cell| self.run_point(cell, digests))
+                .collect();
+        }
+        let mut points = Vec::with_capacity(group.len());
+        let mut probe: Option<(std::time::Duration, std::time::Duration)> = None;
+        let mut rest = group;
+        while probe.is_none() {
+            let Some((&cell, tail)) = rest.split_first() else {
+                break; // fully cached group: nothing left to decide
+            };
+            points.push(
+                self.run_point_with(cell, digests, |case, config, rate, pattern| {
+                    self.counters.per_cell_cells.fetch_add(1, Relaxed);
+                    let build_start = Instant::now();
+                    let mut network =
+                        Network::new(case.topology, &case.routes, &case.link_latencies, config);
+                    let build = build_start.elapsed();
+                    let run_start = Instant::now();
+                    let outcome = network.run(rate, pattern);
+                    probe = Some((build, run_start.elapsed()));
+                    outcome
+                }),
+            );
+            rest = tail;
+        }
+        match probe {
+            Some((build, run)) if run < build * 2 => {
+                points.extend(self.run_group_batched(rest, digests));
+            }
+            Some(_) => points.extend(self.run_group(rest, digests)),
+            None => {}
+        }
+        points
     }
 
     /// Runs `cells` in order as pool-sized chunks (a few per worker —
@@ -349,11 +601,12 @@ impl<'a> Experiment<'a> {
     /// progress is reported, so the two cannot drift; an error from
     /// `after_chunk` aborts the run.
     ///
-    /// Under [`ExecBackend::Reuse`] the chunks are a few times larger:
-    /// each chunk is grouped per case onto reused `Network`s, so the
-    /// chunk length bounds how many resets amortize one construction —
-    /// the price is a proportionally larger recompute window after a
-    /// kill.
+    /// Under the grouping backends the chunks are a few times larger:
+    /// each chunk is grouped per case onto reused `Network`s or batched
+    /// cores, so the chunk length bounds how much amortization one
+    /// construction gets — the price is a proportionally larger
+    /// recompute window after a kill. Batched chunks scale with the
+    /// lane count so every batch can fill its lanes.
     ///
     /// # Errors
     ///
@@ -365,7 +618,8 @@ impl<'a> Experiment<'a> {
     ) -> Result<Vec<SweepPoint>, E> {
         let per_worker = match self.backend {
             ExecBackend::PerCell => 2,
-            ExecBackend::Reuse => 2 * MIN_REUSE_GROUP,
+            ExecBackend::Reuse | ExecBackend::Auto => 2 * MIN_REUSE_GROUP,
+            ExecBackend::Batched => 2 * self.lanes,
         };
         let chunk_size = rayon::current_num_threads().max(1) * per_worker;
         let mut points = Vec::with_capacity(cells.len());
@@ -424,23 +678,17 @@ impl<'a> Experiment<'a> {
     /// the grid coordinates, never on scheduling.
     fn run_point(&self, cell: CellId, digests: Option<&[u64]>) -> SweepPoint {
         self.run_point_with(cell, digests, |case, config, rate, pattern| {
+            self.counters.per_cell_cells.fetch_add(1, Relaxed);
             Network::new(case.topology, &case.routes, &case.link_latencies, config)
                 .run(rate, pattern)
         })
     }
 
-    /// The shared per-cell skeleton: derives the cell's inputs, probes
-    /// the cache, and only on a miss calls `simulate` (the backend's
-    /// way of producing the outcome), storing what it computed. The
-    /// case reference handed to `simulate` borrows from `self`, so a
-    /// reuse backend can keep a `Network` built on it across calls.
-    fn run_point_with<'s>(
-        &'s self,
-        cell: CellId,
-        digests: Option<&[u64]>,
-        simulate: impl FnOnce(&'s SweepCase<'a>, SimConfig, f64, TrafficPattern) -> SimOutcome,
-    ) -> SweepPoint {
-        let case = &self.cases[cell.case as usize];
+    /// Derives everything a cell's execution needs from its grid
+    /// coordinates: pattern, rate, a scheduling-independent seed, the
+    /// seeded config and (when a cache is attached) the cell's
+    /// fingerprint.
+    fn cell_inputs(&self, cell: CellId, digests: Option<&[u64]>) -> CellInputs {
         let pattern = self.spec.patterns[cell.pattern as usize];
         let rate = self.spec.rates_of(pattern)[cell.rate as usize];
         let seed = derive_seed(
@@ -456,24 +704,77 @@ impl<'a> Experiment<'a> {
         let fingerprint = digests.map(|digests| {
             cache::cell_fingerprint(digests[cell.case as usize], &config, pattern, rate)
         });
-        if let (Some(cache), Some(fp)) = (&self.cache, fingerprint) {
-            if let Some(point) = cache.load(fp, &case.name, pattern, rate, seed) {
-                return point;
-            }
-        }
-        let outcome = simulate(case, config, rate, pattern);
-        let point = SweepPoint {
-            case: case.name.clone(),
+        CellInputs {
+            case: cell.case as usize,
             pattern,
             rate,
             seed,
+            config,
+            fingerprint,
+        }
+    }
+
+    /// Probes the attached cache for a cell; `None` on a miss (or with
+    /// no cache attached).
+    fn load_cached(&self, inputs: &CellInputs) -> Option<SweepPoint> {
+        let cache = self.cache.as_ref()?;
+        let fingerprint = inputs.fingerprint?;
+        cache.load(
+            fingerprint,
+            &self.cases[inputs.case].name,
+            inputs.pattern,
+            inputs.rate,
+            inputs.seed,
+        )
+    }
+
+    /// Wraps a freshly simulated outcome into its [`SweepPoint`] and
+    /// stores it in the attached cache.
+    fn finish_point(&self, inputs: &CellInputs, outcome: SimOutcome) -> SweepPoint {
+        let point = SweepPoint {
+            case: self.cases[inputs.case].name.clone(),
+            pattern: inputs.pattern,
+            rate: inputs.rate,
+            seed: inputs.seed,
             outcome,
         };
-        if let (Some(cache), Some(fp)) = (&self.cache, fingerprint) {
+        if let (Some(cache), Some(fp)) = (&self.cache, inputs.fingerprint) {
             cache.store(fp, &point);
         }
         point
     }
+
+    /// The shared per-cell skeleton: derives the cell's inputs, probes
+    /// the cache, and only on a miss calls `simulate` (the backend's
+    /// way of producing the outcome), storing what it computed. The
+    /// case reference handed to `simulate` borrows from `self`, so a
+    /// reuse backend can keep a `Network` built on it across calls.
+    fn run_point_with<'s>(
+        &'s self,
+        cell: CellId,
+        digests: Option<&[u64]>,
+        simulate: impl FnOnce(&'s SweepCase<'a>, SimConfig, f64, TrafficPattern) -> SimOutcome,
+    ) -> SweepPoint {
+        let inputs = self.cell_inputs(cell, digests);
+        if let Some(point) = self.load_cached(&inputs) {
+            return point;
+        }
+        let case = &self.cases[inputs.case];
+        let outcome = simulate(case, inputs.config.clone(), inputs.rate, inputs.pattern);
+        self.finish_point(&inputs, outcome)
+    }
+}
+
+/// The derived execution inputs of one grid cell (see
+/// [`Experiment::cell_inputs`]).
+#[derive(Debug)]
+struct CellInputs {
+    case: usize,
+    pattern: TrafficPattern,
+    rate: f64,
+    seed: u64,
+    config: SimConfig,
+    fingerprint: Option<u64>,
 }
 
 /// SplitMix64-style mixing of the root seed with grid coordinates.

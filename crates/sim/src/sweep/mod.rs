@@ -27,7 +27,9 @@
 //!   ([`Experiment::run_parallel`]), an arbitrary cell subset
 //!   ([`Experiment::run_cells`]) or one shard
 //!   ([`Experiment::run_shard`]), on a pluggable [`ExecBackend`]
-//!   (per-cell reference, or `Network`-reusing batched execution).
+//!   (per-cell reference, `Network`-reusing execution, the
+//!   lane-parallel struct-of-arrays batched core, or an auto policy
+//!   that picks per cell group).
 //! * [`cache`] — [`CellCache`]: a content-addressed on-disk store of
 //!   completed cells keyed per cell (not per plan), so re-runs and
 //!   widened grids simulate only what actually changed.
@@ -85,7 +87,7 @@ pub mod shard;
 pub mod spec;
 
 pub use cache::{CacheStats, CellCache};
-pub use experiment::{ExecBackend, Experiment, SweepCase};
+pub use experiment::{ExecBackend, ExecStats, Experiment, SweepCase};
 pub use journal::{read_journal, run_journaled, JournalError};
 pub use plan::{CellId, SweepPlan};
 pub use result::{MergeError, ShardResult, SweepPoint, SweepResult};

@@ -13,8 +13,8 @@ use proptest::prelude::*;
 use rayon::ThreadPool;
 use shg_sim::sweep::ALL_PATTERNS;
 use shg_sim::{
-    AllocPolicy, Experiment, InjectionPolicy, ShardSpec, SimConfig, SweepResult, SweepSpec,
-    TrafficPattern,
+    AllocPolicy, ExecBackend, Experiment, InjectionPolicy, ShardSpec, SimConfig, SweepResult,
+    SweepSpec, TrafficPattern,
 };
 use shg_topology::{generators, Grid};
 
@@ -69,6 +69,51 @@ fn one_thread_and_many_threads_produce_identical_json() {
         // Re-running the whole experiment reproduces the bytes too.
         assert_eq!(single.to_json(), experiment.run_parallel().to_json());
         assert_eq!(single.points.len(), 2 * ALL_PATTERNS.len() * 3);
+    }
+}
+
+/// The batched core under the same contract: a batched sweep run with
+/// 1 thread and with N threads — different group fan-out, different
+/// lane fill patterns — serializes to the same bytes, which are the
+/// per-cell reference's bytes.
+#[test]
+fn batched_sweeps_serialize_identically_at_one_and_many_threads() {
+    let grid = Grid::new(4, 4);
+    let mesh = generators::mesh(grid);
+    let torus = generators::torus(grid);
+    let single_pool = pool(1);
+    let pools: Vec<ThreadPool> = [2, 8].into_iter().map(pool).collect();
+    let spec = || {
+        SweepSpec::new(SimConfig::fast_test())
+            .rates([0.02, 0.1, 0.3])
+            .patterns([TrafficPattern::UniformRandom, TrafficPattern::Hotspot(20)])
+    };
+    let experiment = |backend: ExecBackend, lanes: usize| {
+        Experiment::new(spec())
+            .with_backend(backend)
+            .with_lanes(lanes)
+            .with_unit_latency_case("mesh", &mesh)
+            .expect("mesh routes")
+            .with_unit_latency_case("torus", &torus)
+            .expect("torus routes")
+    };
+    let reference = experiment(ExecBackend::PerCell, 1)
+        .run_in_pool(&single_pool)
+        .to_json();
+    for lanes in [3, 8] {
+        let batched = experiment(ExecBackend::Batched, lanes);
+        assert_eq!(
+            reference,
+            batched.run_in_pool(&single_pool).to_json(),
+            "K={lanes}: batched bytes differ from the reference at 1 thread"
+        );
+        for parallel_pool in &pools {
+            assert_eq!(
+                reference,
+                batched.run_in_pool(parallel_pool).to_json(),
+                "K={lanes}: batched bytes differ between 1 and N threads"
+            );
+        }
     }
 }
 
