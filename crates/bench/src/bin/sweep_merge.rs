@@ -15,7 +15,7 @@
 //! Without `--out` the merged JSON goes to stdout; `--table` prints
 //! the human-readable point table to stderr as well.
 
-use shg_bench::{arg_value, has_flag};
+use shg_bench::{arg_value, cli_error, has_flag};
 use shg_sim::sweep::read_journal;
 use shg_sim::SweepResult;
 
@@ -54,11 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let paths = journal_paths();
     if paths.is_empty() {
-        return Err(format!("no journals given\n{USAGE}").into());
+        cli_error("no journals given");
     }
     let mut shards = Vec::new();
     for path in &paths {
-        let shard = read_journal(path).map_err(|e| format!("{path}: {e}"))?;
+        let shard = read_journal(path).unwrap_or_else(|e| cli_error(format!("{path}: {e}")));
         eprintln!(
             "{path}: shard {} — {} cells (fingerprint {:#018x})",
             shard.shard,
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         shards.push(shard);
     }
-    let merged = SweepResult::merge(shards).map_err(|e| e.to_string())?;
+    let merged = SweepResult::merge(shards).unwrap_or_else(|e| cli_error(e));
     eprintln!(
         "merged {} journals → {} points",
         paths.len(),

@@ -1,6 +1,8 @@
 //! One shard of the standard scenario pattern sweep (the fig6 grid),
 //! run to a resumable JSONL journal — the worker half of cross-machine
-//! sweep sharding (`sweep_merge` recombines the journals).
+//! sweep sharding (`sweep_merge` recombines the journals) and, in
+//! `--serve`/`--connect` mode, the worker half of the `shg_coord`
+//! sweep service.
 //!
 //! Run with:
 //! `cargo run --release -p shg-bench --bin sweep_worker --
@@ -8,7 +10,7 @@
 //!  [--alloc request-queue|full-scan]
 //!  [--backend per-cell|reuse|batched|auto] [--lanes K] [--cache <dir>]
 //!  --shard i/N (--out journal.jsonl | --resume journal.jsonl)
-//!  [--progress]`
+//!  [--durable] [--progress]`
 //!
 //! The worker defaults to `--backend auto`: each cell group runs on
 //! whichever backend a timed first-cell probe picks (the lane-parallel
@@ -21,11 +23,13 @@
 //! that it was written under the same plan (spec, topologies,
 //! latencies — the fingerprint) and shard, recomputing only the
 //! missing cells: the finished journal is byte-identical to an
-//! uninterrupted run's.
+//! uninterrupted run's. `--durable` additionally `fsync`s the journal
+//! after its header and every completed chunk.
 //!
 //! `--single-shot result.json` ignores sharding and writes the full
-//! `run_parallel` sweep JSON — the reference the CI `shard-smoke` and
-//! `cache-smoke` jobs diff incremental executions against.
+//! `run_parallel` sweep JSON — the reference the CI `shard-smoke`,
+//! `cache-smoke` and `coord-smoke` jobs diff incremental executions
+//! against.
 //!
 //! `--cache <dir>` attaches the cross-run cell-result cache: cells any
 //! earlier run stored (same case, pattern, rate, seed and simulator
@@ -35,18 +39,29 @@
 //! therefore its cache identity) intact. The final
 //! `cache: cached=… simulated=… total=…` line reports the split.
 //!
+//! In **service mode** the worker ignores the plan flags and instead
+//! rebuilds its experiment per request from the params `shg_coord`
+//! ships over the wire (the worker-local `--backend`, `--lanes` and
+//! `--cache` flags still apply): `--serve` speaks the framed protocol
+//! on stdin/stdout (the coordinator spawns workers this way),
+//! `--connect host:port` dials a listening coordinator over TCP. A
+//! serving worker prints nothing to stdout — that is the protocol
+//! channel — and exits cleanly on shutdown or coordinator hangup.
+//!
 //! Every worker of one sweep must be given the same scenario flags;
-//! the journal header's plan fingerprint lets `sweep_merge` reject
-//! mismatches instead of silently concatenating different sweeps.
+//! the journal header's plan fingerprint lets `sweep_merge` — and the
+//! coordinator's handshake — reject mismatches instead of silently
+//! concatenating different sweeps.
 
 use shg_bench::sweep::{
-    annotated_experiment, cache_summary, configure_experiment, scenario_sweep_spec, TopologyCache,
+    annotated_experiment, cache_summary, configure_experiment, request_params_from_args,
+    request_setup, TopologyCache,
 };
-use shg_bench::{arg_value, has_flag, named_topologies};
+use shg_bench::{arg_value, cli_error, has_flag, named_topologies};
 use shg_core::Scenario;
-use shg_floorplan::ModelOptions;
-use shg_sim::sweep::run_journaled;
-use shg_sim::{ShardSpec, SimConfig};
+use shg_sim::sweep::{run_journaled_durable, serve_worker};
+use shg_sim::{Experiment, ShardSpec};
+use shg_topology::Topology;
 
 const USAGE: &str = "\
 Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
@@ -54,7 +69,8 @@ Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
                     [--backend per-cell|reuse|batched|auto] [--lanes K]
                     [--cache <dir>]
                     [--shard i/N] (--out j.jsonl | --resume j.jsonl)
-                    [--single-shot result.json] [--progress]
+                    [--single-shot result.json] [--durable] [--progress]
+                    [--serve | --connect host:port]
 
   --scenario     KNC scenario whose grid to sweep (default: a)
   --fast         fast-test simulator config and coarser floorplan model
@@ -73,57 +89,86 @@ Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
   --shard i/N    run only the i-th of N strided shards (one-based i)
   --out          fresh journal path    --resume  continue a journal
   --single-shot  skip sharding, write the full run_parallel JSON
-  --progress     log cells done (and the cached/simulated split)";
+  --durable      fsync the journal after the header and every chunk
+  --progress     log cells done (and the cached/simulated split)
+  --serve        worker service mode: speak the shg_coord protocol on
+                 stdin/stdout (plan flags come per request; --backend,
+                 --lanes and --cache still configure this worker)
+  --connect      like --serve, but dial a coordinator listening on TCP";
+
+/// Service mode: serve coordinator requests until shutdown or hangup.
+/// Topology sets for every scenario are built up front so one
+/// long-lived worker can serve requests of any shape, reusing routing
+/// tables and floorplan latencies across them via the topology cache.
+fn serve() -> Result<(), Box<dyn std::error::Error>> {
+    let scenarios: Vec<(String, Vec<(String, Topology)>)> = ["a", "b", "c", "d"]
+        .iter()
+        .map(|letter| {
+            let scenario = Scenario::by_name(letter).expect("built-in scenario");
+            (scenario.name.clone(), named_topologies(&scenario))
+        })
+        .collect();
+    let mut topo_cache = TopologyCache::new();
+    let build = |params: &[(String, String)]| -> Result<Experiment<'_>, String> {
+        let setup = request_setup(params)?;
+        let topologies = scenarios
+            .iter()
+            .find(|(name, _)| *name == setup.scenario.name)
+            .map(|(_, topologies)| topologies)
+            .expect("every scenario's topologies are prebuilt");
+        let mut experiment = annotated_experiment(
+            &setup.scenario.params,
+            &setup.model_options,
+            &mut topo_cache,
+            topologies,
+            setup.spec,
+        );
+        experiment.set_backend(shg_sim::ExecBackend::Auto);
+        configure_experiment(&mut experiment);
+        eprintln!(
+            "[sweep_worker] serving request: scenario ({}), {} cells (fingerprint {:#018x})",
+            setup.scenario.name,
+            experiment.num_points(),
+            experiment.plan().fingerprint()
+        );
+        Ok(experiment)
+    };
+    if let Some(addr) = arg_value("--connect") {
+        let stream = std::net::TcpStream::connect(&addr)
+            .unwrap_or_else(|e| cli_error(format!("--connect {addr}: {e}")));
+        eprintln!("[sweep_worker] connected to coordinator at {addr}");
+        let mut reader = stream.try_clone()?;
+        let mut writer = stream;
+        serve_worker(&mut reader, &mut writer, build)?;
+    } else {
+        let mut reader = std::io::stdin().lock();
+        let mut writer = std::io::stdout().lock();
+        serve_worker(&mut reader, &mut writer, build)?;
+    }
+    eprintln!("[sweep_worker] serve loop ended (shutdown or coordinator hangup)");
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     if has_flag("--help") {
         println!("{USAGE}");
         return Ok(());
     }
-    let which = arg_value("--scenario").unwrap_or_else(|| "a".to_owned());
-    let mut scenario =
-        Scenario::by_name(&which).ok_or_else(|| format!("unknown scenario '{which}'"))?;
-    let fast = has_flag("--fast");
+    if has_flag("--serve") || arg_value("--connect").is_some() {
+        return serve();
+    }
     // Mirror fig6's pattern-sweep setup exactly, so a sharded worker
     // fleet reproduces the very grid the single-process binary prints.
-    let model_options = ModelOptions {
-        cell_scale: if fast { 4.0 } else { 2.0 },
-        ..ModelOptions::default()
-    };
-    if fast {
-        scenario.sim = SimConfig::fast_test();
-    }
-    scenario.sim.alloc = shg_bench::alloc_policy_from_args();
-    let rate_points: usize = arg_value("--rate-points").map_or(if fast { 10 } else { 20 }, |v| {
-        v.parse().expect("--rate-points")
-    });
-    let mut spec = scenario_sweep_spec(&scenario, rate_points);
-    if let Some(extra) = arg_value("--add-rates") {
-        // Appended after the hot-spot low-end override snapshotted the
-        // shared grid: existing cells (including the hot-spot ones)
-        // keep their coordinates, the new rates take fresh indices.
-        for rate in extra.split(',') {
-            let value: f64 = rate
-                .trim()
-                .parse()
-                .map_err(|e| format!("--add-rates '{rate}': {e}"))?;
-            if !value.is_finite() || value <= 0.0 {
-                return Err(format!(
-                    "--add-rates '{rate}': injection rates must be finite and positive"
-                )
-                .into());
-            }
-            spec.rates.push(value);
-        }
-    }
+    let setup = request_setup(&request_params_from_args()).unwrap_or_else(|e| cli_error(e));
+    let scenario = setup.scenario;
     let topologies = named_topologies(&scenario);
     let mut cache = TopologyCache::new();
     let mut experiment = annotated_experiment(
         &scenario.params,
-        &model_options,
+        &setup.model_options,
         &mut cache,
         &topologies,
-        spec,
+        setup.spec,
     );
     // The worker's default backend is auto (bit-identical to per-cell,
     // usually faster); an explicit --backend below overrides it.
@@ -147,7 +192,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    let shard = arg_value("--shard").map_or(Ok(ShardSpec::SOLO), |s| ShardSpec::parse(&s))?;
+    let shard = arg_value("--shard").map_or(ShardSpec::SOLO, |s| {
+        ShardSpec::parse(&s).unwrap_or_else(|e| cli_error(e))
+    });
     let (journal, resume) = match (arg_value("--out"), arg_value("--resume")) {
         (Some(path), None) => (path, false),
         (None, Some(path)) => (path, true),
@@ -160,7 +207,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
             false,
         ),
-        (Some(_), Some(_)) => return Err("--out and --resume are mutually exclusive".into()),
+        (Some(_), Some(_)) => cli_error("--out and --resume are mutually exclusive"),
     };
     let progress = has_flag("--progress");
     let shard_cells = plan.shard_cells(shard).len();
@@ -172,12 +219,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.fingerprint(),
         if resume { " (resuming)" } else { "" }
     );
-    let result = run_journaled(&experiment, shard, &journal, resume, |done, total| {
-        if progress {
-            eprintln!("[sweep_worker] {done}/{total} cells done (shard {shard})");
-        }
-    })
-    .map_err(|e| format!("{journal}: {e}"))?;
+    let result = run_journaled_durable(
+        &experiment,
+        shard,
+        &journal,
+        resume,
+        has_flag("--durable"),
+        |done, total| {
+            if progress {
+                eprintln!("[sweep_worker] {done}/{total} cells done (shard {shard})");
+            }
+        },
+    )
+    .unwrap_or_else(|e| cli_error(format!("journal {journal}: {e}")));
     println!(
         "shard {shard} complete: {} cells journaled to {journal}",
         result.points.len()

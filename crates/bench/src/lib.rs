@@ -242,6 +242,17 @@ pub fn evaluate_all(scenario: &Scenario, toolchain: &Toolchain) -> Vec<Evaluatio
         .collect()
 }
 
+/// Reports a user-input error the way a CLI should — a one-line
+/// message plus a pointer at `--help` on stderr, exit code 2 (the
+/// conventional usage-error code, distinct from runtime failures' 1) —
+/// instead of a panic with a backtrace. Every harness binary funnels
+/// its flag-validation failures through here.
+pub fn cli_error(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2);
+}
+
 /// Parses `--scenario <name>` style flags out of `std::env::args`.
 #[must_use]
 pub fn arg_value(flag: &str) -> Option<String> {
@@ -273,14 +284,16 @@ pub fn alloc_policy_by_name(name: &str) -> Option<AllocPolicy> {
 /// simulates accepts the flag, so the exhaustive reference stays one
 /// CLI switch away for cross-checking a whole experiment.
 ///
-/// # Panics
-///
-/// Panics on an unknown policy name.
+/// An unknown policy name is a usage error: reported via [`cli_error`]
+/// (exit code 2), never a panic.
 #[must_use]
 pub fn alloc_policy_from_args() -> AllocPolicy {
     arg_value("--alloc").map_or(AllocPolicy::RequestQueue, |name| {
-        alloc_policy_by_name(&name)
-            .unwrap_or_else(|| panic!("unknown --alloc '{name}' (use request-queue|full-scan)"))
+        alloc_policy_by_name(&name).unwrap_or_else(|| {
+            cli_error(format!(
+                "unknown --alloc '{name}' (use request-queue|full-scan)"
+            ))
+        })
     })
 }
 

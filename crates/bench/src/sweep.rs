@@ -25,13 +25,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use shg_core::Scenario;
 use shg_floorplan::{predict, ArchParams, ModelOptions};
-use shg_sim::sweep::run_journaled;
+use shg_sim::sweep::run_journaled_durable;
 use shg_sim::{CellCache, ExecBackend, Experiment, ShardSpec, SweepCase, SweepResult, SweepSpec};
 use shg_topology::routing::{self, Routes};
 use shg_topology::Topology;
 use shg_units::Cycles;
 
-use crate::{arg_value, has_flag};
+use crate::{arg_value, cli_error, has_flag};
 
 /// A structural fingerprint of a topology: grid dimensions, kind and
 /// the (canonically ordered) link list, FNV-1a hashed.
@@ -166,6 +166,115 @@ pub fn scenario_sweep_spec(scenario: &Scenario, rate_points: usize) -> SweepSpec
         .default_hotspot_low_rates()
 }
 
+/// The plan-shaping parameters of one sweep request, as opaque
+/// key-value strings — the coordinator/worker wire format of "which
+/// sweep is this". The supported keys are `scenario`, `fast`,
+/// `rate-points`, `add-rates` and `alloc`; values are the user's raw
+/// flag strings, forwarded **unreformatted** so every process parses
+/// the identical text (re-formatting a float on one side would silently
+/// change its grid). [`request_setup`] is the one interpreter, shared
+/// by `sweep_worker`'s CLI path, its `--serve` mode and `shg_coord`;
+/// the sim layer's plan-fingerprint handshake catches any drift.
+#[must_use]
+pub fn request_params_from_args() -> Vec<(String, String)> {
+    let mut params = Vec::new();
+    for key in ["scenario", "rate-points", "add-rates", "alloc"] {
+        if let Some(value) = arg_value(&format!("--{key}")) {
+            params.push((key.to_owned(), value));
+        }
+    }
+    if has_flag("--fast") {
+        params.push(("fast".to_owned(), "1".to_owned()));
+    }
+    params
+}
+
+/// Everything [`request_setup`] derives from a request's params: the
+/// (possibly fast-test) scenario, the floorplan model options, and the
+/// fully shaped sweep spec.
+#[derive(Debug, Clone)]
+pub struct RequestSetup {
+    /// The scenario, with its simulator config already adjusted for
+    /// `fast` and `alloc`.
+    pub scenario: Scenario,
+    /// Floorplan model options (coarser cells under `fast`).
+    pub model_options: ModelOptions,
+    /// The rate × pattern grid, extra rates appended.
+    pub spec: SweepSpec,
+}
+
+/// Interprets request params (see [`request_params_from_args`]) into a
+/// scenario, model options and sweep spec — the single deterministic
+/// mapping every sweep-service process applies, so identical params
+/// always produce identical plan fingerprints.
+///
+/// # Errors
+///
+/// Returns a usage-style message on an unknown key, an unknown
+/// scenario or allocation policy, or malformed numbers.
+pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String> {
+    let mut which = "a".to_owned();
+    let mut fast = false;
+    let mut rate_points_raw: Option<String> = None;
+    let mut add_rates: Option<String> = None;
+    let mut alloc: Option<String> = None;
+    for (key, value) in params {
+        match key.as_str() {
+            "scenario" => which.clone_from(value),
+            "fast" => fast = value == "1",
+            "rate-points" => rate_points_raw = Some(value.clone()),
+            "add-rates" => add_rates = Some(value.clone()),
+            "alloc" => alloc = Some(value.clone()),
+            other => return Err(format!("unknown request param '{other}'")),
+        }
+    }
+    let mut scenario =
+        Scenario::by_name(&which).ok_or_else(|| format!("unknown scenario '{which}'"))?;
+    let model_options = ModelOptions {
+        cell_scale: if fast { 4.0 } else { 2.0 },
+        ..ModelOptions::default()
+    };
+    if fast {
+        scenario.sim = shg_sim::SimConfig::fast_test();
+    }
+    scenario.sim.alloc = match alloc {
+        Some(name) => crate::alloc_policy_by_name(&name).ok_or_else(|| {
+            format!("unknown alloc policy '{name}' (use request-queue|full-scan)")
+        })?,
+        None => scenario.sim.alloc,
+    };
+    let rate_points: usize = match rate_points_raw {
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| format!("rate-points '{raw}': {e}"))?,
+        None if fast => 10,
+        None => 20,
+    };
+    let mut spec = scenario_sweep_spec(&scenario, rate_points);
+    if let Some(extra) = add_rates {
+        // Appended after the hot-spot low-end override snapshotted the
+        // shared grid: existing cells (including the hot-spot ones)
+        // keep their coordinates, the new rates take fresh indices.
+        for rate in extra.split(',') {
+            let value: f64 = rate
+                .trim()
+                .parse()
+                .map_err(|e| format!("add-rates '{rate}': {e}"))?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!(
+                    "add-rates '{rate}': injection rates must be finite and positive"
+                ));
+            }
+            spec.rates.push(value);
+        }
+    }
+    Ok(RequestSetup {
+        scenario,
+        model_options,
+        spec,
+    })
+}
+
 /// The standard wide sweep of a scenario: every applicable topology ×
 /// all seven traffic patterns × a linear rate grid, floorplan-annotated
 /// and run through [`run_experiment`] (so the sharding flags apply).
@@ -228,25 +337,27 @@ pub fn backend_by_name(name: &str) -> Option<ExecBackend> {
 /// Shared by [`run_experiment`] and the binaries (e.g. `sweep_worker`)
 /// that drive journaled execution themselves.
 ///
-/// # Panics
-///
-/// Panics on an unknown `--backend` name, a non-numeric `--lanes`
-/// value, or an unusable cache directory.
+/// An unknown `--backend` name, a non-numeric `--lanes` value and an
+/// unusable cache directory are usage errors: reported via
+/// [`cli_error`] (exit code 2), never a panic.
 pub fn configure_experiment(experiment: &mut Experiment<'_>) {
     if let Some(dir) = arg_value("--cache") {
-        let cache = CellCache::open(&dir).unwrap_or_else(|e| panic!("--cache {dir}: {e}"));
+        let cache =
+            CellCache::open(&dir).unwrap_or_else(|e| cli_error(format!("--cache {dir}: {e}")));
         experiment.set_cache(cache);
     }
     if let Some(name) = arg_value("--backend") {
         let backend = backend_by_name(&name).unwrap_or_else(|| {
-            panic!("unknown --backend '{name}' (use per-cell|reuse|batched|auto)")
+            cli_error(format!(
+                "unknown --backend '{name}' (use per-cell|reuse|batched|auto)"
+            ))
         });
         experiment.set_backend(backend);
     }
     if let Some(lanes) = arg_value("--lanes") {
         let lanes: usize = lanes
             .parse()
-            .unwrap_or_else(|e| panic!("--lanes {lanes}: {e}"));
+            .unwrap_or_else(|e| cli_error(format!("--lanes {lanes}: {e}")));
         experiment.set_lanes(lanes);
     }
 }
@@ -296,6 +407,9 @@ pub fn cache_summary(experiment: &Experiment<'_>) -> Option<String> {
 ///   path, resuming (and validating the plan fingerprint) if the file
 ///   already has cells from an interrupted run. Each further sweep in
 ///   the same process appends `.2`, `.3`, … to the path.
+/// * `--durable` — `fsync` the journal after its header and after
+///   every completed chunk, so a machine crash (not just a process
+///   kill) loses at most the in-flight chunk.
 /// * `--cache <dir>` / `--backend per-cell|reuse|batched|auto` /
 ///   `--lanes <K>` — incremental execution (see
 ///   [`configure_experiment`]).
@@ -306,18 +420,17 @@ pub fn cache_summary(experiment: &Experiment<'_>) -> Option<String> {
 /// Without any of the flags this is exactly
 /// [`Experiment::run_parallel`].
 ///
-/// # Panics
-///
-/// Panics on a malformed `--shard` or `--backend`, an unusable
-/// `--cache` directory, a journal that does not match the experiment
-/// (fingerprint, shard or prefix mismatch — the error names the
-/// cause), or journal I/O failure.
+/// A malformed `--shard`, `--backend` or `--lanes`, an unusable
+/// `--cache` directory, and a journal that does not match the
+/// experiment (fingerprint, shard or prefix mismatch — the message
+/// names the cause) are usage errors: reported via [`cli_error`] (exit
+/// code 2), never a panic.
 #[must_use]
 pub fn run_experiment(experiment: &mut Experiment<'_>) -> SweepResult {
     configure_experiment(experiment);
     let experiment: &Experiment<'_> = experiment;
     let shard = arg_value("--shard").map_or(ShardSpec::SOLO, |text| {
-        ShardSpec::parse(&text).unwrap_or_else(|e| panic!("{e}"))
+        ShardSpec::parse(&text).unwrap_or_else(|e| cli_error(e))
     });
     let journal = arg_value("--resume");
     let progress = has_flag("--progress");
@@ -343,8 +456,15 @@ pub fn run_experiment(experiment: &mut Experiment<'_>) -> SweepResult {
         Some(path) => {
             let nth = JOURNALED_SWEEPS.fetch_add(1, Ordering::Relaxed);
             let path = nth_journal_path(&path, nth);
-            run_journaled(experiment, shard, &path, true, report)
-                .unwrap_or_else(|e| panic!("journal {path}: {e}"))
+            run_journaled_durable(
+                experiment,
+                shard,
+                &path,
+                true,
+                has_flag("--durable"),
+                report,
+            )
+            .unwrap_or_else(|e| cli_error(format!("journal {path}: {e}")))
         }
         // `run_parallel` consults the cache through `run_cells`, so the
         // plain path stays correct with `--cache` too.

@@ -1,0 +1,159 @@
+//! Regression tests for the harness binaries' CLI error convention:
+//! user-input mistakes (unknown flags' values, malformed numbers,
+//! conflicting modes) must exit with code 2 and a one-line `error:` +
+//! `--help` pointer on stderr — never a panic with a backtrace — while
+//! `--help` itself exits 0 with the usage text on stdout.
+
+use std::process::{Command, Output};
+
+fn sweep_worker(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sweep_worker"))
+        .args(args)
+        .output()
+        .expect("spawn sweep_worker")
+}
+
+fn sweep_merge(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sweep_merge"))
+        .args(args)
+        .output()
+        .expect("spawn sweep_merge")
+}
+
+fn shg_coord(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_shg_coord"))
+        .args(args)
+        .output()
+        .expect("spawn shg_coord")
+}
+
+/// Asserts the usage-error contract: exit code 2, an `error:` line and
+/// the `--help` pointer on stderr, no panic backtrace anywhere.
+fn assert_usage_error(output: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "expected exit 2, got {:?}; stderr: {stderr}",
+        output.status.code()
+    );
+    assert!(
+        stderr.contains("error:"),
+        "stderr should carry an error: line, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("run with --help for usage"),
+        "stderr should point at --help, got: {stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "stderr should mention '{needle}', got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "user-input errors must not panic, got: {stderr}"
+    );
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    for output in [
+        sweep_worker(&["--help"]),
+        sweep_merge(&["--help"]),
+        shg_coord(&["--help"]),
+    ] {
+        assert_eq!(output.status.code(), Some(0));
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains("Usage:"), "got: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_scenario_is_a_usage_error() {
+    let output = sweep_worker(&["--fast", "--scenario", "z", "--single-shot", "/dev/null"]);
+    assert_usage_error(&output, "scenario");
+}
+
+#[test]
+fn malformed_rate_points_is_a_usage_error() {
+    let output = sweep_worker(&[
+        "--fast",
+        "--rate-points",
+        "lots",
+        "--single-shot",
+        "/dev/null",
+    ]);
+    assert_usage_error(&output, "rate-points");
+}
+
+#[test]
+fn non_positive_add_rates_is_a_usage_error() {
+    let output = sweep_worker(&[
+        "--fast",
+        "--add-rates",
+        "0.2,-0.1",
+        "--single-shot",
+        "/dev/null",
+    ]);
+    assert_usage_error(&output, "add-rates");
+}
+
+#[test]
+fn unknown_alloc_policy_is_a_usage_error() {
+    let output = sweep_worker(&["--fast", "--alloc", "greedy", "--single-shot", "/dev/null"]);
+    assert_usage_error(&output, "alloc");
+}
+
+#[test]
+fn unknown_backend_is_a_usage_error() {
+    let output = sweep_worker(&[
+        "--fast",
+        "--backend",
+        "quantum",
+        "--single-shot",
+        "/dev/null",
+    ]);
+    assert_usage_error(&output, "backend");
+}
+
+#[test]
+fn malformed_lanes_is_a_usage_error() {
+    let output = sweep_worker(&["--fast", "--lanes", "many", "--single-shot", "/dev/null"]);
+    assert_usage_error(&output, "lanes");
+}
+
+#[test]
+fn zero_based_shard_is_a_usage_error() {
+    let output = sweep_worker(&["--fast", "--shard", "0/3", "--out", "/dev/null"]);
+    assert_usage_error(&output, "shard");
+}
+
+#[test]
+fn out_and_resume_conflict_is_a_usage_error() {
+    let output = sweep_worker(&["--fast", "--out", "a.jsonl", "--resume", "b.jsonl"]);
+    assert_usage_error(&output, "mutually exclusive");
+}
+
+#[test]
+fn merge_without_journals_is_a_usage_error() {
+    let output = sweep_merge(&[]);
+    assert_usage_error(&output, "no journals given");
+}
+
+#[test]
+fn merge_of_a_missing_journal_is_a_usage_error() {
+    let output = sweep_merge(&["/nonexistent/journal.jsonl"]);
+    assert_usage_error(&output, "/nonexistent/journal.jsonl");
+}
+
+#[test]
+fn coordinator_without_a_fleet_mode_is_a_usage_error() {
+    let output = shg_coord(&[]);
+    assert_usage_error(&output, "--spawn-workers");
+}
+
+#[test]
+fn coordinator_rejects_a_malformed_kill_spec() {
+    let output = shg_coord(&["--spawn-workers", "1", "--kill-worker", "0:oops"]);
+    assert_usage_error(&output, "--kill-worker");
+}

@@ -63,7 +63,7 @@ pub use runner::{
 };
 pub use stats::{percentile, SimOutcome};
 pub use sweep::{
-    CacheStats, CellCache, CellId, ExecBackend, ExecStats, Experiment, ShardResult, ShardSpec,
-    SweepCase, SweepPlan, SweepPoint, SweepResult, SweepSpec,
+    CacheStats, CellCache, CellId, CoordOptions, CoordSummary, ExecBackend, ExecStats, Experiment,
+    ShardResult, ShardSpec, SweepCase, SweepPlan, SweepPoint, SweepResult, SweepSpec, WorkerLink,
 };
 pub use traffic::TrafficPattern;

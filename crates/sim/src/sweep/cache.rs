@@ -234,7 +234,7 @@ impl CellCache {
     }
 
     /// Stores a computed cell, best-effort: the entry is written to a
-    /// process-unique temporary file and renamed into place, so
+    /// writer-unique temporary file and renamed into place, so
     /// concurrent writers cannot tear each other's entries. Failures
     /// warn once and are otherwise ignored — the cache is an
     /// accelerator, never a correctness dependency.
@@ -250,14 +250,24 @@ impl CellCache {
     }
 
     fn try_store(&self, fingerprint: u64, point: &SweepPoint) -> std::io::Result<()> {
+        // The tmp name must be unique per *store*, not just per
+        // process: two threads resolving the same fingerprint (or two
+        // coordinated requests overlapping on one cache) would
+        // otherwise interleave `fs::write` calls on one path — and the
+        // failed-rename cleanup below could unlink the other writer's
+        // live tmp file. A process-wide counter disambiguates stores
+        // within the process; the pid disambiguates across processes.
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
         let point_json = serde_json::to_string(point).expect("point serializes");
         let line = format!(
             "{{\"format\":\"{FORMAT}\",\"version\":{VERSION},\
              \"fingerprint\":{fingerprint},\"point\":{point_json}}}\n"
         );
-        let tmp = self
-            .dir
-            .join(format!("{fingerprint:016x}.tmp.{}", std::process::id()));
+        let tmp = self.dir.join(format!(
+            "{fingerprint:016x}.tmp.{}.{}",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, line)?;
         let result = std::fs::rename(&tmp, self.entry_path(fingerprint));
         if result.is_err() {
@@ -360,6 +370,43 @@ mod tests {
         assert!(cache
             .load(fp, "mesh", point.pattern, point.rate, point.seed)
             .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_of_one_fingerprint_never_tear_or_unlink() {
+        // Regression for the shared `{fp}.tmp.{pid}` path: two threads
+        // storing the same fingerprint simultaneously used to
+        // interleave writes through ONE tmp file, and a failed rename's
+        // cleanup could unlink the other thread's live tmp. With
+        // per-store tmp names, every round must leave a loadable entry
+        // and no stray tmp files.
+        let dir = scratch_dir("concurrent");
+        let cache = CellCache::open(&dir).expect("opens");
+        let point = sample_point();
+        let fp = 0xc0_ffee_u64;
+        let rounds = 200;
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..rounds {
+                        barrier.wait();
+                        cache.store(fp, &point);
+                    }
+                });
+            }
+        });
+        let loaded = cache
+            .load(fp, "mesh", point.pattern, point.rate, point.seed)
+            .expect("entry survives the race");
+        assert_eq!(loaded, point);
+        let stray: Vec<String> = std::fs::read_dir(&dir)
+            .expect("readable")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "leftover tmp files: {stray:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

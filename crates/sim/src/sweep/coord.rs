@@ -1,0 +1,778 @@
+//! The coordinator side of sweep-as-a-service: [`run_coordinated`]
+//! drives one sweep request across a fleet of workers speaking the
+//! [`super::proto`] protocol, and owns everything the workers must not
+//! have to agree on — the dispatch queue, the shared
+//! [`CellCache`][super::CellCache]
+//! probe, the single streamed journal, and the recovery story when a
+//! worker dies mid-chunk.
+//!
+//! # Execution model
+//!
+//! One request runs in phases:
+//!
+//! 1. **Cache probe.** Every plan cell is probed against the
+//!    coordinator's attached cache first; hits never reach a worker. A
+//!    fully warm request is answered without touching the fleet at all
+//!    (`simulated = 0`).
+//! 2. **Handshake.** Each worker gets the request's opaque params and
+//!    must echo back the same plan fingerprint and cell count the
+//!    coordinator computed — any drift (mismatched binary, different
+//!    spec interpretation) aborts the request before a single cell is
+//!    misattributed. A worker that fails its handshake I/O is dropped,
+//!    not fatal.
+//! 3. **Pre-warm.** Workers that report a local cache receive the
+//!    probe's hit entries — cache entries travel to workers, cells
+//!    don't.
+//! 4. **Dispatch.** Remaining cells are cut into chunks (by default
+//!    ~4 per worker, so stragglers leave stealable tail work) and
+//!    served from a shared queue by one coordinator thread per worker.
+//!    An idle worker whose queue is empty *steals* a chunk that is
+//!    still in flight elsewhere and runs it redundantly — cell results
+//!    are deterministic, so the first completion wins and the copy is
+//!    discarded. A worker whose connection dies mid-chunk has its
+//!    chunk requeued; losing every worker with cells outstanding is
+//!    the only fatal outcome.
+//! 5. **Journal streaming.** Completed entries are flushed to one
+//!    [`JournalWriter`] in canonical plan order (a reorder buffer
+//!    holds out-of-order completions), so the coordinator's journal is
+//!    byte-identical to a solo [`super::run_journaled`] run no matter
+//!    how chunks interleaved, stole or died. With
+//!    [`CoordOptions::durable`] each flush is `fsync`ed.
+//!
+//! Every worker-returned entry passes
+//! [`Experiment::validate_point`][super::Experiment::validate_point]
+//! before it is trusted, journaled or cached; a worker that answers
+//! with mislabelled points is a protocol error, not silent data
+//! corruption.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+
+use super::journal::{JournalError, JournalWriter};
+use super::plan::CellId;
+use super::proto::{read_frame, write_frame, ToCoord, ToWorker};
+use super::result::{SweepPoint, SweepResult};
+use super::shard::ShardSpec;
+use super::Experiment;
+
+/// Cache entries per [`ToWorker::Prewarm`] frame — keeps frames small
+/// without chattiness.
+const PREWARM_BATCH: usize = 256;
+
+/// A connected worker: a name for diagnostics plus the byte streams it
+/// speaks the protocol over (child stdio pipes, a TCP socket, an
+/// in-process loopback — the coordinator does not care).
+pub struct WorkerLink {
+    name: String,
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for WorkerLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerLink")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerLink {
+    /// Wraps a worker's byte streams.
+    pub fn new(
+        name: impl Into<String>,
+        reader: impl Read + Send + 'static,
+        writer: impl Write + Send + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            reader: Box::new(reader),
+            writer: Box::new(writer),
+        }
+    }
+
+    /// Wraps a connected TCP stream (cloned into separate read/write
+    /// halves).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream cannot be cloned.
+    pub fn from_tcp(name: impl Into<String>, stream: std::net::TcpStream) -> std::io::Result<Self> {
+        let reader = stream.try_clone()?;
+        Ok(Self::new(name, reader, stream))
+    }
+
+    /// The worker's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sends [`ToWorker::Shutdown`]; errors are ignored (a worker that
+    /// already hung up needs no goodbye).
+    pub fn shutdown(&mut self) {
+        let _ = write_frame(&mut self.writer, &ToWorker::Shutdown.encode());
+    }
+
+    fn send(&mut self, message: &ToWorker) -> std::io::Result<()> {
+        write_frame(&mut self.writer, &message.encode())
+    }
+
+    fn receive(&mut self) -> std::io::Result<ToCoord> {
+        let frame = read_frame(&mut self.reader)?;
+        ToCoord::decode(&frame)
+            .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidData, message))
+    }
+}
+
+/// Tuning knobs of [`run_coordinated`].
+#[derive(Debug, Clone, Default)]
+pub struct CoordOptions {
+    /// Cells per dispatched chunk; `None` sizes chunks so each worker
+    /// sees about four, leaving stealable tail work.
+    pub chunk_size: Option<usize>,
+    /// `fsync` the journal after its header and after every flushed
+    /// batch (see [`JournalWriter`]).
+    pub durable: bool,
+}
+
+/// What one coordinated request did — the numbers behind the service's
+/// summary line and the smoke tests' assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordSummary {
+    /// Total plan cells.
+    pub cells: usize,
+    /// Cells answered from the coordinator's cache probe.
+    pub cached: usize,
+    /// Cells dispatched to (and simulated by) the fleet.
+    pub dispatched: usize,
+    /// Chunks the dispatched cells were cut into.
+    pub chunks: u64,
+    /// Chunks an idle worker re-ran redundantly while the original
+    /// assignee was still working.
+    pub stolen_chunks: u64,
+    /// Chunks requeued because their worker's connection died.
+    pub requeued_chunks: u64,
+    /// Workers lost over the request (handshake or mid-chunk).
+    pub lost_workers: u64,
+    /// Journal `fsync` calls (0 unless [`CoordOptions::durable`]).
+    pub journal_syncs: u64,
+}
+
+/// Why a coordinated request failed.
+#[derive(Debug)]
+pub enum CoordError {
+    /// Cells needed simulating but no worker survived its handshake.
+    NoWorkers,
+    /// A worker rebuilt a *different* plan from the same params — a
+    /// version or config drift that must not produce mixed results.
+    FingerprintMismatch {
+        /// The offending worker's name.
+        worker: String,
+        /// The coordinator's plan fingerprint.
+        ours: u64,
+        /// The worker's reported fingerprint.
+        theirs: u64,
+    },
+    /// A worker reported an error (bad params, a cell outside its
+    /// plan).
+    Worker {
+        /// The reporting worker's name.
+        worker: String,
+        /// The worker's message.
+        message: String,
+    },
+    /// A worker answered with a malformed or mislabelled reply.
+    Protocol {
+        /// The offending worker's name.
+        worker: String,
+        /// What was wrong with the reply.
+        message: String,
+    },
+    /// Every worker died with cells still outstanding.
+    AllWorkersLost {
+        /// Cells that never completed.
+        remaining_cells: usize,
+    },
+    /// The streamed journal could not be written.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoWorkers => write!(f, "no workers available to simulate uncached cells"),
+            Self::FingerprintMismatch {
+                worker,
+                ours,
+                theirs,
+            } => write!(
+                f,
+                "worker '{worker}' built plan fingerprint {theirs:016x}, coordinator expects \
+                 {ours:016x} — mismatched binaries or specs"
+            ),
+            Self::Worker { worker, message } => {
+                write!(f, "worker '{worker}' reported an error: {message}")
+            }
+            Self::Protocol { worker, message } => {
+                write!(f, "protocol violation from worker '{worker}': {message}")
+            }
+            Self::AllWorkersLost { remaining_cells } => write!(
+                f,
+                "all workers lost with {remaining_cells} cell(s) still outstanding"
+            ),
+            Self::Journal(e) => write!(f, "journal write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for CoordError {
+    fn from(e: JournalError) -> Self {
+        Self::Journal(e)
+    }
+}
+
+/// A progress snapshot, reported after every newly completed chunk
+/// (and once after the cache probe). Drives service logging and the
+/// smoke tests' kill-a-worker-after-N-chunks hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordProgress {
+    /// Dispatched chunks completed so far.
+    pub chunks_done: u64,
+    /// Total dispatched chunks.
+    pub chunks_total: u64,
+    /// Cells with results so far (cache hits included).
+    pub cells_done: usize,
+    /// Total plan cells.
+    pub cells_total: usize,
+}
+
+/// One dispatched chunk and its queue state.
+struct ChunkState {
+    cells: Vec<CellId>,
+    in_flight: u32,
+    completed: bool,
+}
+
+/// Everything the per-worker threads share, behind one mutex.
+struct State {
+    chunks: Vec<ChunkState>,
+    /// Chunk indices nobody is running.
+    pending: VecDeque<usize>,
+    /// Incomplete chunk count.
+    remaining: usize,
+    /// One slot per plan cell, canonical order.
+    points: Vec<Option<SweepPoint>>,
+    /// Cells `[0, flushed)` are in the journal.
+    flushed: usize,
+    writer: Option<JournalWriter>,
+    chunks_done: u64,
+    cells_done: usize,
+    stolen: u64,
+    requeued: u64,
+    live_workers: usize,
+    lost_workers: u64,
+    /// First fatal error; every thread drains and exits once set.
+    abort: Option<CoordError>,
+}
+
+/// Runs one sweep request across `workers`, returning the complete
+/// [`SweepResult`] (canonical order, bit-identical to
+/// [`Experiment::run_parallel`] on the same experiment) and what it
+/// took. See the [module docs](self) for the execution model.
+///
+/// `request_id` labels the request on the wire; `params` are the
+/// opaque key-value pairs every worker rebuilds its experiment from —
+/// ship the user's raw strings, never re-formatted values, so both
+/// sides parse identically (the fingerprint handshake catches any
+/// drift). `journal`, when given, streams completed entries into a
+/// solo-shard journal at that path as the request runs.
+///
+/// Workers that die (handshake or mid-chunk) are removed from
+/// `workers`; survivors remain connected and ready for the next
+/// request.
+///
+/// `progress` is called after the cache probe and after every newly
+/// completed chunk, from whichever coordinator thread completed it.
+///
+/// # Errors
+///
+/// See [`CoordError`]. Worker deaths are not errors unless the fleet
+/// is exhausted with cells outstanding ([`CoordError::AllWorkersLost`]
+/// — or [`CoordError::NoWorkers`] when nobody survives the
+/// handshake).
+///
+/// # Panics
+///
+/// Panics if a coordinator thread panics (which would itself be a
+/// bug, not an input condition).
+pub fn run_coordinated(
+    experiment: &Experiment<'_>,
+    request_id: u64,
+    params: &[(String, String)],
+    workers: &mut Vec<WorkerLink>,
+    journal: Option<&Path>,
+    options: &CoordOptions,
+    progress: impl FnMut(CoordProgress) + Send,
+) -> Result<(SweepResult, CoordSummary), CoordError> {
+    let plan = experiment.plan();
+    let cells: Vec<CellId> = plan.cells().collect();
+    let total = cells.len();
+
+    // Phase 1: answer whatever the coordinator's cache already holds.
+    let mut points: Vec<Option<SweepPoint>> = Vec::with_capacity(total);
+    let mut warm: Vec<(CellId, SweepPoint)> = Vec::new();
+    for &cell in &cells {
+        let hit = experiment.probe_cached(cell);
+        if let Some(point) = &hit {
+            warm.push((cell, point.clone()));
+        }
+        points.push(hit);
+    }
+    let cached = warm.len();
+    let dispatch: Vec<CellId> = cells
+        .iter()
+        .zip(&points)
+        .filter(|(_, p)| p.is_none())
+        .map(|(&c, _)| c)
+        .collect();
+
+    let mut writer = journal
+        .map(|path| JournalWriter::create(path, &plan, ShardSpec::SOLO, options.durable))
+        .transpose()?;
+
+    let mut progress = progress;
+
+    // Fully warm: no handshake, no dispatch — the fleet never hears
+    // about this request.
+    if dispatch.is_empty() {
+        let entries: Vec<(CellId, SweepPoint)> = cells
+            .iter()
+            .zip(&points)
+            .map(|(&c, p)| (c, p.clone().expect("all cached")))
+            .collect();
+        if let Some(writer) = writer.as_mut() {
+            writer.append(&entries)?;
+        }
+        progress(CoordProgress {
+            chunks_done: 0,
+            chunks_total: 0,
+            cells_done: total,
+            cells_total: total,
+        });
+        return Ok((
+            SweepResult {
+                points: entries.into_iter().map(|(_, p)| p).collect(),
+            },
+            CoordSummary {
+                cells: total,
+                cached,
+                dispatched: 0,
+                chunks: 0,
+                stolen_chunks: 0,
+                requeued_chunks: 0,
+                lost_workers: 0,
+                journal_syncs: writer.map_or(0, |w| w.syncs()),
+            },
+        ));
+    }
+
+    // Phase 2: handshake. Fingerprint drift is fatal; a dead worker is
+    // not.
+    let mut lost_workers = 0u64;
+    let mut fleet: Vec<(WorkerLink, bool)> = Vec::new();
+    let request = ToWorker::Request {
+        id: request_id,
+        fingerprint: plan.fingerprint(),
+        params: params.to_vec(),
+    };
+    for mut link in workers.drain(..) {
+        let reply = link.send(&request).and_then(|()| link.receive());
+        match reply {
+            Ok(ToCoord::Ready {
+                request: r,
+                fingerprint,
+                cells: n,
+                cache,
+            }) => {
+                if r != request_id {
+                    return Err(CoordError::Protocol {
+                        worker: link.name,
+                        message: format!("ready for request {r}, expected {request_id}"),
+                    });
+                }
+                if fingerprint != plan.fingerprint() || n as usize != total {
+                    return Err(CoordError::FingerprintMismatch {
+                        worker: link.name,
+                        ours: plan.fingerprint(),
+                        theirs: fingerprint,
+                    });
+                }
+                fleet.push((link, cache));
+            }
+            Ok(ToCoord::Error { message }) => {
+                return Err(CoordError::Worker {
+                    worker: link.name,
+                    message,
+                });
+            }
+            Ok(ToCoord::ChunkDone { .. }) => {
+                return Err(CoordError::Protocol {
+                    worker: link.name,
+                    message: "chunk-done before any chunk was dispatched".to_owned(),
+                });
+            }
+            Err(_) => lost_workers += 1, // dropped; the fleet shrinks
+        }
+    }
+    if fleet.is_empty() {
+        return Err(CoordError::NoWorkers);
+    }
+
+    // Phase 3: pre-warm cache-holding workers with the probe's hits.
+    if !warm.is_empty() {
+        let mut kept: Vec<(WorkerLink, bool)> = Vec::new();
+        for (mut link, has_cache) in fleet {
+            let mut alive = true;
+            if has_cache {
+                for batch in warm.chunks(PREWARM_BATCH) {
+                    let message = ToWorker::Prewarm {
+                        entries: batch.to_vec(),
+                    };
+                    if link.send(&message).is_err() {
+                        alive = false;
+                        lost_workers += 1;
+                        break;
+                    }
+                }
+            }
+            if alive {
+                kept.push((link, has_cache));
+            }
+        }
+        fleet = kept;
+        if fleet.is_empty() {
+            return Err(CoordError::NoWorkers);
+        }
+    }
+
+    // Phase 4: cut chunks and dispatch. Default sizing leaves about
+    // four chunks per worker so a straggler's tail is stealable.
+    let chunk_size = options
+        .chunk_size
+        .unwrap_or_else(|| dispatch.len().div_ceil(fleet.len() * 4))
+        .max(1);
+    let chunks: Vec<ChunkState> = dispatch
+        .chunks(chunk_size)
+        .map(|cells| ChunkState {
+            cells: cells.to_vec(),
+            in_flight: 0,
+            completed: false,
+        })
+        .collect();
+    let chunks_total = chunks.len() as u64;
+    let remaining = chunks.len();
+    let pending: VecDeque<usize> = (0..chunks.len()).collect();
+
+    progress(CoordProgress {
+        chunks_done: 0,
+        chunks_total,
+        cells_done: cached,
+        cells_total: total,
+    });
+
+    let state = Mutex::new(State {
+        chunks,
+        pending,
+        remaining,
+        points,
+        flushed: 0,
+        writer: writer.take(),
+        chunks_done: 0,
+        cells_done: cached,
+        stolen: 0,
+        requeued: 0,
+        live_workers: fleet.len(),
+        lost_workers,
+        abort: None,
+    });
+    // Flush the warm prefix (if any) before dispatching.
+    {
+        let mut guard = state.lock().expect("coordinator state poisoned");
+        flush_prefix(&mut guard, &cells);
+        if let Some(abort) = guard.abort.take() {
+            return Err(abort);
+        }
+    }
+    let progress = Mutex::new(progress);
+    let work_available = Condvar::new();
+
+    let survivors: Vec<Option<WorkerLink>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = fleet
+            .into_iter()
+            .map(|(link, _)| {
+                scope.spawn(|| {
+                    worker_thread(experiment, &cells, &state, &work_available, &progress, link)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("coordinator worker thread panicked"))
+            .collect()
+    });
+    workers.extend(survivors.into_iter().flatten());
+
+    let mut state = state.into_inner().expect("coordinator state poisoned");
+    if let Some(abort) = state.abort.take() {
+        return Err(abort);
+    }
+    if state.remaining > 0 {
+        let remaining_cells = state.points.iter().filter(|p| p.is_none()).count();
+        return Err(CoordError::AllWorkersLost { remaining_cells });
+    }
+    debug_assert!(state.writer.is_none() || state.flushed == total);
+
+    let result = SweepResult {
+        points: state
+            .points
+            .into_iter()
+            .map(|p| p.expect("all chunks completed"))
+            .collect(),
+    };
+    Ok((
+        result,
+        CoordSummary {
+            cells: total,
+            cached,
+            dispatched: dispatch.len(),
+            chunks: chunks_total,
+            stolen_chunks: state.stolen,
+            requeued_chunks: state.requeued,
+            lost_workers: state.lost_workers,
+            journal_syncs: state.writer.as_ref().map_or(0, JournalWriter::syncs),
+        },
+    ))
+}
+
+/// Flushes the maximal canonical prefix of completed cells to the
+/// journal; a write error becomes the request's abort reason.
+fn flush_prefix(state: &mut State, cell_of: &[CellId]) {
+    let Some(writer) = state.writer.as_mut() else {
+        return;
+    };
+    let ready = state.points[state.flushed..]
+        .iter()
+        .take_while(|p| p.is_some())
+        .count();
+    if ready == 0 {
+        return;
+    }
+    let batch: Vec<(CellId, SweepPoint)> = (state.flushed..state.flushed + ready)
+        .map(|ordinal| {
+            let point = state.points[ordinal].clone().expect("counted as ready");
+            (cell_of[ordinal], point)
+        })
+        .collect();
+    match writer.append(&batch) {
+        Ok(()) => state.flushed += ready,
+        Err(e) => {
+            if state.abort.is_none() {
+                state.abort = Some(CoordError::Journal(e));
+            }
+        }
+    }
+}
+
+/// The per-worker coordinator loop: claim a pending chunk (or steal an
+/// in-flight one), ship it, validate and bank the reply; on a dead
+/// connection, requeue and exit. Returns the link if the worker is
+/// still healthy when the request drains.
+fn worker_thread(
+    experiment: &Experiment<'_>,
+    cells: &[CellId],
+    state: &Mutex<State>,
+    work_available: &Condvar,
+    progress: &Mutex<impl FnMut(CoordProgress) + Send>,
+    mut link: WorkerLink,
+) -> Option<WorkerLink> {
+    loop {
+        // Claim work.
+        let (index, chunk_cells) = {
+            let mut guard = state.lock().expect("coordinator state poisoned");
+            loop {
+                if guard.abort.is_some() || guard.remaining == 0 {
+                    return Some(link);
+                }
+                if let Some(index) = guard.pending.pop_front() {
+                    guard.chunks[index].in_flight += 1;
+                    break (index, guard.chunks[index].cells.clone());
+                }
+                // Nothing pending but cells remain: steal the least
+                // contended incomplete chunk (earliest on ties — it
+                // unblocks the journal prefix soonest).
+                let steal = (0..guard.chunks.len())
+                    .filter(|&i| !guard.chunks[i].completed)
+                    .min_by_key(|&i| (guard.chunks[i].in_flight, i));
+                if let Some(index) = steal {
+                    guard.stolen += 1;
+                    guard.chunks[index].in_flight += 1;
+                    break (index, guard.chunks[index].cells.clone());
+                }
+                // remaining > 0 yet nothing incomplete is impossible;
+                // defensive wait keeps this loop honest if it ever
+                // changes.
+                guard = work_available
+                    .wait(guard)
+                    .expect("coordinator state poisoned");
+            }
+        };
+
+        // Ship and await off-lock: this is where simulation time goes.
+        let chunk = ToWorker::Chunk {
+            id: index as u64,
+            cells: chunk_cells.clone(),
+        };
+        let reply = link.send(&chunk).and_then(|()| link.receive());
+
+        let mut guard = state.lock().expect("coordinator state poisoned");
+        guard.chunks[index].in_flight -= 1;
+        match reply {
+            Ok(ToCoord::ChunkDone { id, entries }) => {
+                if id != index as u64 {
+                    set_abort(
+                        &mut guard,
+                        CoordError::Protocol {
+                            worker: link.name.clone(),
+                            message: format!("chunk-done for chunk {id}, expected {index}"),
+                        },
+                    );
+                    work_available.notify_all();
+                    return Some(link);
+                }
+                if let Err(message) = check_entries(experiment, &chunk_cells, &entries) {
+                    set_abort(
+                        &mut guard,
+                        CoordError::Protocol {
+                            worker: link.name.clone(),
+                            message,
+                        },
+                    );
+                    work_available.notify_all();
+                    return Some(link);
+                }
+                if !guard.chunks[index].completed {
+                    // First completion wins; a stolen duplicate of an
+                    // already-banked chunk is discarded here.
+                    guard.chunks[index].completed = true;
+                    guard.remaining -= 1;
+                    guard.chunks_done += 1;
+                    guard.cells_done += entries.len();
+                    for (cell, point) in &entries {
+                        experiment.store_cached(*cell, point);
+                        let ordinal = cells
+                            .binary_search(cell)
+                            .expect("validated cells are plan cells");
+                        guard.points[ordinal] = Some(point.clone());
+                    }
+                    flush_prefix(&mut guard, cells);
+                    let snapshot = CoordProgress {
+                        chunks_done: guard.chunks_done,
+                        chunks_total: guard.chunks.len() as u64,
+                        cells_done: guard.cells_done,
+                        cells_total: guard.points.len(),
+                    };
+                    let finished = guard.remaining == 0 || guard.abort.is_some();
+                    drop(guard);
+                    work_available.notify_all();
+                    (progress.lock().expect("progress hook poisoned"))(snapshot);
+                    if finished {
+                        return Some(link);
+                    }
+                }
+            }
+            Ok(ToCoord::Error { message }) => {
+                set_abort(
+                    &mut guard,
+                    CoordError::Worker {
+                        worker: link.name.clone(),
+                        message,
+                    },
+                );
+                work_available.notify_all();
+                return Some(link);
+            }
+            Ok(ToCoord::Ready { .. }) => {
+                set_abort(
+                    &mut guard,
+                    CoordError::Protocol {
+                        worker: link.name.clone(),
+                        message: "unexpected ready during dispatch".to_owned(),
+                    },
+                );
+                work_available.notify_all();
+                return Some(link);
+            }
+            Err(_) => {
+                // The connection died. The chunk survives: requeue it
+                // unless someone else is (or was) already on it.
+                guard.live_workers -= 1;
+                guard.lost_workers += 1;
+                if !guard.chunks[index].completed && guard.chunks[index].in_flight == 0 {
+                    guard.pending.push_front(index);
+                    guard.requeued += 1;
+                }
+                if guard.live_workers == 0 && guard.remaining > 0 {
+                    let remaining_cells = guard.points.iter().filter(|p| p.is_none()).count();
+                    set_abort(&mut guard, CoordError::AllWorkersLost { remaining_cells });
+                }
+                work_available.notify_all();
+                return None;
+            }
+        }
+    }
+}
+
+/// Records the first fatal error; later ones lose the race and are
+/// dropped.
+fn set_abort(state: &mut State, error: CoordError) {
+    if state.abort.is_none() {
+        state.abort = Some(error);
+    }
+}
+
+/// Validates one chunk reply: every requested cell answered, in order,
+/// with a point that is really that cell's (see
+/// [`Experiment::validate_point`]).
+fn check_entries(
+    experiment: &Experiment<'_>,
+    requested: &[CellId],
+    entries: &[(CellId, SweepPoint)],
+) -> Result<(), String> {
+    if entries.len() != requested.len() {
+        return Err(format!(
+            "chunk answered {} entries for {} requested cells",
+            entries.len(),
+            requested.len()
+        ));
+    }
+    for (&cell, (got, point)) in requested.iter().zip(entries) {
+        if *got != cell {
+            return Err(format!("entry for cell {got}, expected {cell}"));
+        }
+        if !experiment.validate_point(cell, point) {
+            return Err(format!("entry for cell {cell} fails identity validation"));
+        }
+    }
+    Ok(())
+}

@@ -373,13 +373,7 @@ impl<'a> Experiment<'a> {
     /// Panics if a cell is out of the plan's range.
     #[must_use]
     pub fn run_cells(&self, cells: &[CellId]) -> Vec<SweepPoint> {
-        // One digest per case (memoized — digesting a routing table is
-        // O(n²) paths), shared by all its cells' fingerprints.
-        let digests = self.cache.as_ref().map(|_| {
-            self.case_digests
-                .get_or_init(|| self.cases.iter().map(cache::case_digest).collect())
-                .as_slice()
-        });
+        let digests = self.digests();
         match self.backend {
             ExecBackend::PerCell => cells
                 .par_iter()
@@ -389,6 +383,84 @@ impl<'a> Experiment<'a> {
             ExecBackend::Batched => self.run_cells_batched(cells, digests),
             ExecBackend::Auto => self.run_cells_auto(cells, digests),
         }
+    }
+
+    /// One digest per case (memoized — digesting a routing table is
+    /// O(n²) paths), shared by all its cells' fingerprints. `None`
+    /// without a cache: fingerprints are only needed to address it.
+    fn digests(&self) -> Option<&[u64]> {
+        self.cache.as_ref().map(|_| {
+            self.case_digests
+                .get_or_init(|| self.cases.iter().map(cache::case_digest).collect())
+                .as_slice()
+        })
+    }
+
+    /// `true` if `cell` is a valid coordinate of this experiment's
+    /// grid (case, pattern and rate indices all in range).
+    #[must_use]
+    pub fn contains_cell(&self, cell: CellId) -> bool {
+        (cell.case as usize) < self.cases.len()
+            && (cell.pattern as usize) < self.spec.patterns.len()
+            && (cell.rate as usize)
+                < self
+                    .spec
+                    .rates_of(self.spec.patterns[cell.pattern as usize])
+                    .len()
+    }
+
+    /// Probes the attached [`CellCache`] for one cell without
+    /// simulating anything: `Some` on a hit (counted in the cache's
+    /// stats, like any execution-path probe), `None` on a miss, an
+    /// out-of-range cell, or no cache. This is the coordinator's
+    /// dispatch filter — cells answered here are never shipped to a
+    /// worker.
+    #[must_use]
+    pub fn probe_cached(&self, cell: CellId) -> Option<SweepPoint> {
+        if !self.contains_cell(cell) {
+            return None;
+        }
+        let inputs = self.cell_inputs(cell, self.digests());
+        self.load_cached(&inputs)
+    }
+
+    /// `true` if `point` records exactly the cell `cell` of this
+    /// experiment: same case name, pattern, rate bits and derived
+    /// seed. The outcome cannot be checked without re-simulating, but
+    /// the identity check rejects any result that was computed under a
+    /// different plan — the validation a coordinator applies to every
+    /// worker-returned entry before trusting it.
+    #[must_use]
+    pub fn validate_point(&self, cell: CellId, point: &SweepPoint) -> bool {
+        if !self.contains_cell(cell) {
+            return false;
+        }
+        let inputs = self.cell_inputs(cell, None);
+        point.case == self.cases[inputs.case].name
+            && point.pattern == inputs.pattern
+            && point.rate.to_bits() == inputs.rate.to_bits()
+            && point.seed == inputs.seed
+    }
+
+    /// Stores an externally computed point for `cell` into the
+    /// attached cache (the pre-warm path: a coordinator ships cache
+    /// entries to workers, a coordinator banks worker results).
+    /// Returns `false` — storing nothing — unless a cache is attached
+    /// and the point passes [`Experiment::validate_point`], so a
+    /// mislabelled result can never poison the cache.
+    pub fn store_cached(&self, cell: CellId, point: &SweepPoint) -> bool {
+        let Some(cache) = self.cache.as_ref() else {
+            return false;
+        };
+        if !self.validate_point(cell, point) {
+            return false;
+        }
+        let inputs = self.cell_inputs(cell, self.digests());
+        let Some(fingerprint) = inputs.fingerprint else {
+            return false;
+        };
+        cache.store(fingerprint, point);
+        true
     }
 
     /// Splits `cells` into runs of consecutive same-case cells, at most

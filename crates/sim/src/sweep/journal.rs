@@ -165,7 +165,7 @@ impl From<std::io::Error> for JournalError {
 }
 
 /// One journal line for a completed cell.
-fn entry_line(cell: CellId, point: &SweepPoint) -> String {
+pub(crate) fn entry_line(cell: CellId, point: &SweepPoint) -> String {
     let cell = serde_json::to_string(&cell).expect("cell serializes");
     let point = serde_json::to_string(point).expect("point serializes");
     format!("{{\"cell\":{cell},\"point\":{point}}}")
@@ -214,7 +214,7 @@ fn str_field<'v>(value: &'v Value, key: &str) -> Result<&'v str, String> {
         .ok_or_else(|| format!("field '{key}' is not a string"))
 }
 
-fn cell_from_value(value: &Value) -> Result<CellId, String> {
+pub(crate) fn cell_from_value(value: &Value) -> Result<CellId, String> {
     Ok(CellId {
         case: u32_field(value, "case")?,
         pattern: u32_field(value, "pattern")?,
@@ -420,6 +420,100 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<ShardResult, JournalError>
     })
 }
 
+/// An open journal file being appended to in canonical cell order —
+/// the write half shared by [`run_journaled`] and the sweep
+/// coordinator's streamed journal.
+///
+/// With `durable` set, the header and every appended batch are
+/// [`File::sync_data`](std::fs::File::sync_data)-ed to disk before the
+/// writer moves on: after a power loss or machine crash the on-disk
+/// file is guaranteed to be a prefix of the logical journal (plus at
+/// most one torn line), which is exactly the shape the torn-line
+/// recovery of a resume repairs. A `flush()` alone does **not** give
+/// that guarantee — it only moves bytes into the page cache, and
+/// writeback may land them out of order. Durability is flag-gated
+/// because each sync is a disk round trip; local single-shot runs that
+/// only need kill-resilience (not crash-resilience) keep their speed
+/// by leaving it off.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: std::fs::File,
+    durable: bool,
+    syncs: u64,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal at `path` and writes its header
+    /// line for `plan` under `shard`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn create(
+        path: impl AsRef<Path>,
+        plan: &SweepPlan,
+        shard: ShardSpec,
+        durable: bool,
+    ) -> Result<Self, JournalError> {
+        let header = JournalHeader::of_plan(plan, shard);
+        let mut file = std::fs::File::create(path)?;
+        let header_line = serde_json::to_string(&header).expect("header serializes");
+        writeln!(file, "{header_line}")?;
+        file.flush()?;
+        let mut writer = Self {
+            file,
+            durable,
+            syncs: 0,
+        };
+        writer.sync_if_durable()?;
+        Ok(writer)
+    }
+
+    /// Wraps a file already positioned at the end of a valid journal
+    /// prefix (the resume path: header validated, torn tail truncated).
+    fn resume(file: std::fs::File, durable: bool) -> Self {
+        Self {
+            file,
+            durable,
+            syncs: 0,
+        }
+    }
+
+    /// Appends one batch of completed cells as journal lines, flushed
+    /// (and synced, when durable) as a unit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn append(&mut self, entries: &[(CellId, SweepPoint)]) -> Result<(), JournalError> {
+        let mut buffer = String::new();
+        for (cell, point) in entries {
+            buffer.push_str(&entry_line(*cell, point));
+            buffer.push('\n');
+        }
+        self.file.write_all(buffer.as_bytes())?;
+        self.file.flush()?;
+        self.sync_if_durable()?;
+        Ok(())
+    }
+
+    /// How many `sync_data` calls this writer has issued (0 unless
+    /// durable): one for the header (on create) plus one per appended
+    /// batch — the sync points the durability tests assert.
+    #[must_use]
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    fn sync_if_durable(&mut self) -> Result<(), JournalError> {
+        if self.durable {
+            self.file.sync_data()?;
+            self.syncs += 1;
+        }
+        Ok(())
+    }
+}
+
 /// Runs one shard of `experiment` to an append-only journal at `path`,
 /// returning the shard's points (in canonical order) when every cell
 /// is done.
@@ -443,19 +537,31 @@ pub fn run_journaled(
     shard: ShardSpec,
     path: impl AsRef<Path>,
     resume: bool,
+    progress: impl FnMut(usize, usize),
+) -> Result<SweepResult, JournalError> {
+    run_journaled_durable(experiment, shard, path, resume, false, progress)
+}
+
+/// [`run_journaled`] with an explicit durability choice: when `durable`
+/// is set, the header and every flushed chunk are `sync_data`-ed so a
+/// machine crash (not just a process kill) leaves an on-disk prefix the
+/// resume path can repair — the mode coordinated execution runs in.
+/// The journal bytes are identical either way.
+///
+/// # Errors
+///
+/// As [`run_journaled`].
+pub fn run_journaled_durable(
+    experiment: &Experiment<'_>,
+    shard: ShardSpec,
+    path: impl AsRef<Path>,
+    resume: bool,
+    durable: bool,
     mut progress: impl FnMut(usize, usize),
 ) -> Result<SweepResult, JournalError> {
     let path = path.as_ref();
     let plan = experiment.plan();
     let cells = plan.shard_cells(shard);
-    let header = JournalHeader::of_plan(&plan, shard);
-    let fresh = |path: &Path| -> Result<std::fs::File, JournalError> {
-        let mut file = std::fs::File::create(path)?;
-        let header_line = serde_json::to_string(&header).expect("header serializes");
-        writeln!(file, "{header_line}")?;
-        file.flush()?;
-        Ok(file)
-    };
 
     let mut done: Vec<SweepPoint> = Vec::new();
     let existing = if resume && path.exists() {
@@ -466,11 +572,11 @@ pub fn run_journaled(
     } else {
         None
     };
-    let mut file = if let Some(text) = existing {
+    let mut writer = if let Some(text) = existing {
         let parsed = parse_journal(&text, false)?;
-        if parsed.header.fingerprint != header.fingerprint {
+        if parsed.header.fingerprint != plan.fingerprint() {
             return Err(JournalError::FingerprintMismatch {
-                expected: header.fingerprint,
+                expected: plan.fingerprint(),
                 found: parsed.header.fingerprint,
             });
         }
@@ -486,22 +592,18 @@ pub fn run_journaled(
         let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
         file.set_len(parsed.valid_len)?; // drop any torn trailing line
         std::io::Seek::seek(&mut file, std::io::SeekFrom::End(0))?;
-        file
+        JournalWriter::resume(file, durable)
     } else {
-        fresh(path)?
+        JournalWriter::create(path, &plan, shard, durable)?
     };
 
     progress(done.len(), cells.len());
     let remaining = &cells[done.len()..];
     let mut flushed = done.len();
     let computed = experiment.run_cells_chunked(remaining, |chunk, points| {
-        let mut buffer = String::new();
-        for (cell, point) in chunk.iter().zip(points) {
-            buffer.push_str(&entry_line(*cell, point));
-            buffer.push('\n');
-        }
-        file.write_all(buffer.as_bytes())?;
-        file.flush()?;
+        let entries: Vec<(CellId, SweepPoint)> =
+            chunk.iter().copied().zip(points.iter().cloned()).collect();
+        writer.append(&entries)?;
         flushed += chunk.len();
         progress(flushed, cells.len());
         Ok::<(), JournalError>(())
@@ -586,6 +688,60 @@ mod tests {
         let line = serde_json::to_string(&bad_cells).expect("serializes");
         let err = parse_header(&line).expect_err("shape says 5 cells");
         assert!(err.to_string().contains("plan shape"), "{err}");
+    }
+
+    #[test]
+    fn journal_writer_syncs_header_and_every_batch_only_when_durable() {
+        let point = SweepPoint {
+            case: "mesh".to_owned(),
+            pattern: TrafficPattern::UniformRandom,
+            rate: 0.1,
+            seed: 7,
+            outcome: SimOutcome {
+                offered_rate: 0.1,
+                accepted_rate: 0.1,
+                avg_packet_latency: 10.0,
+                p50_packet_latency: 9.0,
+                p99_packet_latency: 20.0,
+                max_packet_latency: 25.0,
+                measured_packets: 100,
+                stable: true,
+                cycles: 1_000,
+            },
+        };
+        let cell = |rate: u32| CellId {
+            case: 0,
+            pattern: 0,
+            rate,
+        };
+        let plan = SweepPlan::from_shape(1, vec![3], 42);
+        let dir = std::env::temp_dir().join(format!("shg_journal_writer_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let write_all = |path: &Path, durable: bool| -> u64 {
+            let mut writer =
+                JournalWriter::create(path, &plan, ShardSpec::SOLO, durable).expect("creates");
+            // Three single-cell batches: durable mode must sync each
+            // one (plus the header), non-durable none.
+            for rate in 0..3 {
+                writer
+                    .append(&[(cell(rate), point.clone())])
+                    .expect("appends");
+            }
+            writer.syncs()
+        };
+        let durable_path = dir.join("durable.jsonl");
+        let fast_path = dir.join("fast.jsonl");
+        assert_eq!(write_all(&durable_path, true), 1 + 3, "header + 3 batches");
+        assert_eq!(write_all(&fast_path, false), 0, "flag off: no syncs");
+        // Durability never changes the bytes.
+        let durable_bytes = std::fs::read(&durable_path).expect("read");
+        let fast_bytes = std::fs::read(&fast_path).expect("read");
+        assert_eq!(durable_bytes, fast_bytes);
+        // And both are valid, complete journals.
+        let shard = read_journal(&durable_path).expect("parses");
+        assert_eq!(shard.entries.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

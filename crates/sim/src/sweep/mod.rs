@@ -34,10 +34,19 @@
 //!   completed cells keyed per cell (not per plan), so re-runs and
 //!   widened grids simulate only what actually changed.
 //! * [`journal`] — append-only JSONL of completed cells
-//!   ([`run_journaled`]) enabling kill-and-resume workers.
+//!   ([`run_journaled`], [`JournalWriter`]) enabling kill-and-resume
+//!   workers, with opt-in `fsync` durability
+//!   ([`run_journaled_durable`]).
 //! * [`result`] — [`SweepResult`], its deterministic JSON, and
 //!   [`SweepResult::merge`] recombining shards into the single-shot
 //!   bytes.
+//! * [`proto`] — the framed wire protocol between a sweep-service
+//!   coordinator and its workers, plus the worker-side
+//!   [`serve_worker`] loop.
+//! * [`coord`] — [`run_coordinated`]: one coordinator driving a
+//!   worker fleet with chunk dispatch, work stealing, dead-worker
+//!   requeue, shared-cache pre-warming and canonical-order journal
+//!   streaming.
 //!
 //! The journal and the cache compose: the journal is the
 //! crash-consistency layer of **one** execution (plan-fingerprinted,
@@ -79,17 +88,25 @@
 //! ```
 
 pub mod cache;
+pub mod coord;
 pub mod experiment;
 pub mod journal;
 pub mod plan;
+pub mod proto;
 pub mod result;
 pub mod shard;
 pub mod spec;
 
 pub use cache::{CacheStats, CellCache};
+pub use coord::{
+    run_coordinated, CoordError, CoordOptions, CoordProgress, CoordSummary, WorkerLink,
+};
 pub use experiment::{ExecBackend, ExecStats, Experiment, SweepCase};
-pub use journal::{read_journal, run_journaled, JournalError};
+pub use journal::{
+    read_journal, run_journaled, run_journaled_durable, JournalError, JournalWriter,
+};
 pub use plan::{CellId, SweepPlan};
+pub use proto::serve_worker;
 pub use result::{MergeError, ShardResult, SweepPoint, SweepResult};
 pub use shard::{ShardParseError, ShardSpec};
 pub use spec::{log_spaced, PatternRates, SweepSpec, ALL_PATTERNS};
