@@ -3,10 +3,19 @@
 //!
 //! Run with:
 //! `cargo run --release -p shg-bench --bin load_curve -- [--scenario a]
-//!  [--topology shg|mesh|torus|fb|ring] [--pattern all|uniform|transpose|...]
+//!  [--topology <spec>] [--case <name>]
+//!  [--pattern all|uniform|transpose|...]
 //!  [--alloc request-queue|full-scan] [--json]
 //!  [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
 //!  [--backend per-cell|reuse|batched|auto] [--lanes K] [--progress]`
+//!
+//! `--topology` takes the shared spec grammar
+//! ([`shg_bench::topology_from_args`]): `shg` (default, the scenario's
+//! customized graph), any generator spec (`mesh`, `torus`, `fb`,
+//! `ring`, `ruche:3`, `shg:sr=4:sc=2,5`, …) on the scenario grid, or
+//! `db:<wire spec>` for an expanded-grid topology instantiated from a
+//! topology database. `--case` renames the sweep case (e.g. to
+//! byte-compare a DB-built mesh against the legacy `mesh` case).
 //!
 //! `--json` prints the full `SweepResult` as JSON instead of tables —
 //! the machine-readable output downstream plotting consumes. The
@@ -18,7 +27,7 @@ use shg_core::{AnnotatedTopology, Scenario};
 use shg_floorplan::ModelOptions;
 use shg_sim::sweep::ALL_PATTERNS;
 use shg_sim::{Experiment, SimConfig, SweepCase, SweepSpec, TrafficPattern};
-use shg_topology::{generators, routing};
+use shg_topology::routing;
 
 fn pattern_by_name(name: &str) -> Option<TrafficPattern> {
     match name {
@@ -37,16 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let which = arg_value("--scenario").unwrap_or_else(|| "a".to_owned());
     let scenario =
         Scenario::by_name(&which).ok_or_else(|| format!("unknown scenario '{which}'"))?;
-    let topology_name = arg_value("--topology").unwrap_or_else(|| "shg".to_owned());
-    let grid = scenario.params.grid;
-    let topology = match topology_name.as_str() {
-        "mesh" => generators::mesh(grid),
-        "torus" => generators::torus(grid),
-        "fb" => generators::flattened_butterfly(grid),
-        "ring" => generators::ring(grid),
-        "shg" => scenario.shg.build(),
-        other => return Err(format!("unknown topology '{other}'").into()),
-    };
+    let (topology_name, topology) = shg_bench::topology_from_args(&scenario);
+    // An expanded-grid topology replaces the scenario grid; the
+    // floorplan model asserts its parameter grid matches the topology.
+    let mut params = scenario.params.clone();
+    params.grid = topology.grid();
     let patterns: Vec<TrafficPattern> = match arg_value("--pattern").as_deref() {
         None | Some("all") => ALL_PATTERNS.to_vec(),
         Some(name) => {
@@ -54,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
     let annotated = AnnotatedTopology::annotate(
-        &scenario.params,
+        &params,
         topology,
         &ModelOptions {
             cell_scale: 2.0,

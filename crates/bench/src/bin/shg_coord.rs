@@ -11,7 +11,7 @@
 //! `cargo run --release -p shg-bench --bin shg_coord --
 //!  (--spawn-workers N [--worker-bin path] | --listen host:port --workers N)
 //!  [--scenario a|b|c|d] [--fast] [--rate-points N] [--add-rates r,..]
-//!  [--alloc request-queue|full-scan] [--cache <dir>]
+//!  [--alloc request-queue|full-scan] [--db <wire spec>] [--cache <dir>]
 //!  [--backend per-cell|reuse|batched|auto] [--lanes K]
 //!  [--chunk-size N] [--durable] [--progress] [--kill-worker I:AFTER]`
 //!
@@ -27,7 +27,9 @@
 //! same flags, no matter how chunks interleaved, stole or died.
 //! `journal=` (optional) streams a solo-shard journal alongside,
 //! byte-identical to a `sweep_worker --out` solo run. The plan keys
-//! (`scenario`, `fast`, `rate-points`, `add-rates`, `alloc`) default
+//! (`scenario`, `fast`, `rate-points`, `add-rates`, `alloc`, `db` — the
+//! last a topology database in its one-token wire form, sweeping one
+//! expanded-grid topology instead of the scenario set) default
 //! to the coordinator's own flags and may be overridden per request;
 //! they are forwarded to the workers as the user's raw strings, and
 //! the plan-fingerprint handshake aborts the request if any worker
@@ -69,9 +71,11 @@ Usage: shg_coord (--spawn-workers N [--worker-bin path]
 
   Reads requests from stdin, one per line, as key=value tokens:
     out=result.json [journal=j.jsonl] [scenario=..] [fast=1]
-    [rate-points=N] [add-rates=r1,r2] [alloc=..]
+    [rate-points=N] [add-rates=r1,r2] [alloc=..] [db=<wire spec>]
   and answers each with the full sweep JSON at out= — byte-identical
-  to `sweep_worker --single-shot` of the same flags.
+  to `sweep_worker --single-shot` of the same flags. db= sweeps one
+  expanded-grid topology instantiated from a topology database in its
+  one-token wire form (e.g. db=die/a/4x4/mesh;die/b/4x4/shg:sr=2).
 
   --spawn-workers  spawn N `sweep_worker --serve` children over pipes
   --worker-bin     worker binary (default: sweep_worker next to this
@@ -109,7 +113,7 @@ fn parse_request(line: &str, base: &[(String, String)]) -> Result<Request, Strin
         match key {
             "out" => out = Some(value.to_owned()),
             "journal" => journal = Some(value.to_owned()),
-            "scenario" | "fast" | "rate-points" | "add-rates" | "alloc" => {
+            "scenario" | "fast" | "rate-points" | "add-rates" | "alloc" | "db" => {
                 match params.iter_mut().find(|(k, _)| k == key) {
                     Some(pair) => pair.1 = value.to_owned(),
                     None => params.push((key.to_owned(), value.to_owned())),
@@ -246,11 +250,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         request_id += 1;
         let request = parse_request(&line, &base_params).unwrap_or_else(|e| cli_error(e));
         let setup = request_setup(&request.params).unwrap_or_else(|e| cli_error(e));
-        let topologies = scenarios
-            .iter()
-            .find(|(name, _)| *name == setup.scenario.name)
-            .map(|(_, topologies)| topologies)
-            .expect("every scenario's topologies are prebuilt");
+        let topologies: &[(String, Topology)] = match &setup.db_topology {
+            // The setup outlives the request's experiment, so the
+            // expanded-grid topology is borrowed in place.
+            Some(pair) => std::slice::from_ref(pair),
+            None => scenarios
+                .iter()
+                .find(|(name, _)| *name == setup.scenario.name)
+                .map(|(_, topologies)| topologies.as_slice())
+                .expect("every scenario's topologies are prebuilt"),
+        };
         let mut experiment = annotated_experiment(
             &setup.scenario.params,
             &setup.model_options,

@@ -66,6 +66,7 @@ use shg_topology::Topology;
 const USAGE: &str = "\
 Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
                     [--add-rates r1,r2,..] [--alloc request-queue|full-scan]
+                    [--db <topology-db wire spec>]
                     [--backend per-cell|reuse|batched|auto] [--lanes K]
                     [--cache <dir>]
                     [--shard i/N] (--out j.jsonl | --resume j.jsonl)
@@ -73,6 +74,11 @@ Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
                     [--serve | --connect host:port]
 
   --scenario     KNC scenario whose grid to sweep (default: a)
+  --db           sweep one expanded-grid topology instantiated from a
+                 topology database in wire form (fields `/`-separated,
+                 statements `;`-separated, e.g.
+                 die/a/4x4/mesh;die/b/4x4/shg:sr=2) instead of the
+                 scenario's built-in topology set; the case is named db
   --fast         fast-test simulator config and coarser floorplan model
   --rate-points  linear rate-grid points (default: 10 fast / 20 full)
   --add-rates    extra rates APPENDED to the shared grid — widens the
@@ -100,6 +106,10 @@ Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
 /// Topology sets for every scenario are built up front so one
 /// long-lived worker can serve requests of any shape, reusing routing
 /// tables and floorplan latencies across them via the topology cache.
+/// Requests carrying a `db` param instead sweep the instantiated
+/// expanded-grid topology; those are memoized per spec string (leaked
+/// for the worker's lifetime, like the prebuilt sets) so repeat
+/// requests reuse routing tables and floorplan latencies too.
 fn serve() -> Result<(), Box<dyn std::error::Error>> {
     let scenarios: Vec<(String, Vec<(String, Topology)>)> = ["a", "b", "c", "d"]
         .iter()
@@ -108,14 +118,27 @@ fn serve() -> Result<(), Box<dyn std::error::Error>> {
             (scenario.name.clone(), named_topologies(&scenario))
         })
         .collect();
+    let mut db_store: std::collections::HashMap<String, &'static [(String, Topology)]> =
+        std::collections::HashMap::new();
     let mut topo_cache = TopologyCache::new();
     let build = |params: &[(String, String)]| -> Result<Experiment<'_>, String> {
         let setup = request_setup(params)?;
-        let topologies = scenarios
-            .iter()
-            .find(|(name, _)| *name == setup.scenario.name)
-            .map(|(_, topologies)| topologies)
-            .expect("every scenario's topologies are prebuilt");
+        let topologies: &[(String, Topology)] = match setup.db_topology {
+            Some(pair) => db_store
+                .entry(
+                    params
+                        .iter()
+                        .find(|(key, _)| key == "db")
+                        .map(|(_, value)| value.clone())
+                        .expect("db_topology implies a db param"),
+                )
+                .or_insert_with(|| Box::leak(vec![pair].into_boxed_slice())),
+            None => scenarios
+                .iter()
+                .find(|(name, _)| *name == setup.scenario.name)
+                .map(|(_, topologies)| topologies.as_slice())
+                .expect("every scenario's topologies are prebuilt"),
+        };
         let mut experiment = annotated_experiment(
             &setup.scenario.params,
             &setup.model_options,
@@ -161,7 +184,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // fleet reproduces the very grid the single-process binary prints.
     let setup = request_setup(&request_params_from_args()).unwrap_or_else(|e| cli_error(e));
     let scenario = setup.scenario;
-    let topologies = named_topologies(&scenario);
+    let topologies = match setup.db_topology {
+        Some(pair) => vec![pair],
+        None => named_topologies(&scenario),
+    };
     let mut cache = TopologyCache::new();
     let mut experiment = annotated_experiment(
         &scenario.params,

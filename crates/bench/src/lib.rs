@@ -13,7 +13,9 @@ use rayon::prelude::*;
 
 use shg_core::{Evaluation, Scenario, Toolchain};
 use shg_sim::{AllocPolicy, InjectionPolicy, Injector, Network, SimConfig, TrafficPattern};
-use shg_topology::{generators, routing, Grid, TileId, Topology};
+use shg_topology::db::TopologyDb;
+use shg_topology::generators::GeneratorSpec;
+use shg_topology::{routing, Grid, TileId, Topology};
 use shg_units::Cycles;
 
 /// Drives `cycles` cycles of Phase A (injection) in isolation under
@@ -193,25 +195,56 @@ pub fn median(mut samples: Vec<f64>) -> f64 {
 /// All topologies applicable to a scenario's grid, in Fig. 6's order:
 /// ring, mesh, torus, folded torus, hypercube (power-of-two grids),
 /// SlimNoC (2q² tiles), flattened butterfly, and the scenario's customized
-/// sparse Hamming graph.
+/// sparse Hamming graph. The fixed topologies come from
+/// [`GeneratorSpec::fixed`]; specs the grid does not admit (hypercube,
+/// SlimNoC) are skipped.
 #[must_use]
 pub fn applicable_topologies(scenario: &Scenario) -> Vec<Topology> {
     let grid = scenario.params.grid;
-    let mut topologies = vec![
-        generators::ring(grid),
-        generators::mesh(grid),
-        generators::torus(grid),
-        generators::folded_torus(grid),
-    ];
-    if let Ok(hc) = generators::hypercube(grid) {
-        topologies.push(hc);
-    }
-    if let Ok(slim) = generators::slim_noc(grid) {
-        topologies.push(slim);
-    }
-    topologies.push(generators::flattened_butterfly(grid));
+    let mut topologies: Vec<Topology> = GeneratorSpec::fixed()
+        .iter()
+        .filter_map(|spec| spec.build(grid).ok())
+        .collect();
     topologies.push(scenario.shg.build());
     topologies
+}
+
+/// The topology selected by `--topology <spec>` (default `shg`), named
+/// the way the sweep engine's cases are — the one `--topology` parser
+/// every harness binary shares instead of per-binary name matching:
+///
+/// * `shg` — the scenario's customized sparse Hamming graph;
+/// * any [`GeneratorSpec`] (`mesh`, `torus`, `fb`, `ruche:3`,
+///   `shg:sr=4:sc=2,5`, …), built on the scenario grid;
+/// * `db:<spec>` — a topology database in its one-token wire form
+///   (fields `/`-separated, statements `;`-separated), instantiated
+///   through the expanded grid.
+///
+/// The case is named by the raw `--topology` value unless `--case
+/// <name>` overrides it (e.g. to byte-compare a DB-built topology
+/// against its legacy twin under the same case name).
+///
+/// Unknown specs and grid mismatches are usage errors: reported via
+/// [`cli_error`] (exit code 2), never a panic.
+#[must_use]
+pub fn topology_from_args(scenario: &Scenario) -> (String, Topology) {
+    let raw = arg_value("--topology").unwrap_or_else(|| "shg".to_owned());
+    let grid = scenario.params.grid;
+    let topology = if raw == "shg" {
+        scenario.shg.build()
+    } else if let Some(spec) = raw.strip_prefix("db:") {
+        TopologyDb::parse(spec)
+            .map_err(|e| e.to_string())
+            .and_then(|db| db.instantiate().map_err(|e| e.to_string()))
+            .unwrap_or_else(|e| cli_error(format!("--topology {raw}: {e}")))
+    } else {
+        raw.parse::<GeneratorSpec>()
+            .map_err(|e| e.to_string())
+            .and_then(|spec| spec.build(grid).map_err(|e| e.to_string()))
+            .unwrap_or_else(|e| cli_error(format!("--topology {raw}: {e}")))
+    };
+    let name = arg_value("--case").unwrap_or(raw);
+    (name, topology)
 }
 
 /// Like [`applicable_topologies`], labelled with their display names

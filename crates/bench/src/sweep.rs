@@ -169,16 +169,18 @@ pub fn scenario_sweep_spec(scenario: &Scenario, rate_points: usize) -> SweepSpec
 /// The plan-shaping parameters of one sweep request, as opaque
 /// key-value strings — the coordinator/worker wire format of "which
 /// sweep is this". The supported keys are `scenario`, `fast`,
-/// `rate-points`, `add-rates` and `alloc`; values are the user's raw
-/// flag strings, forwarded **unreformatted** so every process parses
-/// the identical text (re-formatting a float on one side would silently
-/// change its grid). [`request_setup`] is the one interpreter, shared
-/// by `sweep_worker`'s CLI path, its `--serve` mode and `shg_coord`;
-/// the sim layer's plan-fingerprint handshake catches any drift.
+/// `rate-points`, `add-rates`, `alloc` and `db` (a topology database in
+/// its one-token wire form, see [`shg_topology::db::TopologyDb::wire`]);
+/// values are the user's raw flag strings, forwarded **unreformatted**
+/// so every process parses the identical text (re-formatting a float on
+/// one side would silently change its grid). [`request_setup`] is the
+/// one interpreter, shared by `sweep_worker`'s CLI path, its `--serve`
+/// mode and `shg_coord`; the sim layer's plan-fingerprint handshake
+/// catches any drift.
 #[must_use]
 pub fn request_params_from_args() -> Vec<(String, String)> {
     let mut params = Vec::new();
-    for key in ["scenario", "rate-points", "add-rates", "alloc"] {
+    for key in ["scenario", "rate-points", "add-rates", "alloc", "db"] {
         if let Some(value) = arg_value(&format!("--{key}")) {
             params.push((key.to_owned(), value));
         }
@@ -201,6 +203,11 @@ pub struct RequestSetup {
     pub model_options: ModelOptions,
     /// The rate × pattern grid, extra rates appended.
     pub spec: SweepSpec,
+    /// When the request carries a `db` param: the instantiated
+    /// expanded-grid topology (case-named `db`), replacing the
+    /// scenario's built-in topology set. The scenario's `params.grid`
+    /// has already been overridden to match it.
+    pub db_topology: Option<(String, Topology)>,
 }
 
 /// Interprets request params (see [`request_params_from_args`]) into a
@@ -211,13 +218,15 @@ pub struct RequestSetup {
 /// # Errors
 ///
 /// Returns a usage-style message on an unknown key, an unknown
-/// scenario or allocation policy, or malformed numbers.
+/// scenario or allocation policy, malformed numbers, or a `db` value
+/// that fails to parse or instantiate.
 pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String> {
     let mut which = "a".to_owned();
     let mut fast = false;
     let mut rate_points_raw: Option<String> = None;
     let mut add_rates: Option<String> = None;
     let mut alloc: Option<String> = None;
+    let mut db_raw: Option<String> = None;
     for (key, value) in params {
         match key.as_str() {
             "scenario" => which.clone_from(value),
@@ -225,6 +234,7 @@ pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String
             "rate-points" => rate_points_raw = Some(value.clone()),
             "add-rates" => add_rates = Some(value.clone()),
             "alloc" => alloc = Some(value.clone()),
+            "db" => db_raw = Some(value.clone()),
             other => return Err(format!("unknown request param '{other}'")),
         }
     }
@@ -237,6 +247,19 @@ pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String
     if fast {
         scenario.sim = shg_sim::SimConfig::fast_test();
     }
+    let db_topology = match db_raw {
+        Some(raw) => {
+            let topology = shg_topology::db::TopologyDb::parse(&raw)
+                .map_err(|e| format!("db '{raw}': {e}"))?
+                .instantiate()
+                .map_err(|e| format!("db '{raw}': {e}"))?;
+            // The floorplan model asserts its parameter grid matches the
+            // topology grid; an expanded grid replaces the scenario's.
+            scenario.params.grid = topology.grid();
+            Some(("db".to_owned(), topology))
+        }
+        None => None,
+    };
     scenario.sim.alloc = match alloc {
         Some(name) => crate::alloc_policy_by_name(&name).ok_or_else(|| {
             format!("unknown alloc policy '{name}' (use request-queue|full-scan)")
@@ -272,6 +295,7 @@ pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String
         scenario,
         model_options,
         spec,
+        db_topology,
     })
 }
 

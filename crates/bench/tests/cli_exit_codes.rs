@@ -27,6 +27,13 @@ fn shg_coord(args: &[&str]) -> Output {
         .expect("spawn shg_coord")
 }
 
+fn load_curve(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_load_curve"))
+        .args(args)
+        .output()
+        .expect("spawn load_curve")
+}
+
 /// Asserts the usage-error contract: exit code 2, an `error:` line and
 /// the `--help` pointer on stderr, no panic backtrace anywhere.
 fn assert_usage_error(output: &Output, needle: &str) {
@@ -132,6 +139,31 @@ fn zero_based_shard_is_a_usage_error() {
 fn out_and_resume_conflict_is_a_usage_error() {
     let output = sweep_worker(&["--fast", "--out", "a.jsonl", "--resume", "b.jsonl"]);
     assert_usage_error(&output, "mutually exclusive");
+}
+
+#[test]
+fn unknown_topology_spec_is_a_usage_error() {
+    let output = load_curve(&["--topology", "moebius"]);
+    assert_usage_error(&output, "moebius");
+}
+
+#[test]
+fn malformed_topology_database_is_a_usage_error() {
+    let output = load_curve(&["--topology", "db:widget/d/8x8/mesh"]);
+    assert_usage_error(&output, "unknown statement");
+}
+
+#[test]
+fn uninstantiable_topology_database_is_a_usage_error() {
+    // 3×3 admits no hypercube: a DB validation failure, not a panic.
+    let output = load_curve(&["--topology", "db:die/d/3x3/hypercube"]);
+    assert_usage_error(&output, "hypercube");
+}
+
+#[test]
+fn worker_rejects_a_malformed_db_param() {
+    let output = sweep_worker(&["--fast", "--db", "die/d/8x8", "--single-shot", "/dev/null"]);
+    assert_usage_error(&output, "db");
 }
 
 #[test]

@@ -97,7 +97,20 @@ pub fn predict(params: &ArchParams, topology: &Topology, options: &ModelOptions)
     let spacings = Spacings::compute(params, &global.loads);
     let unit_grid = UnitGrid::build(params, options, &placement, &spacings);
     let detailed = DetailedRoutes::route(topology, &unit_grid, &global, options);
-    let estimates = NocEstimates::compute(params, &unit_grid, &detailed);
+    let mut estimates = NocEstimates::compute(params, &unit_grid, &detailed);
+    // Expanded-grid instantiations annotate die-crossing links; the
+    // floorplan model charges them the database's boundary-crossing
+    // latency on top of the wire-length estimate. Flat topologies carry
+    // no metadata, so their latencies (and every downstream cell
+    // fingerprint) are untouched.
+    let boundary = topology.boundary_latency();
+    if boundary > 0 {
+        for (i, latency) in estimates.link_latencies.iter_mut().enumerate() {
+            if topology.link_crosses_die(shg_topology::LinkId::new(i as u32)) {
+                *latency += shg_units::Cycles::new(u64::from(boundary));
+            }
+        }
+    }
     Prediction {
         placement,
         global,
@@ -174,5 +187,33 @@ mod tests {
         let a = predict(&p, &torus, &ModelOptions::default());
         let b = predict(&p, &torus, &ModelOptions::default());
         assert_eq!(a.estimates, b.estimates);
+    }
+
+    #[test]
+    fn boundary_latency_is_charged_on_die_crossing_links_only() {
+        use shg_topology::db::TopologyDb;
+        use shg_topology::LinkId;
+
+        let spec = |latency: u32| {
+            format!("die a 4x4 mesh; die b 4x4 mesh; boundary every=2 latency={latency}")
+        };
+        let with = TopologyDb::parse(&spec(7)).unwrap().instantiate().unwrap();
+        let without = TopologyDb::parse(&spec(0)).unwrap().instantiate().unwrap();
+        assert_eq!(with.links(), without.links());
+        let p = params(with.grid());
+        let options = ModelOptions::default();
+        let charged = predict(&p, &with, &options).estimates.link_latencies;
+        let base = predict(&p, &without, &options).estimates.link_latencies;
+        let mut crossings = 0;
+        for i in 0..with.num_links() {
+            let id = LinkId::new(i as u32);
+            if with.link_crosses_die(id) {
+                crossings += 1;
+                assert_eq!(charged[i], base[i] + shg_units::Cycles::new(7), "{id}");
+            } else {
+                assert_eq!(charged[i], base[i], "{id}");
+            }
+        }
+        assert_eq!(crossings, 2);
     }
 }

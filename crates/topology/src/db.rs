@@ -1,0 +1,1014 @@
+//! The topology **database**: a compact, declarative description of a
+//! (possibly heterogeneous, possibly multi-die) network, and the
+//! expanded-grid instantiation layer that materializes it into a flat
+//! [`Topology`].
+//!
+//! Modelled on interconnect databases of real-chip toolchains: a
+//! target-independent description — tile classes, per-region rules, die
+//! specs with boundary connection rules — is *instantiated* into an
+//! expanded grid of `(die, row, col)` cells. The description stays a
+//! few lines even when the instantiated device has tens of thousands of
+//! tiles; the product is today's [`Topology`], so the simulator, sweep
+//! and cache machinery run it unchanged.
+//!
+//! A [`TopologyDb`] is:
+//!
+//! * one or more [`DieSpec`]s, laid out left-to-right and sharing the
+//!   row dimension, each built from a base [`GeneratorSpec`];
+//! * per-die [`RegionRule`]s that paint a rectangle with a
+//!   [`TileClass`] and may add region-local SHG skip links;
+//! * one [`BoundaryRule`] connecting every k-th row across each die
+//!   seam, with an extra boundary-crossing latency for the floorplan
+//!   model.
+//!
+//! # Spec text
+//!
+//! Databases have a stable textual form (`parse`/`Display` round-trip).
+//! Statements are separated by newlines or `;`, fields by whitespace or
+//! `/` (the latter makes a whole database a single whitespace-free
+//! token — the form the sweep service ships as a request param):
+//!
+//! ```text
+//! # 2-die heterogeneous SHG
+//! die left 8x8 shg:sr=4:sc=2,5
+//! die right 8x8 mesh
+//! region left r0..2 c0..8 memory sr=2
+//! region right r6..8 c0..8 io
+//! boundary every=2 latency=3
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use shg_topology::db::TopologyDb;
+//!
+//! let db = TopologyDb::parse(
+//!     "die a 4x4 mesh; die b 4x4 mesh; boundary every=2 latency=1",
+//! )
+//! .unwrap();
+//! let topology = db.instantiate().unwrap();
+//! assert_eq!(topology.num_tiles(), 32);
+//! assert_eq!(topology.num_dies(), 2);
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::Serialize;
+
+use crate::generators::{GeneratorError, GeneratorSpec};
+use crate::grid::{Grid, TileCoord, TileId};
+use crate::topology::{
+    DieId, Link, TileClass, Topology, TopologyError, TopologyKind, TopologyMeta,
+};
+
+/// A rectangular per-die rule: paints the rectangle's tiles with a
+/// [`TileClass`] and optionally adds region-local skip links (the
+/// paper's per-region SHG customization).
+///
+/// Row/column ranges are half-open and local to the die.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RegionRule {
+    /// First row of the rectangle.
+    pub row_start: u16,
+    /// One past the last row.
+    pub row_end: u16,
+    /// First column of the rectangle.
+    pub col_start: u16,
+    /// One past the last column.
+    pub col_end: u16,
+    /// The class painted onto the rectangle's tiles (later rules win
+    /// on overlap).
+    pub class: TileClass,
+    /// Extra row-skip distances applied within the rectangle.
+    pub skip_rows: BTreeSet<u16>,
+    /// Extra column-skip distances applied within the rectangle.
+    pub skip_cols: BTreeSet<u16>,
+}
+
+impl RegionRule {
+    /// A class-only region rule over the given half-open ranges.
+    #[must_use]
+    pub fn class(rows: std::ops::Range<u16>, cols: std::ops::Range<u16>, class: TileClass) -> Self {
+        Self {
+            row_start: rows.start,
+            row_end: rows.end,
+            col_start: cols.start,
+            col_end: cols.end,
+            class,
+            skip_rows: BTreeSet::new(),
+            skip_cols: BTreeSet::new(),
+        }
+    }
+
+    fn width(&self) -> u16 {
+        self.col_end - self.col_start
+    }
+
+    fn height(&self) -> u16 {
+        self.row_end - self.row_start
+    }
+}
+
+/// One die of a [`TopologyDb`]: a named R×C sub-grid built from a base
+/// [`GeneratorSpec`], refined by [`RegionRule`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DieSpec {
+    /// The die's name (referenced by region statements).
+    pub name: String,
+    /// Rows of the die (all dies of a database must agree).
+    pub rows: u16,
+    /// Columns of the die.
+    pub cols: u16,
+    /// The base generator the die's link structure starts from.
+    pub base: GeneratorSpec,
+    /// Region rules, applied in order.
+    pub regions: Vec<RegionRule>,
+}
+
+/// How adjacent dies are stitched together: every `every`-th row gets a
+/// link across the seam, and crossing it costs `latency` extra cycles
+/// in the floorplan model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BoundaryRule {
+    /// Connect rows `0, every, 2·every, …` across each seam.
+    pub every: u16,
+    /// Extra cycles a flit pays to cross a die boundary.
+    pub latency: u32,
+}
+
+impl Default for BoundaryRule {
+    fn default() -> Self {
+        Self {
+            every: 1,
+            latency: 0,
+        }
+    }
+}
+
+/// The serializable topology database: die specs, region rules and the
+/// boundary rule. See the [module docs](self) for the textual form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TopologyDb {
+    /// The dies, laid out left-to-right.
+    pub dies: Vec<DieSpec>,
+    /// The die-seam connection rule (ignored for single-die databases).
+    pub boundary: BoundaryRule,
+}
+
+/// Error validating or instantiating a [`TopologyDb`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The database has no dies.
+    NoDies,
+    /// A die disagrees with the first die's row count.
+    RowMismatch {
+        /// The offending die's name.
+        die: String,
+        /// Its row count.
+        rows: u16,
+        /// The row count of the first die.
+        expected: u16,
+    },
+    /// A die has zero rows or columns.
+    EmptyDie {
+        /// The offending die's name.
+        die: String,
+    },
+    /// Two dies share a name.
+    DuplicateDie {
+        /// The duplicated name.
+        die: String,
+    },
+    /// A region rectangle is empty or exceeds its die.
+    BadRegion {
+        /// The die the region belongs to.
+        die: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A region skip distance does not fit the region rectangle
+    /// (row skips need `2 ≤ x <` width, column skips `2 ≤ x <` height).
+    RegionSkipOutOfRange {
+        /// The die the region belongs to.
+        die: String,
+        /// The offending skip distance.
+        skip: u16,
+        /// The region extent it must stay under.
+        extent: u16,
+    },
+    /// `boundary every` must satisfy `1 ≤ every ≤ rows`.
+    BoundaryEveryOutOfRange {
+        /// The offending value.
+        every: u16,
+        /// The shared row count.
+        rows: u16,
+    },
+    /// A die's base generator does not admit the die's grid.
+    Generator {
+        /// The offending die's name.
+        die: String,
+        /// The underlying generator error.
+        error: GeneratorError,
+    },
+    /// The instantiated graph failed topology construction.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoDies => f.write_str("a topology database needs at least one die"),
+            Self::RowMismatch {
+                die,
+                rows,
+                expected,
+            } => write!(
+                f,
+                "die '{die}' has {rows} rows but the first die has {expected} \
+                 (dies are laid out side by side and must share rows)"
+            ),
+            Self::EmptyDie { die } => write!(f, "die '{die}' has zero rows or columns"),
+            Self::DuplicateDie { die } => write!(f, "duplicate die name '{die}'"),
+            Self::BadRegion { die, reason } => write!(f, "region on die '{die}': {reason}"),
+            Self::RegionSkipOutOfRange { die, skip, extent } => write!(
+                f,
+                "region on die '{die}': skip {skip} outside 2 ≤ x < {extent}"
+            ),
+            Self::BoundaryEveryOutOfRange { every, rows } => write!(
+                f,
+                "boundary every={every} outside 1 ≤ every ≤ rows = {rows}"
+            ),
+            Self::Generator { die, error } => write!(f, "die '{die}': {error}"),
+            Self::Topology(error) => error.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<TopologyError> for DbError {
+    fn from(error: TopologyError) -> Self {
+        Self::Topology(error)
+    }
+}
+
+/// Error parsing the textual form of a [`TopologyDb`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDbError(String);
+
+impl fmt::Display for ParseDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology db: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDbError {}
+
+/// The expanded grid: every `(die, row, col)` cell of a validated
+/// [`TopologyDb`] resolved to a global [`TileId`] with its class and
+/// die membership — the intermediate the instantiation builds links
+/// over, and a queryable map in its own right.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpandedGrid {
+    grid: Grid,
+    die_names: Vec<String>,
+    die_cols: Vec<u16>,
+    /// Global column of each die's local column 0.
+    col_offsets: Vec<u16>,
+    tile_dies: Vec<DieId>,
+    tile_classes: Vec<TileClass>,
+}
+
+impl ExpandedGrid {
+    /// The flat global grid (shared rows × summed columns).
+    #[must_use]
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Number of dies.
+    #[must_use]
+    pub fn num_dies(&self) -> usize {
+        self.die_names.len()
+    }
+
+    /// The name of a die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die id is out of range.
+    #[must_use]
+    pub fn die_name(&self, die: DieId) -> &str {
+        &self.die_names[die.index()]
+    }
+
+    /// The local grid of a die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die id is out of range.
+    #[must_use]
+    pub fn die_grid(&self, die: DieId) -> Grid {
+        Grid::new(self.grid.rows(), self.die_cols[die.index()])
+    }
+
+    /// The global tile of a die-local coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die or the coordinate is out of range.
+    #[must_use]
+    pub fn global_id(&self, die: DieId, local: TileCoord) -> TileId {
+        assert!(
+            local.col < self.die_cols[die.index()],
+            "{local} outside die {die}"
+        );
+        self.grid.id(TileCoord::new(
+            local.row,
+            self.col_offsets[die.index()] + local.col,
+        ))
+    }
+
+    /// The die a global tile belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is out of range.
+    #[must_use]
+    pub fn die_of(&self, tile: TileId) -> DieId {
+        self.tile_dies[tile.index()]
+    }
+
+    /// The class of a global tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is out of range.
+    #[must_use]
+    pub fn class_of(&self, tile: TileId) -> TileClass {
+        self.tile_classes[tile.index()]
+    }
+
+    /// Iterates over all cells as `(die, local coordinate, global
+    /// tile)`, die by die in row-major local order.
+    pub fn cells(&self) -> impl Iterator<Item = (DieId, TileCoord, TileId)> + '_ {
+        (0..self.num_dies()).flat_map(move |d| {
+            let die = DieId::new(d as u16);
+            let (rows, cols) = (self.grid.rows(), self.die_cols[d]);
+            (0..rows)
+                .flat_map(move |r| (0..cols).map(move |c| TileCoord::new(r, c)))
+                .map(move |local| (die, local, self.global_id(die, local)))
+        })
+    }
+
+    /// The instantiation metadata this expansion annotates a
+    /// [`Topology`] with.
+    #[must_use]
+    pub fn meta(&self, boundary_latency: u32) -> TopologyMeta {
+        TopologyMeta::new(
+            self.tile_classes.clone(),
+            self.tile_dies.clone(),
+            self.die_names.clone(),
+            boundary_latency,
+        )
+    }
+}
+
+impl TopologyDb {
+    /// A single-die, single-class database: the database form of one
+    /// legacy generator call.
+    #[must_use]
+    pub fn single(name: impl Into<String>, rows: u16, cols: u16, base: GeneratorSpec) -> Self {
+        Self {
+            dies: vec![DieSpec {
+                name: name.into(),
+                rows,
+                cols,
+                base,
+                regions: Vec::new(),
+            }],
+            boundary: BoundaryRule::default(),
+        }
+    }
+
+    /// Validates the database and lays out the expanded grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError`] on an empty database, mismatched die rows,
+    /// out-of-die regions, out-of-range region skips or a bad boundary
+    /// rule. Generator/grid mismatches surface later, from
+    /// [`instantiate`](Self::instantiate).
+    pub fn expand(&self) -> Result<ExpandedGrid, DbError> {
+        let first = self.dies.first().ok_or(DbError::NoDies)?;
+        let rows = first.rows;
+        let mut total_cols = 0u16;
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for die in &self.dies {
+            if die.rows == 0 || die.cols == 0 {
+                return Err(DbError::EmptyDie {
+                    die: die.name.clone(),
+                });
+            }
+            if die.rows != rows {
+                return Err(DbError::RowMismatch {
+                    die: die.name.clone(),
+                    rows: die.rows,
+                    expected: rows,
+                });
+            }
+            if !names.insert(&die.name) {
+                return Err(DbError::DuplicateDie {
+                    die: die.name.clone(),
+                });
+            }
+            total_cols = total_cols.checked_add(die.cols).ok_or(DbError::BadRegion {
+                die: die.name.clone(),
+                reason: "total columns overflow the grid coordinate space".to_owned(),
+            })?;
+            for region in &die.regions {
+                if region.row_start >= region.row_end || region.col_start >= region.col_end {
+                    return Err(DbError::BadRegion {
+                        die: die.name.clone(),
+                        reason: format!(
+                            "empty rectangle r{}..{} c{}..{}",
+                            region.row_start, region.row_end, region.col_start, region.col_end
+                        ),
+                    });
+                }
+                if region.row_end > die.rows || region.col_end > die.cols {
+                    return Err(DbError::BadRegion {
+                        die: die.name.clone(),
+                        reason: format!(
+                            "rectangle r{}..{} c{}..{} exceeds the {}x{} die",
+                            region.row_start,
+                            region.row_end,
+                            region.col_start,
+                            region.col_end,
+                            die.rows,
+                            die.cols
+                        ),
+                    });
+                }
+                for &skip in &region.skip_rows {
+                    if skip < 2 || skip >= region.width() {
+                        return Err(DbError::RegionSkipOutOfRange {
+                            die: die.name.clone(),
+                            skip,
+                            extent: region.width(),
+                        });
+                    }
+                }
+                for &skip in &region.skip_cols {
+                    if skip < 2 || skip >= region.height() {
+                        return Err(DbError::RegionSkipOutOfRange {
+                            die: die.name.clone(),
+                            skip,
+                            extent: region.height(),
+                        });
+                    }
+                }
+            }
+        }
+        if self.dies.len() > 1 && (self.boundary.every == 0 || self.boundary.every > rows) {
+            return Err(DbError::BoundaryEveryOutOfRange {
+                every: self.boundary.every,
+                rows,
+            });
+        }
+        let grid = Grid::new(rows, total_cols);
+        let mut die_names = Vec::with_capacity(self.dies.len());
+        let mut die_cols = Vec::with_capacity(self.dies.len());
+        let mut col_offsets = Vec::with_capacity(self.dies.len());
+        let mut offset = 0u16;
+        for die in &self.dies {
+            die_names.push(die.name.clone());
+            die_cols.push(die.cols);
+            col_offsets.push(offset);
+            offset += die.cols;
+        }
+        let mut tile_dies = vec![DieId::new(0); grid.num_tiles()];
+        let mut tile_classes = vec![TileClass::Compute; grid.num_tiles()];
+        for (d, die) in self.dies.iter().enumerate() {
+            let id = DieId::new(d as u16);
+            for r in 0..rows {
+                for c in 0..die.cols {
+                    let tile = grid.id(TileCoord::new(r, col_offsets[d] + c));
+                    tile_dies[tile.index()] = id;
+                }
+            }
+            for region in &die.regions {
+                for r in region.row_start..region.row_end {
+                    for c in region.col_start..region.col_end {
+                        let tile = grid.id(TileCoord::new(r, col_offsets[d] + c));
+                        tile_classes[tile.index()] = region.class;
+                    }
+                }
+            }
+        }
+        Ok(ExpandedGrid {
+            grid,
+            die_names,
+            die_cols,
+            col_offsets,
+            tile_dies,
+            tile_classes,
+        })
+    }
+
+    /// Materializes the database into a flat [`Topology`].
+    ///
+    /// A single-die database without regions delegates straight to its
+    /// base generator, so it reproduces the legacy constructor
+    /// link-for-link *and kind-for-kind* (identical structural
+    /// fingerprints, no metadata attached). Any heterogeneous or
+    /// multi-die database instantiates through the expanded grid: base
+    /// links per die, region skip links inside their rectangles, and
+    /// seam links every k-th row between adjacent dies; the result
+    /// carries [`TopologyMeta`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError`] on validation failure, a base generator that
+    /// does not admit its die grid, or a disconnected product (possible
+    /// only for degenerate single-die bases — seam rules keep multi-die
+    /// products connected).
+    pub fn instantiate(&self) -> Result<Topology, DbError> {
+        let expanded = self.expand()?;
+        let build_base = |die: &DieSpec| {
+            die.base
+                .build(Grid::new(die.rows, die.cols))
+                .map_err(|error| DbError::Generator {
+                    die: die.name.clone(),
+                    error,
+                })
+        };
+        // The trivial database is the legacy constructor, bit for bit.
+        if self.dies.len() == 1 && self.dies[0].regions.is_empty() {
+            return build_base(&self.dies[0]);
+        }
+        let grid = expanded.grid();
+        let mut links: Vec<Link> = Vec::new();
+        let mut adds_links = false;
+        for (d, die) in self.dies.iter().enumerate() {
+            let id = DieId::new(d as u16);
+            let local_grid = expanded.die_grid(id);
+            let base = build_base(die)?;
+            for link in base.links() {
+                links.push(Link::new(
+                    expanded.global_id(id, local_grid.coord(link.a)),
+                    expanded.global_id(id, local_grid.coord(link.b)),
+                ));
+            }
+            for region in &die.regions {
+                adds_links |= !region.skip_rows.is_empty() || !region.skip_cols.is_empty();
+                for r in region.row_start..region.row_end {
+                    for &x in &region.skip_rows {
+                        for i in region.col_start..region.col_end - x {
+                            links.push(Link::new(
+                                expanded.global_id(id, TileCoord::new(r, i)),
+                                expanded.global_id(id, TileCoord::new(r, i + x)),
+                            ));
+                        }
+                    }
+                }
+                for c in region.col_start..region.col_end {
+                    for &x in &region.skip_cols {
+                        for i in region.row_start..region.row_end - x {
+                            links.push(Link::new(
+                                expanded.global_id(id, TileCoord::new(i, c)),
+                                expanded.global_id(id, TileCoord::new(i + x, c)),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for d in 1..self.dies.len() {
+            let left = DieId::new(d as u16 - 1);
+            let right = DieId::new(d as u16);
+            let left_edge = expanded.die_grid(left).cols() - 1;
+            for r in (0..grid.rows()).step_by(self.boundary.every as usize) {
+                links.push(Link::new(
+                    expanded.global_id(left, TileCoord::new(r, left_edge)),
+                    expanded.global_id(right, TileCoord::new(r, 0)),
+                ));
+            }
+        }
+        // A link set beyond one base generator's gets the generic kind
+        // (and so the generic deadlock-free routing); class-only
+        // databases keep their base's kind and routing.
+        let kind = if self.dies.len() > 1 || adds_links {
+            TopologyKind::Custom
+        } else {
+            build_base(&self.dies[0])?.kind()
+        };
+        let topology = Topology::try_new(grid, kind, links)?;
+        Ok(topology.with_meta(expanded.meta(self.boundary.latency)))
+    }
+
+    /// Parses the textual form (see the [module docs](self)): `die`,
+    /// `region` and `boundary` statements separated by newlines or `;`,
+    /// fields separated by whitespace or `/`, `#` comments to end of
+    /// line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDbError`] naming the offending statement.
+    pub fn parse(text: &str) -> Result<Self, ParseDbError> {
+        let mut dies: Vec<DieSpec> = Vec::new();
+        let mut boundary: Option<BoundaryRule> = None;
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or_default();
+            for statement in line.split(';') {
+                let fields: Vec<&str> = statement
+                    .split(|ch: char| ch.is_whitespace() || ch == '/')
+                    .filter(|f| !f.is_empty())
+                    .collect();
+                let Some((&keyword, args)) = fields.split_first() else {
+                    continue;
+                };
+                match keyword {
+                    "die" => dies.push(parse_die(args)?),
+                    "region" => {
+                        let (die_name, rule) = parse_region(args)?;
+                        let die =
+                            dies.iter_mut()
+                                .find(|d| d.name == die_name)
+                                .ok_or_else(|| {
+                                    ParseDbError(format!(
+                                        "region references unknown die '{die_name}' \
+                                     (declare dies before their regions)"
+                                    ))
+                                })?;
+                        die.regions.push(rule);
+                    }
+                    "boundary" => {
+                        if boundary.is_some() {
+                            return Err(ParseDbError(
+                                "more than one boundary statement".to_owned(),
+                            ));
+                        }
+                        boundary = Some(parse_boundary(args)?);
+                    }
+                    other => {
+                        return Err(ParseDbError(format!(
+                            "unknown statement '{other}' (use die|region|boundary)"
+                        )))
+                    }
+                }
+            }
+        }
+        if dies.is_empty() {
+            return Err(ParseDbError("no die statements".to_owned()));
+        }
+        Ok(Self {
+            dies,
+            boundary: boundary.unwrap_or_default(),
+        })
+    }
+
+    /// The single-token wire form: the same statements as `Display`,
+    /// but `/`-separated fields joined by `;` — no whitespace, so a
+    /// whole database fits one `key=value` request param.
+    #[must_use]
+    pub fn wire(&self) -> String {
+        self.render("/", ";")
+    }
+
+    fn render(&self, field_sep: &str, statement_sep: &str) -> String {
+        let mut statements: Vec<String> = Vec::new();
+        for die in &self.dies {
+            statements.push(format!(
+                "die{field_sep}{}{field_sep}{}x{}{field_sep}{}",
+                die.name, die.rows, die.cols, die.base
+            ));
+            for region in &die.regions {
+                let mut s = format!(
+                    "region{field_sep}{}{field_sep}r{}..{}{field_sep}c{}..{}{field_sep}{}",
+                    die.name,
+                    region.row_start,
+                    region.row_end,
+                    region.col_start,
+                    region.col_end,
+                    region.class
+                );
+                if !region.skip_rows.is_empty() {
+                    s.push_str(&format!("{field_sep}sr={}", skip_list(&region.skip_rows)));
+                }
+                if !region.skip_cols.is_empty() {
+                    s.push_str(&format!("{field_sep}sc={}", skip_list(&region.skip_cols)));
+                }
+                statements.push(s);
+            }
+        }
+        if self.dies.len() > 1 || self.boundary != BoundaryRule::default() {
+            statements.push(format!(
+                "boundary{field_sep}every={}{field_sep}latency={}",
+                self.boundary.every, self.boundary.latency
+            ));
+        }
+        statements.join(statement_sep)
+    }
+}
+
+impl fmt::Display for TopologyDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(" ", "\n"))
+    }
+}
+
+fn skip_list(set: &BTreeSet<u16>) -> String {
+    set.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_skip_list(list: &str) -> Result<BTreeSet<u16>, ParseDbError> {
+    list.split(',')
+        .map(|item| {
+            item.parse()
+                .map_err(|e| ParseDbError(format!("skip distance '{item}': {e}")))
+        })
+        .collect()
+}
+
+fn parse_die(args: &[&str]) -> Result<DieSpec, ParseDbError> {
+    let [name, dims, base] = args else {
+        return Err(ParseDbError(format!(
+            "die statement needs '<name> <rows>x<cols> <generator>', got {} fields",
+            args.len()
+        )));
+    };
+    let (rows, cols) = dims
+        .split_once('x')
+        .ok_or_else(|| ParseDbError(format!("die dimensions '{dims}' are not <rows>x<cols>")))?;
+    let parse_dim = |text: &str| {
+        text.parse::<u16>()
+            .map_err(|e| ParseDbError(format!("die dimension '{text}': {e}")))
+    };
+    Ok(DieSpec {
+        name: (*name).to_owned(),
+        rows: parse_dim(rows)?,
+        cols: parse_dim(cols)?,
+        base: base
+            .parse()
+            .map_err(|e| ParseDbError(format!("die '{name}': {e}")))?,
+        regions: Vec::new(),
+    })
+}
+
+fn parse_range(field: &str, prefix: char) -> Result<(u16, u16), ParseDbError> {
+    let body = field
+        .strip_prefix(prefix)
+        .ok_or_else(|| ParseDbError(format!("range '{field}' does not start with '{prefix}'")))?;
+    let (start, end) = body
+        .split_once("..")
+        .ok_or_else(|| ParseDbError(format!("range '{field}' is not {prefix}<a>..<b>")))?;
+    let parse_bound = |text: &str| {
+        text.parse::<u16>()
+            .map_err(|e| ParseDbError(format!("range bound '{text}': {e}")))
+    };
+    Ok((parse_bound(start)?, parse_bound(end)?))
+}
+
+fn parse_region(args: &[&str]) -> Result<(String, RegionRule), ParseDbError> {
+    let [name, rows, cols, class, options @ ..] = args else {
+        return Err(ParseDbError(format!(
+            "region statement needs '<die> r<a>..<b> c<a>..<b> <class> [sr=..] [sc=..]', \
+             got {} fields",
+            args.len()
+        )));
+    };
+    let (row_start, row_end) = parse_range(rows, 'r')?;
+    let (col_start, col_end) = parse_range(cols, 'c')?;
+    let class: TileClass = class.parse().map_err(ParseDbError)?;
+    let mut rule = RegionRule {
+        row_start,
+        row_end,
+        col_start,
+        col_end,
+        class,
+        skip_rows: BTreeSet::new(),
+        skip_cols: BTreeSet::new(),
+    };
+    for option in options {
+        if let Some(list) = option.strip_prefix("sr=") {
+            rule.skip_rows = parse_skip_list(list)?;
+        } else if let Some(list) = option.strip_prefix("sc=") {
+            rule.skip_cols = parse_skip_list(list)?;
+        } else {
+            return Err(ParseDbError(format!("unknown region option '{option}'")));
+        }
+    }
+    Ok(((*name).to_owned(), rule))
+}
+
+fn parse_boundary(args: &[&str]) -> Result<BoundaryRule, ParseDbError> {
+    let mut rule = BoundaryRule::default();
+    for arg in args {
+        if let Some(value) = arg.strip_prefix("every=") {
+            rule.every = value
+                .parse()
+                .map_err(|e| ParseDbError(format!("boundary every '{value}': {e}")))?;
+        } else if let Some(value) = arg.strip_prefix("latency=") {
+            rule.latency = value
+                .parse()
+                .map_err(|e| ParseDbError(format!("boundary latency '{value}': {e}")))?;
+        } else {
+            return Err(ParseDbError(format!("unknown boundary option '{arg}'")));
+        }
+    }
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_die_db_is_the_legacy_constructor() {
+        let db = TopologyDb::single("only", 8, 8, GeneratorSpec::Mesh);
+        let t = db.instantiate().unwrap();
+        assert_eq!(t, generators::mesh(Grid::new(8, 8)));
+        assert!(t.meta().is_none());
+    }
+
+    #[test]
+    fn two_die_mesh_stitches_at_the_seam() {
+        let db = TopologyDb::parse("die a 4x4 mesh; die b 4x3 mesh; boundary every=2 latency=5")
+            .unwrap();
+        let t = db.instantiate().unwrap();
+        assert_eq!(t.grid(), Grid::new(4, 7));
+        assert_eq!(t.kind(), TopologyKind::Custom);
+        assert_eq!(t.num_dies(), 2);
+        // Per-die mesh links (2·4·3 + (4·2 + 3·3)) plus 2 seam links
+        // (rows 0 and 2).
+        let die_links = 24 + 17;
+        assert_eq!(t.num_links(), die_links + 2);
+        let grid = t.grid();
+        let seam = Link::new(grid.id(TileCoord::new(0, 3)), grid.id(TileCoord::new(0, 4)));
+        assert!(t.links().contains(&seam), "row-0 seam link missing");
+        let crossing = (0..t.num_links())
+            .filter(|&i| t.link_crosses_die(crate::LinkId::new(i as u32)))
+            .count();
+        assert_eq!(crossing, 2);
+        assert_eq!(t.boundary_latency(), 5);
+        assert_eq!(t.tile_die(grid.id(TileCoord::new(3, 3))), DieId::new(0));
+        assert_eq!(t.tile_die(grid.id(TileCoord::new(3, 4))), DieId::new(1));
+    }
+
+    #[test]
+    fn regions_paint_classes_and_add_links() {
+        let db = TopologyDb::parse(
+            "die a 6x6 mesh\nregion a r0..2 c0..6 memory sr=3\nregion a r4..6 c0..6 io",
+        )
+        .unwrap();
+        let t = db.instantiate().unwrap();
+        let grid = t.grid();
+        assert_eq!(t.kind(), TopologyKind::Custom);
+        assert_eq!(
+            t.tile_class(grid.id(TileCoord::new(0, 0))),
+            TileClass::Memory
+        );
+        assert_eq!(
+            t.tile_class(grid.id(TileCoord::new(3, 0))),
+            TileClass::Compute
+        );
+        assert_eq!(t.tile_class(grid.id(TileCoord::new(5, 5))), TileClass::Io);
+        // Mesh (2·6·5 = 60) plus region row skips: 2 rows × (6−3) = 6.
+        assert_eq!(t.num_links(), 60 + 6);
+        assert!(t.has_link(grid.id(TileCoord::new(0, 0)), grid.id(TileCoord::new(0, 3))));
+        assert!(!t.has_link(grid.id(TileCoord::new(3, 0)), grid.id(TileCoord::new(3, 3))));
+    }
+
+    #[test]
+    fn class_only_region_keeps_base_kind_and_links() {
+        let db = TopologyDb::parse("die a 4x4 torus; region a r0..1 c0..4 memory").unwrap();
+        let t = db.instantiate().unwrap();
+        let legacy = generators::torus(Grid::new(4, 4));
+        assert_eq!(t.kind(), TopologyKind::Torus);
+        assert_eq!(t.links(), legacy.links());
+        assert!(t.meta().is_some());
+    }
+
+    #[test]
+    fn display_and_wire_round_trip() {
+        let text = "die left 8x8 shg:sr=4:sc=2,5\ndie right 8x8 mesh\n\
+                    region left r0..2 c0..8 memory sr=2\nregion right r6..8 c0..8 io\n\
+                    boundary every=2 latency=3";
+        let db = TopologyDb::parse(text).unwrap();
+        assert_eq!(TopologyDb::parse(&db.to_string()).unwrap(), db);
+        let wire = db.wire();
+        assert!(!wire.contains(char::is_whitespace), "wire form: {wire}");
+        assert_eq!(TopologyDb::parse(&wire).unwrap(), db);
+    }
+
+    #[test]
+    fn comments_and_blank_statements_are_ignored() {
+        let db = TopologyDb::parse("# heterogeneous\n\ndie a 4x4 mesh; ; # trailing\n").unwrap();
+        assert_eq!(db.dies.len(), 1);
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        assert!(matches!(
+            TopologyDb {
+                dies: Vec::new(),
+                boundary: BoundaryRule::default()
+            }
+            .expand(),
+            Err(DbError::NoDies)
+        ));
+        assert!(matches!(
+            TopologyDb::parse("die a 4x4 mesh; die b 5x4 mesh")
+                .unwrap()
+                .expand(),
+            Err(DbError::RowMismatch { .. })
+        ));
+        assert!(matches!(
+            TopologyDb::parse("die a 4x4 mesh; die a 4x4 torus")
+                .unwrap()
+                .expand(),
+            Err(DbError::DuplicateDie { .. })
+        ));
+        assert!(matches!(
+            TopologyDb::parse("die a 4x4 mesh; region a r0..9 c0..4 io")
+                .unwrap()
+                .expand(),
+            Err(DbError::BadRegion { .. })
+        ));
+        assert!(matches!(
+            TopologyDb::parse("die a 4x8 mesh; region a r0..4 c0..8 io sr=9")
+                .unwrap()
+                .expand(),
+            Err(DbError::RegionSkipOutOfRange { skip: 9, .. })
+        ));
+        assert!(matches!(
+            TopologyDb::parse("die a 4x4 mesh; die b 4x4 mesh; boundary every=9")
+                .unwrap()
+                .expand(),
+            Err(DbError::BoundaryEveryOutOfRange { .. })
+        ));
+        assert!(matches!(
+            TopologyDb::parse("die a 3x3 hypercube; die b 3x3 mesh")
+                .unwrap()
+                .instantiate(),
+            Err(DbError::Generator { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_errors_name_the_problem() {
+        for bad in [
+            "",
+            "wall a 4x4 mesh",
+            "die a 4 mesh",
+            "die a 4x4 hexagon",
+            "region a r0..2 c0..2 io",
+            "die a 4x4 mesh; region b r0..2 c0..2 io",
+            "die a 4x4 mesh; region a 0..2 c0..2 io",
+            "die a 4x4 mesh; region a r0..2 c0..2 turbo",
+            "die a 4x4 mesh; region a r0..2 c0..2 io zz=1",
+            "die a 4x4 mesh; boundary every=x",
+            "die a 4x4 mesh; boundary every=1; boundary every=2",
+        ] {
+            assert!(TopologyDb::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn expanded_grid_cells_cover_every_tile_once() {
+        let db = TopologyDb::parse("die a 3x2 mesh; die b 3x4 mesh").unwrap();
+        let expanded = db.expand().unwrap();
+        let mut seen = vec![false; expanded.grid().num_tiles()];
+        for (die, local, global) in expanded.cells() {
+            assert!(!seen[global.index()], "{global} visited twice");
+            seen[global.index()] = true;
+            assert_eq!(expanded.die_of(global), die);
+            assert_eq!(expanded.global_id(die, local), global);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ten_thousand_tile_spec_instantiates() {
+        // The headline compactness claim: a few statements, 10k+ tiles.
+        let db = TopologyDb::parse(
+            "die left 64x80 shg:sr=8,16:sc=8,16\n\
+             die right 64x80 shg:sr=8,16:sc=8,16\n\
+             region left r0..8 c0..80 memory sr=2\n\
+             region right r56..64 c0..80 io\n\
+             boundary every=4 latency=3",
+        )
+        .unwrap();
+        let t = db.instantiate().unwrap();
+        assert_eq!(t.num_tiles(), 64 * 160);
+        assert!(t.num_tiles() >= 10_000);
+        assert_eq!(t.num_dies(), 2);
+        assert_eq!(t.boundary_latency(), 3);
+    }
+}

@@ -21,6 +21,7 @@ mod mesh;
 mod ring;
 mod skip;
 mod slimnoc;
+mod spec;
 mod torus;
 
 pub use folded_torus::{folded_cycle_order, folded_torus};
@@ -29,4 +30,5 @@ pub use mesh::{flattened_butterfly, mesh};
 pub use ring::{cycle_order, cycle_order_of, ring};
 pub use skip::{row_column_skip, ruche, SkipLinkError};
 pub use slimnoc::{slim_noc, BuildSlimNocError};
+pub use spec::{GeneratorError, GeneratorSpec, ParseGeneratorSpecError};
 pub use torus::torus;

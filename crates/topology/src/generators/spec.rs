@@ -1,0 +1,379 @@
+//! [`GeneratorSpec`]: the serializable, declarative name of a generator.
+//!
+//! Every free generator function of this module has a spec form with a
+//! stable textual syntax (`FromStr`/`Display` round-trip), so binaries,
+//! config files and the sweep service's wire params can name topologies
+//! declaratively instead of each re-implementing flag parsing:
+//!
+//! | text                  | topology                                  |
+//! |-----------------------|-------------------------------------------|
+//! | `ring`                | Hamiltonian-cycle ring                    |
+//! | `mesh`                | 2D mesh                                   |
+//! | `torus`               | 2D torus                                  |
+//! | `folded-torus`        | folded 2D torus                           |
+//! | `hypercube`           | hypercube (power-of-two dims)             |
+//! | `slimnoc`             | SlimNoC (needs 2q² tiles)                 |
+//! | `fb`                  | flattened butterfly                       |
+//! | `ruche:3`             | Ruche network, factor 3                   |
+//! | `shg:sr=4:sc=2,5`     | sparse Hamming graph, SR={4}, SC={2,5}    |
+//!
+//! The `shg` arguments are optional and order-independent; `shg` alone
+//! is the empty skip sets (the mesh base).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::Serialize;
+
+use crate::generators::{self, BuildHypercubeError, BuildSlimNocError, SkipLinkError};
+use crate::grid::Grid;
+use crate::topology::Topology;
+
+/// A declarative, serializable description of one topology generator
+/// and its parameters — the unified entry point behind the
+/// `generators::*` free functions.
+///
+/// # Examples
+///
+/// ```
+/// use shg_topology::{generators::GeneratorSpec, Grid};
+///
+/// let spec: GeneratorSpec = "shg:sr=4:sc=2,5".parse().unwrap();
+/// assert_eq!(spec.to_string(), "shg:sr=4:sc=2,5");
+/// let shg = spec.build(Grid::new(8, 8)).unwrap();
+/// assert_eq!(shg.num_links(), 112 + 32 + 72);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum GeneratorSpec {
+    /// Hamiltonian-cycle ring.
+    Ring,
+    /// 2D mesh.
+    Mesh,
+    /// 2D torus.
+    Torus,
+    /// Folded 2D torus.
+    FoldedTorus,
+    /// Hypercube (requires power-of-two dimensions).
+    Hypercube,
+    /// SlimNoC (requires 2q² tiles).
+    SlimNoc,
+    /// Flattened butterfly.
+    FlattenedButterfly,
+    /// Ruche network with the given skip factor.
+    Ruche {
+        /// The fixed skip length in both dimensions.
+        factor: u16,
+    },
+    /// Sparse Hamming graph: mesh plus row skips `SR` and column skips
+    /// `SC` (Section III of the paper).
+    Shg {
+        /// Row skip distances `SR`.
+        skip_rows: BTreeSet<u16>,
+        /// Column skip distances `SC`.
+        skip_cols: BTreeSet<u16>,
+    },
+}
+
+/// Error building a topology from a [`GeneratorSpec`] on a concrete
+/// grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeneratorError {
+    /// A skip distance is out of range for the grid (SHG / Ruche).
+    Skip(SkipLinkError),
+    /// The grid dimensions do not admit a hypercube.
+    Hypercube(BuildHypercubeError),
+    /// The grid does not hold 2q² tiles.
+    SlimNoc(BuildSlimNocError),
+    /// A ring needs at least three tiles.
+    RingTooSmall {
+        /// Tiles the grid actually holds.
+        tiles: usize,
+    },
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Skip(e) => e.fmt(f),
+            Self::Hypercube(e) => e.fmt(f),
+            Self::SlimNoc(e) => e.fmt(f),
+            Self::RingTooSmall { tiles } => {
+                write!(f, "a ring needs at least 3 tiles, grid has {tiles}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
+
+/// Error parsing a [`GeneratorSpec`] from its textual form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGeneratorSpecError(String);
+
+impl fmt::Display for ParseGeneratorSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (use ring|mesh|torus|folded-torus|hypercube|slimnoc|fb|ruche:<k>|shg[:sr=..][:sc=..])",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseGeneratorSpecError {}
+
+fn parse_skip_set(list: &str) -> Result<BTreeSet<u16>, ParseGeneratorSpecError> {
+    list.split(',')
+        .map(|item| {
+            item.trim()
+                .parse()
+                .map_err(|e| ParseGeneratorSpecError(format!("skip distance '{item}': {e}")))
+        })
+        .collect()
+}
+
+impl FromStr for GeneratorSpec {
+    type Err = ParseGeneratorSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut segments = s.split(':');
+        let head = segments.next().unwrap_or_default();
+        let spec = match head {
+            "ring" => Self::Ring,
+            "mesh" => Self::Mesh,
+            "torus" => Self::Torus,
+            "folded-torus" => Self::FoldedTorus,
+            "hypercube" => Self::Hypercube,
+            "slimnoc" => Self::SlimNoc,
+            "fb" => Self::FlattenedButterfly,
+            "ruche" => {
+                let arg = segments
+                    .next()
+                    .ok_or_else(|| ParseGeneratorSpecError("ruche needs a factor".to_owned()))?;
+                let factor = arg
+                    .parse()
+                    .map_err(|e| ParseGeneratorSpecError(format!("ruche factor '{arg}': {e}")))?;
+                Self::Ruche { factor }
+            }
+            "shg" => {
+                let mut skip_rows = BTreeSet::new();
+                let mut skip_cols = BTreeSet::new();
+                for segment in segments.by_ref() {
+                    if let Some(list) = segment.strip_prefix("sr=") {
+                        skip_rows = parse_skip_set(list)?;
+                    } else if let Some(list) = segment.strip_prefix("sc=") {
+                        skip_cols = parse_skip_set(list)?;
+                    } else {
+                        return Err(ParseGeneratorSpecError(format!(
+                            "unknown shg argument '{segment}'"
+                        )));
+                    }
+                }
+                Self::Shg {
+                    skip_rows,
+                    skip_cols,
+                }
+            }
+            other => {
+                return Err(ParseGeneratorSpecError(format!(
+                    "unknown generator '{other}'"
+                )))
+            }
+        };
+        if let Some(extra) = segments.next() {
+            return Err(ParseGeneratorSpecError(format!(
+                "trailing argument '{extra}' after {head}"
+            )));
+        }
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for GeneratorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn skip_list(f: &mut fmt::Formatter<'_>, set: &BTreeSet<u16>) -> fmt::Result {
+            for (i, x) in set.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{x}")?;
+            }
+            Ok(())
+        }
+        match self {
+            Self::Ring => f.write_str("ring"),
+            Self::Mesh => f.write_str("mesh"),
+            Self::Torus => f.write_str("torus"),
+            Self::FoldedTorus => f.write_str("folded-torus"),
+            Self::Hypercube => f.write_str("hypercube"),
+            Self::SlimNoc => f.write_str("slimnoc"),
+            Self::FlattenedButterfly => f.write_str("fb"),
+            Self::Ruche { factor } => write!(f, "ruche:{factor}"),
+            Self::Shg {
+                skip_rows,
+                skip_cols,
+            } => {
+                f.write_str("shg")?;
+                if !skip_rows.is_empty() {
+                    f.write_str(":sr=")?;
+                    skip_list(f, skip_rows)?;
+                }
+                if !skip_cols.is_empty() {
+                    f.write_str(":sc=")?;
+                    skip_list(f, skip_cols)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl GeneratorSpec {
+    /// Builds the topology this spec describes on a concrete grid by
+    /// dispatching to the corresponding generator function — the DB
+    /// path therefore reproduces each legacy constructor link-for-link
+    /// (and kind-for-kind).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeneratorError`] when the grid does not admit the
+    /// construction (skip distance out of range, non-power-of-two
+    /// hypercube, non-2q² SlimNoC, sub-3-tile ring).
+    pub fn build(&self, grid: Grid) -> Result<Topology, GeneratorError> {
+        match self {
+            Self::Ring => {
+                if grid.num_tiles() < 3 {
+                    return Err(GeneratorError::RingTooSmall {
+                        tiles: grid.num_tiles(),
+                    });
+                }
+                Ok(generators::ring(grid))
+            }
+            Self::Mesh => Ok(generators::mesh(grid)),
+            Self::Torus => Ok(generators::torus(grid)),
+            Self::FoldedTorus => Ok(generators::folded_torus(grid)),
+            Self::Hypercube => generators::hypercube(grid).map_err(GeneratorError::Hypercube),
+            Self::SlimNoc => generators::slim_noc(grid).map_err(GeneratorError::SlimNoc),
+            Self::FlattenedButterfly => Ok(generators::flattened_butterfly(grid)),
+            Self::Ruche { factor } => {
+                generators::ruche(grid, *factor).map_err(GeneratorError::Skip)
+            }
+            Self::Shg {
+                skip_rows,
+                skip_cols,
+            } => generators::row_column_skip(grid, skip_rows, skip_cols)
+                .map_err(GeneratorError::Skip),
+        }
+    }
+
+    /// All parameterless specs, in Fig. 6's comparison order.
+    #[must_use]
+    pub fn fixed() -> [Self; 7] {
+        [
+            Self::Ring,
+            Self::Mesh,
+            Self::Torus,
+            Self::FoldedTorus,
+            Self::Hypercube,
+            Self::SlimNoc,
+            Self::FlattenedButterfly,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(values: &[u16]) -> BTreeSet<u16> {
+        values.iter().copied().collect()
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let specs = [
+            GeneratorSpec::Ring,
+            GeneratorSpec::Mesh,
+            GeneratorSpec::Torus,
+            GeneratorSpec::FoldedTorus,
+            GeneratorSpec::Hypercube,
+            GeneratorSpec::SlimNoc,
+            GeneratorSpec::FlattenedButterfly,
+            GeneratorSpec::Ruche { factor: 3 },
+            GeneratorSpec::Shg {
+                skip_rows: set(&[4]),
+                skip_cols: set(&[2, 5]),
+            },
+            GeneratorSpec::Shg {
+                skip_rows: set(&[]),
+                skip_cols: set(&[3]),
+            },
+            GeneratorSpec::Shg {
+                skip_rows: set(&[]),
+                skip_cols: set(&[]),
+            },
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<GeneratorSpec>().unwrap(), spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn build_matches_the_free_functions() {
+        let grid = Grid::new(8, 8);
+        assert_eq!(
+            GeneratorSpec::Mesh.build(grid).unwrap(),
+            generators::mesh(grid)
+        );
+        assert_eq!(
+            GeneratorSpec::Ruche { factor: 3 }.build(grid).unwrap(),
+            generators::ruche(grid, 3).unwrap()
+        );
+        assert_eq!(
+            "shg:sr=4:sc=2,5"
+                .parse::<GeneratorSpec>()
+                .unwrap()
+                .build(grid)
+                .unwrap(),
+            generators::row_column_skip(grid, &set(&[4]), &set(&[2, 5])).unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "hexagon",
+            "ruche",
+            "ruche:x",
+            "ruche:3:4",
+            "shg:sd=4",
+            "shg:sr=a",
+            "mesh:2",
+        ] {
+            assert!(bad.parse::<GeneratorSpec>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn grid_mismatches_are_typed_errors() {
+        assert!(matches!(
+            GeneratorSpec::Ring.build(Grid::new(1, 2)),
+            Err(GeneratorError::RingTooSmall { tiles: 2 })
+        ));
+        assert!(matches!(
+            GeneratorSpec::Hypercube.build(Grid::new(3, 3)),
+            Err(GeneratorError::Hypercube(_))
+        ));
+        assert!(matches!(
+            GeneratorSpec::SlimNoc.build(Grid::new(4, 4)),
+            Err(GeneratorError::SlimNoc(_))
+        ));
+        assert!(matches!(
+            GeneratorSpec::Ruche { factor: 9 }.build(Grid::new(8, 8)),
+            Err(GeneratorError::Skip(_))
+        ));
+    }
+}

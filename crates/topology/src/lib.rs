@@ -11,7 +11,11 @@
 //! * [`generators`] — ring, 2D mesh, 2D torus, folded 2D torus, hypercube,
 //!   SlimNoC (MMS graphs over GF(q)), flattened butterfly, Ruche, and the
 //!   generic row/column skip-link construction underlying sparse Hamming
-//!   graphs (Fig. 1 and Section III),
+//!   graphs (Fig. 1 and Section III), unified behind the declarative
+//!   [`generators::GeneratorSpec`],
+//! * [`db`] — the topology database ([`db::TopologyDb`]): tile classes,
+//!   per-region rules and multi-die specs instantiated through an
+//!   expanded grid into a flat [`Topology`],
 //! * [`metrics`] — diameter, average hops, physical path lengths and link
 //!   statistics (design principles ❸/❹),
 //! * [`routing`] — deterministic hop-minimal, deadlock-free routing tables
@@ -34,6 +38,7 @@
 //! ```
 
 pub mod compliance;
+pub mod db;
 pub mod draw;
 pub mod generators;
 pub mod gf;
@@ -44,4 +49,7 @@ pub mod routing;
 mod topology;
 
 pub use grid::{Grid, TileCoord, TileId};
-pub use topology::{Channel, ChannelId, Link, LinkId, Topology, TopologyKind};
+pub use topology::{
+    Channel, ChannelId, DieId, Link, LinkId, TileClass, Topology, TopologyError, TopologyKind,
+    TopologyMeta,
+};

@@ -72,6 +72,52 @@ impl fmt::Display for ChannelId {
     }
 }
 
+/// Typed construction failure of a [`Topology`] (or a [`Link`]).
+///
+/// [`Topology::try_new`] returns these; [`Topology::new`] panics with
+/// their [`Display`](fmt::Display) rendering. CLI layers route them
+/// through their usage-error path instead of unwinding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Both endpoints of a link are the same tile (self-loops are not
+    /// meaningful in a NoC).
+    SelfLoop {
+        /// The looping tile.
+        tile: TileId,
+    },
+    /// A link references a tile outside the grid.
+    LinkOutOfGrid {
+        /// The offending link.
+        link: Link,
+        /// The grid it does not fit.
+        grid: Grid,
+    },
+    /// The resulting graph is not connected (a NoC must provide
+    /// connectivity between all tiles).
+    Disconnected {
+        /// The kind the topology was being built as.
+        kind: TopologyKind,
+        /// The grid it was being built on.
+        grid: Grid,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SelfLoop { tile } => write!(f, "self-loop link at {tile}"),
+            Self::LinkOutOfGrid { link, grid } => {
+                write!(f, "link {link:?} outside {grid}")
+            }
+            Self::Disconnected { kind, grid } => {
+                write!(f, "{kind} topology on {grid} is not connected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// A bidirectional link between two distinct tiles.
 ///
 /// Links are stored with `a < b` (by tile id) so that a link has a unique
@@ -93,12 +139,24 @@ impl Link {
     /// meaningful in a NoC).
     #[must_use]
     pub fn new(x: TileId, y: TileId) -> Self {
-        assert!(x != y, "self-loop link at {x}");
-        if x < y {
+        Self::try_new(x, y).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Canonicalizes a pair of endpoints into a link (`a < b`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::SelfLoop`] if both endpoints are the
+    /// same tile.
+    pub fn try_new(x: TileId, y: TileId) -> Result<Self, TopologyError> {
+        if x == y {
+            return Err(TopologyError::SelfLoop { tile: x });
+        }
+        Ok(if x < y {
             Self { a: x, b: y }
         } else {
             Self { a: y, b: x }
-        }
+        })
     }
 
     /// The endpoint opposite to `from`.
@@ -175,6 +233,146 @@ impl fmt::Display for TopologyKind {
     }
 }
 
+/// The functional class of a tile — the heterogeneity axis of the
+/// paper's MemPool validation (compute vs memory vs IO rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize)]
+pub enum TileClass {
+    /// A processing-element tile (the default).
+    #[default]
+    Compute,
+    /// A memory/bank tile.
+    Memory,
+    /// An IO/peripheral tile.
+    Io,
+}
+
+impl fmt::Display for TileClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Compute => "compute",
+            Self::Memory => "memory",
+            Self::Io => "io",
+        })
+    }
+}
+
+impl std::str::FromStr for TileClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "compute" => Ok(Self::Compute),
+            "memory" => Ok(Self::Memory),
+            "io" => Ok(Self::Io),
+            other => Err(format!(
+                "unknown tile class '{other}' (use compute|memory|io)"
+            )),
+        }
+    }
+}
+
+/// Identifier of a die in a multi-die (chiplet) instantiation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct DieId(u16);
+
+impl DieId {
+    /// Creates a die id from a raw index.
+    #[must_use]
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Expanded-grid instantiation metadata carried by a [`Topology`] built
+/// from a topology database: per-tile class and die membership, plus the
+/// extra latency of die-boundary crossings.
+///
+/// The metadata is deliberately *outside* every structural fingerprint
+/// (sweep plans and cell caches hash grid dimensions, links and
+/// latencies) — it annotates the instantiated product for traffic
+/// patterns and the floorplan model without invalidating existing
+/// sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TopologyMeta {
+    /// Per-tile class, row-major over the grid.
+    tile_classes: Vec<TileClass>,
+    /// Per-tile die membership, row-major over the grid.
+    tile_dies: Vec<DieId>,
+    /// Die names, indexed by [`DieId`].
+    die_names: Vec<String>,
+    /// Extra cycles a flit pays to cross a die boundary.
+    boundary_latency: u32,
+}
+
+impl TopologyMeta {
+    /// Assembles instantiation metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class and die vectors disagree in length, or a die
+    /// index is out of range of `die_names`.
+    #[must_use]
+    pub fn new(
+        tile_classes: Vec<TileClass>,
+        tile_dies: Vec<DieId>,
+        die_names: Vec<String>,
+        boundary_latency: u32,
+    ) -> Self {
+        assert_eq!(
+            tile_classes.len(),
+            tile_dies.len(),
+            "per-tile class and die vectors must cover the same tiles"
+        );
+        assert!(
+            tile_dies.iter().all(|d| d.index() < die_names.len()),
+            "tile die out of range of the die table"
+        );
+        Self {
+            tile_classes,
+            tile_dies,
+            die_names,
+            boundary_latency,
+        }
+    }
+
+    /// Number of dies.
+    #[must_use]
+    pub fn num_dies(&self) -> usize {
+        self.die_names.len()
+    }
+
+    /// The name of a die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die id is out of range.
+    #[must_use]
+    pub fn die_name(&self, die: DieId) -> &str {
+        &self.die_names[die.index()]
+    }
+
+    /// Extra cycles a flit pays to cross a die boundary.
+    #[must_use]
+    pub fn boundary_latency(&self) -> u32 {
+        self.boundary_latency
+    }
+}
+
 /// A NoC topology: a connected graph of bidirectional links over an R×C
 /// tile grid.
 ///
@@ -195,6 +393,9 @@ pub struct Topology {
     links: Vec<Link>,
     /// `adjacency[tile] = (neighbor, link)` pairs, sorted by neighbor id.
     adjacency: Vec<Vec<(TileId, LinkId)>>,
+    /// Expanded-grid instantiation metadata (`None` for the flat
+    /// homogeneous topologies the generators build directly).
+    meta: Option<TopologyMeta>,
 }
 
 impl Topology {
@@ -209,13 +410,30 @@ impl Topology {
     /// provide connectivity between all tiles).
     #[must_use]
     pub fn new(grid: Grid, kind: TopologyKind, links: impl IntoIterator<Item = Link>) -> Self {
+        Self::try_new(grid, kind, links).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a topology from a set of links.
+    ///
+    /// Duplicate links are merged; endpoints may be given in either order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::LinkOutOfGrid`] if a link references a
+    /// tile outside the grid, or [`TopologyError::Disconnected`] if the
+    /// resulting graph is not connected (a NoC must provide connectivity
+    /// between all tiles).
+    pub fn try_new(
+        grid: Grid,
+        kind: TopologyKind,
+        links: impl IntoIterator<Item = Link>,
+    ) -> Result<Self, TopologyError> {
         let canonical: BTreeSet<Link> = links.into_iter().collect();
         let links: Vec<Link> = canonical.into_iter().collect();
-        for link in &links {
-            assert!(
-                link.b.index() < grid.num_tiles(),
-                "link {link:?} outside {grid}"
-            );
+        for &link in &links {
+            if link.b.index() >= grid.num_tiles() {
+                return Err(TopologyError::LinkOutOfGrid { link, grid });
+            }
         }
         let mut adjacency = vec![Vec::new(); grid.num_tiles()];
         for (i, link) in links.iter().enumerate() {
@@ -231,13 +449,12 @@ impl Topology {
             kind,
             links,
             adjacency,
+            meta: None,
         };
-        assert!(
-            topology.is_connected(),
-            "{} topology on {grid} is not connected",
-            topology.kind
-        );
-        topology
+        if !topology.is_connected() {
+            return Err(TopologyError::Disconnected { kind, grid });
+        }
+        Ok(topology)
     }
 
     /// The underlying tile grid.
@@ -250,6 +467,80 @@ impl Topology {
     #[must_use]
     pub fn kind(&self) -> TopologyKind {
         self.kind
+    }
+
+    /// Attaches expanded-grid instantiation metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metadata does not cover exactly this grid's tiles.
+    #[must_use]
+    pub fn with_meta(mut self, meta: TopologyMeta) -> Self {
+        assert_eq!(
+            meta.tile_classes.len(),
+            self.num_tiles(),
+            "metadata must cover every tile of {}",
+            self.grid
+        );
+        self.meta = Some(meta);
+        self
+    }
+
+    /// Expanded-grid instantiation metadata, when this topology was
+    /// materialized from a topology database.
+    #[must_use]
+    pub fn meta(&self) -> Option<&TopologyMeta> {
+        self.meta.as_ref()
+    }
+
+    /// The functional class of a tile ([`TileClass::Compute`] for flat
+    /// topologies without metadata).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is out of range.
+    #[must_use]
+    pub fn tile_class(&self, tile: TileId) -> TileClass {
+        self.meta
+            .as_ref()
+            .map_or(TileClass::Compute, |m| m.tile_classes[tile.index()])
+    }
+
+    /// The die a tile belongs to (die 0 for flat topologies without
+    /// metadata).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is out of range.
+    #[must_use]
+    pub fn tile_die(&self, tile: TileId) -> DieId {
+        self.meta
+            .as_ref()
+            .map_or(DieId::new(0), |m| m.tile_dies[tile.index()])
+    }
+
+    /// Number of dies this topology spans (1 without metadata).
+    #[must_use]
+    pub fn num_dies(&self) -> usize {
+        self.meta.as_ref().map_or(1, TopologyMeta::num_dies)
+    }
+
+    /// `true` if the link's endpoints sit on different dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn link_crosses_die(&self, id: LinkId) -> bool {
+        let link = self.links[id.index()];
+        self.tile_die(link.a) != self.tile_die(link.b)
+    }
+
+    /// Extra cycles a flit pays on die-boundary links (0 without
+    /// metadata).
+    #[must_use]
+    pub fn boundary_latency(&self) -> u32 {
+        self.meta.as_ref().map_or(0, TopologyMeta::boundary_latency)
     }
 
     /// Number of rows `R`.

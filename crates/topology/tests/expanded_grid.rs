@@ -1,0 +1,267 @@
+//! Instantiation-equivalence suite: the topology database reproduces
+//! every legacy generator link-for-link (and kind-for-kind, so every
+//! structural fingerprint downstream is unchanged), and random
+//! multi-die region mixes obey the expanded grid's invariants.
+
+use proptest::prelude::*;
+
+use shg_topology::db::{BoundaryRule, DieSpec, RegionRule, TopologyDb};
+use shg_topology::generators::{self, GeneratorSpec};
+use shg_topology::{metrics, routing, Grid, LinkId, TileClass, TileCoord, Topology};
+
+/// The single-die no-region database of `spec` on an R×C grid.
+fn single(rows: u16, cols: u16, spec: &str) -> TopologyDb {
+    TopologyDb::single("d", rows, cols, spec.parse::<GeneratorSpec>().expect(spec))
+}
+
+/// Full structural equality plus the metrics the paper compares by.
+fn assert_equivalent(legacy: &Topology, db: &TopologyDb) {
+    let instantiated = db.instantiate().expect("database instantiates");
+    assert_eq!(&instantiated, legacy, "database: {db}");
+    assert_eq!(instantiated.kind(), legacy.kind());
+    assert_eq!(instantiated.links(), legacy.links());
+    assert_eq!(
+        metrics::diameter(&instantiated),
+        metrics::diameter(legacy),
+        "database: {db}"
+    );
+    assert_eq!(
+        metrics::average_hops(&instantiated),
+        metrics::average_hops(legacy)
+    );
+    for tile in legacy.grid().tiles() {
+        assert_eq!(instantiated.degree(tile), legacy.degree(tile));
+    }
+    // The textual forms round-trip to the same database, so the wire
+    // form a sweep request ships reproduces the same topology.
+    let display = TopologyDb::parse(&db.to_string()).expect("display parses");
+    let wire = TopologyDb::parse(&db.wire()).expect("wire parses");
+    assert_eq!(&display, db);
+    assert_eq!(&wire, db);
+}
+
+#[test]
+fn every_legacy_generator_matches_its_single_die_database() {
+    let g8 = Grid::new(8, 8);
+    assert_equivalent(&generators::ring(g8), &single(8, 8, "ring"));
+    assert_equivalent(&generators::mesh(g8), &single(8, 8, "mesh"));
+    assert_equivalent(&generators::torus(g8), &single(8, 8, "torus"));
+    assert_equivalent(&generators::folded_torus(g8), &single(8, 8, "folded-torus"));
+    assert_equivalent(&generators::flattened_butterfly(g8), &single(8, 8, "fb"));
+    assert_equivalent(
+        &generators::hypercube(g8).expect("64 = 2^6"),
+        &single(8, 8, "hypercube"),
+    );
+    assert_equivalent(
+        &generators::slim_noc(Grid::new(16, 8)).expect("128 = 2·8²"),
+        &single(16, 8, "slimnoc"),
+    );
+    assert_equivalent(
+        &generators::ruche(g8, 2).expect("ruche factor 2"),
+        &single(8, 8, "ruche:2"),
+    );
+    // Scenario a's customized sparse Hamming graph.
+    let sr = [4].into_iter().collect();
+    let sc = [2, 5].into_iter().collect();
+    assert_equivalent(
+        &generators::row_column_skip(g8, &sr, &sc).expect("scenario a"),
+        &single(8, 8, "shg:sr=4:sc=2,5"),
+    );
+}
+
+#[test]
+fn parsed_text_reproduces_the_legacy_constructor() {
+    let parsed = TopologyDb::parse("die d 8x8 mesh")
+        .expect("parses")
+        .instantiate()
+        .expect("instantiates");
+    assert_eq!(parsed, generators::mesh(Grid::new(8, 8)));
+    let wire = TopologyDb::parse("die/d/8x8/shg:sr=4:sc=2,5")
+        .expect("wire form parses")
+        .instantiate()
+        .expect("instantiates");
+    let sr = [4].into_iter().collect();
+    let sc = [2, 5].into_iter().collect();
+    assert_eq!(
+        wire,
+        generators::row_column_skip(Grid::new(8, 8), &sr, &sc).expect("scenario a")
+    );
+}
+
+#[test]
+fn single_die_database_routes_like_its_legacy_twin() {
+    for spec in ["mesh", "torus", "shg:sr=4:sc=2,5"] {
+        let legacy = single(8, 8, spec).instantiate().expect(spec);
+        let routes = routing::default_routes(&legacy).expect(spec);
+        assert!(routes.is_deadlock_free(&legacy), "{spec}");
+        assert!(routes.is_hop_minimal(&legacy), "{spec}");
+    }
+}
+
+/// A two-die database: `mesh` left die, `base` right die, one region
+/// painted onto the right die.
+fn two_die(rows: u16, cols: (u16, u16), region: RegionRule, boundary: BoundaryRule) -> TopologyDb {
+    TopologyDb {
+        dies: vec![
+            DieSpec {
+                name: "left".to_owned(),
+                rows,
+                cols: cols.0,
+                base: GeneratorSpec::Mesh,
+                regions: Vec::new(),
+            },
+            DieSpec {
+                name: "right".to_owned(),
+                rows,
+                cols: cols.1,
+                base: GeneratorSpec::Mesh,
+                regions: vec![region],
+            },
+        ],
+        boundary,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random two-die region mixes: the instantiated product is
+    /// connected (construction validates it), crosses the seam exactly
+    /// ceil(rows/every) times, paints classes only inside the region
+    /// rectangle, and instantiates deterministically.
+    #[test]
+    fn random_region_mixes_obey_expanded_grid_invariants(
+        (rows, left_cols, right_cols) in (2u16..=6, 2u16..=6, 3u16..=6),
+        every in 1u16..=6,
+        latency in 0u32..=5,
+        (r0, r_len) in (0u16..=4, 1u16..=4),
+        class_memory in 0u8..=1,
+        skip in 0u8..=1,
+    ) {
+        let (class_memory, skip) = (class_memory == 1, skip == 1);
+        let every = every.min(rows);
+        let r0 = r0.min(rows - 1);
+        let r1 = (r0 + r_len).min(rows);
+        let class = if class_memory { TileClass::Memory } else { TileClass::Io };
+        let mut region = RegionRule::class(r0..r1, 0..right_cols, class);
+        if skip && right_cols >= 3 {
+            // A region-local column-skip distance in the valid
+            // [2, width) range.
+            region.skip_rows = [2].into_iter().collect();
+        }
+        let db = two_die(rows, (left_cols, right_cols), region.clone(), BoundaryRule { every, latency });
+        let topology = db.instantiate().expect("multi-die products stay connected");
+        prop_assert_eq!(topology.grid(), Grid::new(rows, left_cols + right_cols));
+        prop_assert_eq!(topology.num_dies(), 2);
+        prop_assert_eq!(topology.boundary_latency(), latency);
+
+        // Seam crossings: one per stepped row, and no other link
+        // crosses the die boundary.
+        let crossings = (0..topology.num_links())
+            .filter(|&i| topology.link_crosses_die(LinkId::new(i as u32)))
+            .count();
+        prop_assert_eq!(crossings, (0..rows).step_by(every as usize).count());
+
+        // Class painting covers exactly the region's rectangle of the
+        // right die; the left die stays compute.
+        let expanded = db.expand().expect("expands");
+        let mut painted = 0usize;
+        for (die, local, tile) in expanded.cells() {
+            let expected = if die.index() == 1
+                && (r0..r1).contains(&local.row)
+                && local.col < right_cols
+            {
+                painted += 1;
+                class
+            } else {
+                TileClass::Compute
+            };
+            prop_assert_eq!(topology.tile_class(tile), expected);
+            prop_assert_eq!(topology.tile_die(tile), die);
+        }
+        prop_assert_eq!(painted, usize::from(r1 - r0) * usize::from(right_cols));
+
+        // cells() enumerates every tile exactly once.
+        let mut seen: Vec<bool> = vec![false; topology.grid().num_tiles()];
+        for (_, _, tile) in expanded.cells() {
+            prop_assert!(!seen[tile.index()]);
+            seen[tile.index()] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+
+        // Region skip links stay inside their die: every added link is
+        // either a base mesh link, a seam link, or intra-right-die.
+        if !region.skip_rows.is_empty() {
+            for (i, link) in topology.links().iter().enumerate() {
+                let id = LinkId::new(i as u32);
+                if !topology.link_crosses_die(id) {
+                    prop_assert_eq!(topology.tile_die(link.a), topology.tile_die(link.b));
+                }
+            }
+        }
+
+        // Deterministic: a second instantiation is identical.
+        prop_assert_eq!(db.instantiate().expect("second instantiation"), topology);
+    }
+
+    /// Single-die databases with class-only regions keep the base
+    /// link structure and kind — metadata never perturbs the graph.
+    #[test]
+    fn class_only_regions_never_change_the_graph(
+        (rows, cols) in (3u16..=8, 3u16..=8),
+        (r0, c0) in (0u16..=5, 0u16..=5),
+    ) {
+        let r0 = r0.min(rows - 1);
+        let c0 = c0.min(cols - 1);
+        let mut db = TopologyDb::single("d", rows, cols, GeneratorSpec::Torus);
+        db.dies[0]
+            .regions
+            .push(RegionRule::class(r0..rows, c0..cols, TileClass::Memory));
+        let painted = db.instantiate().expect("instantiates");
+        let base = generators::torus(Grid::new(rows, cols));
+        prop_assert_eq!(painted.links(), base.links());
+        prop_assert_eq!(painted.kind(), base.kind());
+        prop_assert!(painted.meta().is_some());
+        prop_assert_eq!(
+            painted.tile_class(shg_topology::TileId::new(
+                u32::from(r0) * u32::from(cols) + u32::from(c0)
+            )),
+            TileClass::Memory
+        );
+    }
+}
+
+#[test]
+fn readme_two_die_example_instantiates_ten_thousand_tiles() {
+    // The worked example of README's "Describing a topology" section.
+    let db = TopologyDb::parse(
+        "die compute 64x80 shg:sr=4:sc=2,5\n\
+         die hbm 64x80 mesh\n\
+         region hbm r0..64 c0..80 memory sc=2\n\
+         boundary every=4 latency=5",
+    )
+    .expect("README example parses");
+    let topology = db.instantiate().expect("README example instantiates");
+    assert_eq!(topology.grid(), Grid::new(64, 160));
+    assert!(topology.grid().num_tiles() >= 10_000);
+    assert_eq!(topology.num_dies(), 2);
+    assert_eq!(topology.boundary_latency(), 5);
+    let expanded = db.expand().expect("expands");
+    let hbm_first = expanded.global_id(shg_topology::DieId::new(1), TileCoord::new(0, 0));
+    assert_eq!(topology.tile_class(hbm_first), TileClass::Memory);
+}
+
+#[test]
+fn cells_iterates_in_die_major_order() {
+    let db = TopologyDb::parse("die a 2x2 mesh; die b 2x3 mesh").expect("parses");
+    let expanded = db.expand().expect("expands");
+    let cells: Vec<(usize, TileCoord)> = expanded
+        .cells()
+        .map(|(die, local, _)| (die.index(), local))
+        .collect();
+    assert_eq!(cells.len(), 10);
+    assert_eq!(cells[0], (0, TileCoord::new(0, 0)));
+    assert_eq!(cells[3], (0, TileCoord::new(1, 1)));
+    assert_eq!(cells[4], (1, TileCoord::new(0, 0)));
+    assert_eq!(cells[9], (1, TileCoord::new(1, 2)));
+}
