@@ -152,6 +152,7 @@ fn main() {
             &toolchain.model_options,
             &topologies,
             rate_points,
+            shg_bench::sweep::route_form_from_args(),
         );
         println!(
             "Seven-pattern simulated sweep ({} points, resolution {:.0}%, \

@@ -162,6 +162,7 @@ fn main() {
         &mut cache,
         &topologies,
         spec,
+        shg_bench::sweep::route_form_from_args(),
     );
     let result = shg_bench::sweep::run_experiment(&mut experiment);
     println!("\n{}", pattern_saturation_table(&result, 0.05));

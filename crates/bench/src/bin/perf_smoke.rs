@@ -29,7 +29,10 @@
 //! committed at the low end of its measured 5–7× spread, and
 //! `batched_vs_percell` (measured ~2.4×) is committed at 2.0× — the
 //! design floor for the lane-parallel core on its setup-dominated
-//! target workload.
+//! target workload. `nexthop_route_build` (measured ~28×) is committed
+//! at 10× — an order of magnitude on both build time and table bytes
+//! is the design floor for the compact form; losing it would mean the
+//! next-hop kernels fell back to materializing paths.
 
 use std::fmt::Write as _;
 
@@ -41,6 +44,7 @@ use shg_sim::{
     CellCache, ExecBackend, Experiment, InjectionPolicy, Network, ScanPolicy, SimConfig, SweepSpec,
     TrafficPattern,
 };
+use shg_topology::routing::RouteForm;
 use shg_topology::{generators, routing, Grid, Topology};
 use shg_units::Cycles;
 
@@ -277,6 +281,44 @@ fn batched_headline(samples: usize, info: &mut Vec<Entry>) -> f64 {
     median(ratios)
 }
 
+/// Median advantage of the compact next-hop routing table over the
+/// dense all-pairs path store on a 32×32 mesh (1,024 tiles — the size
+/// where dense tables start to hurt and the compact form's O(1)
+/// kernels pay off): the headline is the **smaller** of the build-time
+/// ratio and the table-size ratio, so it only stays green while the
+/// compact form wins on both axes. The table-size ratio is
+/// deterministic (bytes are a function of the topology alone); the
+/// build ratio is measured back-to-back like every other headline.
+fn nexthop_route_headline(samples: usize, info: &mut Vec<Entry>) -> f64 {
+    let mesh = generators::mesh(Grid::new(32, 32));
+    let build = |form: RouteForm| {
+        let start = std::time::Instant::now();
+        let routes = routing::default_routes_with(&mesh, form).expect("mesh routes");
+        (start.elapsed().as_secs_f64(), routes)
+    };
+    let _ = build(RouteForm::NextHop); // warm up
+    let mut ratios = Vec::new();
+    let mut compact_wall = Vec::new();
+    let mut bytes_ratio = 0.0;
+    for _ in 0..samples {
+        let (compact, compact_routes) = build(RouteForm::NextHop);
+        let (dense, dense_routes) = build(RouteForm::Dense);
+        assert_eq!(
+            compact_routes.num_vc_classes(),
+            dense_routes.num_vc_classes(),
+            "route forms must agree"
+        );
+        bytes_ratio = dense_routes.table_bytes() as f64 / compact_routes.table_bytes() as f64;
+        ratios.push(dense / compact);
+        compact_wall.push(compact * 1e3);
+    }
+    info.push(Entry {
+        name: "nexthop_route_build_mesh32_next_hop",
+        median: median(compact_wall),
+    });
+    median(ratios).min(bytes_ratio)
+}
+
 /// Renders the report as JSON (two flat objects of name → median).
 fn to_json(samples: usize, headlines: &[Entry], info: &[Entry]) -> String {
     let mut out = String::from("{\n");
@@ -365,6 +407,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Entry {
             name: "batched_vs_percell",
             median: batched_headline(samples, &mut info),
+        },
+        Entry {
+            name: "nexthop_route_build",
+            median: nexthop_route_headline(samples, &mut info),
         },
     ];
 

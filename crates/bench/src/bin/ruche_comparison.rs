@@ -125,6 +125,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut cache,
         &contenders,
         spec,
+        shg_bench::sweep::route_form_from_args(),
     );
     let result = shg_bench::sweep::run_experiment(&mut experiment);
     println!(

@@ -65,13 +65,15 @@ Usage: shg_coord (--spawn-workers N [--worker-bin path]
                   | --listen host:port --workers N)
                  [--scenario a|b|c|d] [--fast] [--rate-points N]
                  [--add-rates r1,r2,..] [--alloc request-queue|full-scan]
+                 [--routes dense|next-hop]
                  [--cache <dir>] [--backend name] [--lanes K]
                  [--chunk-size N] [--durable] [--progress]
                  [--kill-worker I:AFTER]
 
   Reads requests from stdin, one per line, as key=value tokens:
     out=result.json [journal=j.jsonl] [scenario=..] [fast=1]
-    [rate-points=N] [add-rates=r1,r2] [alloc=..] [db=<wire spec>]
+    [rate-points=N] [add-rates=r1,r2] [alloc=..] [routes=..]
+    [db=<wire spec>]
   and answers each with the full sweep JSON at out= — byte-identical
   to `sweep_worker --single-shot` of the same flags. db= sweeps one
   expanded-grid topology instantiated from a topology database in its
@@ -82,8 +84,10 @@ Usage: shg_coord (--spawn-workers N [--worker-bin path]
                    binary)
   --listen         accept --workers N TCP worker connections instead
                    (workers dial in with `sweep_worker --connect`)
-  --scenario/--fast/--rate-points/--add-rates/--alloc
-                   per-request plan defaults (overridable per line)
+  --scenario/--fast/--rate-points/--add-rates/--alloc/--routes
+                   per-request plan defaults (overridable per line;
+                   routes picks the routing-table form, default
+                   next-hop — bit-identical to dense)
   --cache          shared cell-result cache: probed before dispatch,
                    results banked, cache-holding workers pre-warmed
   --backend/--lanes  forwarded to spawned workers
@@ -113,7 +117,7 @@ fn parse_request(line: &str, base: &[(String, String)]) -> Result<Request, Strin
         match key {
             "out" => out = Some(value.to_owned()),
             "journal" => journal = Some(value.to_owned()),
-            "scenario" | "fast" | "rate-points" | "add-rates" | "alloc" | "db" => {
+            "scenario" | "fast" | "rate-points" | "add-rates" | "alloc" | "routes" | "db" => {
                 match params.iter_mut().find(|(k, _)| k == key) {
                     Some(pair) => pair.1 = value.to_owned(),
                     None => params.push((key.to_owned(), value.to_owned())),
@@ -266,6 +270,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &mut topo_cache,
             topologies,
             setup.spec,
+            setup.route_form,
         );
         // A fresh cache handle per request: its counters are this
         // request's cached/simulated split over the shared directory.

@@ -66,6 +66,7 @@ use shg_topology::Topology;
 const USAGE: &str = "\
 Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
                     [--add-rates r1,r2,..] [--alloc request-queue|full-scan]
+                    [--routes dense|next-hop]
                     [--db <topology-db wire spec>]
                     [--backend per-cell|reuse|batched|auto] [--lanes K]
                     [--cache <dir>]
@@ -85,6 +86,10 @@ Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
                  sweep without shifting existing cells' coordinates,
                  so a warm --cache re-simulates only these new cells
   --alloc        allocation policy (default: request-queue)
+  --routes       routing-table form (default: next-hop — compact O(1)
+                 per-hop tables, bit-identical results to dense; db
+                 topologies auto-upgrade to hierarchical multi-die
+                 tables when the seam structure allows)
   --backend      execution backend (default: auto — a timed probe picks
                  batched or reuse per cell group; batched steps --lanes
                  cells in lockstep through the struct-of-arrays core;
@@ -145,6 +150,7 @@ fn serve() -> Result<(), Box<dyn std::error::Error>> {
             &mut topo_cache,
             topologies,
             setup.spec,
+            setup.route_form,
         );
         experiment.set_backend(shg_sim::ExecBackend::Auto);
         configure_experiment(&mut experiment);
@@ -195,6 +201,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut cache,
         &topologies,
         setup.spec,
+        setup.route_form,
     );
     // The worker's default backend is auto (bit-identical to per-cell,
     // usually faster); an explicit --backend below overrides it.

@@ -27,7 +27,7 @@ use shg_core::Scenario;
 use shg_floorplan::{predict, ArchParams, ModelOptions};
 use shg_sim::sweep::run_journaled_durable;
 use shg_sim::{CellCache, ExecBackend, Experiment, ShardSpec, SweepCase, SweepResult, SweepSpec};
-use shg_topology::routing::{self, Routes};
+use shg_topology::routing::{self, RouteForm, Routes};
 use shg_topology::Topology;
 use shg_units::Cycles;
 
@@ -84,9 +84,9 @@ impl TopologyCache {
     }
 
     /// Routes and floorplan latencies for `topology`, computed at most
-    /// once per distinct (topology, architecture, model options)
-    /// combination — the prediction inputs are part of the key, so one
-    /// cache can serve several scenarios without stale hits.
+    /// once per distinct (topology, architecture, model options, route
+    /// form) combination — the prediction inputs are part of the key,
+    /// so one cache can serve several scenarios without stale hits.
     ///
     /// # Panics
     ///
@@ -97,11 +97,13 @@ impl TopologyCache {
         params: &ArchParams,
         options: &ModelOptions,
         topology: &Topology,
+        form: RouteForm,
     ) -> PreparedCase {
         let mut key = topology_fingerprint(topology);
         for input in [
             serde_json::to_string(params).expect("params serialize"),
             serde_json::to_string(options).expect("options serialize"),
+            form.name().to_owned(),
         ] {
             for byte in input.bytes() {
                 key ^= u64::from(byte);
@@ -113,8 +115,8 @@ impl TopologyCache {
             return prepared.clone();
         }
         self.misses += 1;
-        let routes =
-            routing::default_routes(topology).unwrap_or_else(|e| panic!("routing {topology}: {e}"));
+        let routes = routing::default_routes_with(topology, form)
+            .unwrap_or_else(|e| panic!("routing {topology}: {e}"));
         let prediction = predict(params, topology, options);
         let prepared = PreparedCase {
             routes,
@@ -132,17 +134,21 @@ impl TopologyCache {
 }
 
 /// Builds an [`Experiment`] whose cases are the given named topologies,
-/// each annotated with floorplan latencies through `cache`.
+/// each annotated with floorplan latencies through `cache`, with
+/// routing tables stored in `form` (the compact `next-hop` form and
+/// the dense reference simulate byte-identically; the form never
+/// shows in the plan fingerprint).
 pub fn annotated_experiment<'a>(
     params: &ArchParams,
     options: &ModelOptions,
     cache: &mut TopologyCache,
     topologies: &'a [(String, Topology)],
     spec: SweepSpec,
+    form: RouteForm,
 ) -> Experiment<'a> {
     let mut experiment = Experiment::new(spec);
     for (name, topology) in topologies {
-        let prepared = cache.prepare(params, options, topology);
+        let prepared = cache.prepare(params, options, topology, form);
         experiment.push_case(SweepCase::annotated(
             name.clone(),
             topology,
@@ -169,7 +175,8 @@ pub fn scenario_sweep_spec(scenario: &Scenario, rate_points: usize) -> SweepSpec
 /// The plan-shaping parameters of one sweep request, as opaque
 /// key-value strings — the coordinator/worker wire format of "which
 /// sweep is this". The supported keys are `scenario`, `fast`,
-/// `rate-points`, `add-rates`, `alloc` and `db` (a topology database in
+/// `rate-points`, `add-rates`, `alloc`, `routes` (the routing-table
+/// form, `dense` or `next-hop`) and `db` (a topology database in
 /// its one-token wire form, see [`shg_topology::db::TopologyDb::wire`]);
 /// values are the user's raw flag strings, forwarded **unreformatted**
 /// so every process parses the identical text (re-formatting a float on
@@ -180,7 +187,14 @@ pub fn scenario_sweep_spec(scenario: &Scenario, rate_points: usize) -> SweepSpec
 #[must_use]
 pub fn request_params_from_args() -> Vec<(String, String)> {
     let mut params = Vec::new();
-    for key in ["scenario", "rate-points", "add-rates", "alloc", "db"] {
+    for key in [
+        "scenario",
+        "rate-points",
+        "add-rates",
+        "alloc",
+        "routes",
+        "db",
+    ] {
         if let Some(value) = arg_value(&format!("--{key}")) {
             params.push((key.to_owned(), value));
         }
@@ -208,6 +222,11 @@ pub struct RequestSetup {
     /// scenario's built-in topology set. The scenario's `params.grid`
     /// has already been overridden to match it.
     pub db_topology: Option<(String, Topology)>,
+    /// The routing-table form to annotate cases with (default:
+    /// [`RouteForm::NextHop`]; `db` topologies may auto-upgrade it to
+    /// hierarchical). Dense and next-hop simulate byte-identically, so
+    /// the form is not part of the plan fingerprint.
+    pub route_form: RouteForm,
 }
 
 /// Interprets request params (see [`request_params_from_args`]) into a
@@ -226,6 +245,7 @@ pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String
     let mut rate_points_raw: Option<String> = None;
     let mut add_rates: Option<String> = None;
     let mut alloc: Option<String> = None;
+    let mut routes_raw: Option<String> = None;
     let mut db_raw: Option<String> = None;
     for (key, value) in params {
         match key.as_str() {
@@ -234,10 +254,16 @@ pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String
             "rate-points" => rate_points_raw = Some(value.clone()),
             "add-rates" => add_rates = Some(value.clone()),
             "alloc" => alloc = Some(value.clone()),
+            "routes" => routes_raw = Some(value.clone()),
             "db" => db_raw = Some(value.clone()),
             other => return Err(format!("unknown request param '{other}'")),
         }
     }
+    let route_form = match routes_raw {
+        Some(name) => RouteForm::parse(&name)
+            .ok_or_else(|| format!("unknown route form '{name}' (use dense|next-hop)"))?,
+        None => RouteForm::NextHop,
+    };
     let mut scenario =
         Scenario::by_name(&which).ok_or_else(|| format!("unknown scenario '{which}'"))?;
     let model_options = ModelOptions {
@@ -296,7 +322,21 @@ pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String
         model_options,
         spec,
         db_topology,
+        route_form,
     })
+}
+
+/// The `--routes dense|next-hop` flag (default: the compact next-hop
+/// form — bit-identical to dense, a fraction of the memory). An unknown
+/// name is a usage error via [`cli_error`].
+#[must_use]
+pub fn route_form_from_args() -> RouteForm {
+    match arg_value("--routes") {
+        Some(name) => RouteForm::parse(&name).unwrap_or_else(|| {
+            cli_error(format!("unknown --routes '{name}' (use dense|next-hop)"))
+        }),
+        None => RouteForm::NextHop,
+    }
 }
 
 /// The standard wide sweep of a scenario: every applicable topology ×
@@ -308,11 +348,18 @@ pub fn scenario_sweep(
     options: &ModelOptions,
     topologies: &[(String, Topology)],
     rate_points: usize,
+    form: RouteForm,
 ) -> SweepResult {
     let spec = scenario_sweep_spec(scenario, rate_points);
     let mut cache = TopologyCache::new();
-    let mut experiment =
-        annotated_experiment(&scenario.params, options, &mut cache, topologies, spec);
+    let mut experiment = annotated_experiment(
+        &scenario.params,
+        options,
+        &mut cache,
+        topologies,
+        spec,
+        form,
+    );
     run_experiment(&mut experiment)
 }
 
@@ -577,11 +624,16 @@ mod tests {
         };
         let mesh = generators::mesh(scenario.params.grid);
         let mut cache = TopologyCache::new();
-        let a = cache.prepare(&scenario.params, &options, &mesh);
-        let b = cache.prepare(&scenario.params, &options, &mesh);
+        let a = cache.prepare(&scenario.params, &options, &mesh, RouteForm::NextHop);
+        let b = cache.prepare(&scenario.params, &options, &mesh, RouteForm::NextHop);
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(a.link_latencies, b.link_latencies);
         assert_eq!(a.link_latencies.len(), mesh.num_links());
+        assert_eq!(a.routes.form(), RouteForm::NextHop);
+        // A different form is a different artifact: its own cache slot.
+        let dense = cache.prepare(&scenario.params, &options, &mesh, RouteForm::Dense);
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(dense.routes.form(), RouteForm::Dense);
     }
 
     #[test]
@@ -632,7 +684,7 @@ mod tests {
             ("mesh".to_owned(), generators::mesh(scenario.params.grid)),
             ("torus".to_owned(), generators::torus(scenario.params.grid)),
         ];
-        let result = scenario_sweep(&scenario, &options, &topologies, 2);
+        let result = scenario_sweep(&scenario, &options, &topologies, 2, RouteForm::NextHop);
         // 6 patterns on the 2-point linear grid, plus the hot-spot
         // pattern's 4 extra log-spaced low-end rates, per case.
         assert_eq!(result.points.len(), 2 * (7 * 2 + 4));

@@ -48,6 +48,7 @@ fn db_request_matches_the_legacy_mesh_plan_and_bytes() {
         &mut cache,
         std::slice::from_ref(pair),
         setup.spec.clone(),
+        setup.route_form,
     );
 
     // The legacy path: the same mesh from the legacy constructor,
@@ -63,6 +64,7 @@ fn db_request_matches_the_legacy_mesh_plan_and_bytes() {
         &mut cache,
         &legacy,
         legacy_setup.spec.clone(),
+        legacy_setup.route_form,
     );
 
     // Same plan fingerprint (spec, case names, grids, links, floorplan
@@ -95,6 +97,7 @@ fn warm_cache_from_legacy_cells_answers_the_db_request() {
         &mut cache,
         &legacy,
         legacy_setup.spec.clone(),
+        legacy_setup.route_form,
     );
     cold.set_cache(CellCache::open(&dir).expect("cache opens"));
     let cold_json = cold.run_parallel().to_json();
@@ -114,6 +117,7 @@ fn warm_cache_from_legacy_cells_answers_the_db_request() {
         &mut cache,
         std::slice::from_ref(pair),
         setup.spec.clone(),
+        setup.route_form,
     );
     warm.set_cache(CellCache::open(&dir).expect("cache reopens"));
     let warm_json = warm.run_parallel().to_json();
@@ -148,6 +152,7 @@ fn two_die_heterogeneous_sweep_is_byte_deterministic_and_cache_warm() {
         &mut cache,
         std::slice::from_ref(pair),
         setup.spec.clone(),
+        setup.route_form,
     );
     first.set_cache(CellCache::open(&dir).expect("cache opens"));
     let first_json = first.run_parallel().to_json();
@@ -162,6 +167,7 @@ fn two_die_heterogeneous_sweep_is_byte_deterministic_and_cache_warm() {
         &mut cache,
         std::slice::from_ref(pair2),
         setup2.spec.clone(),
+        setup2.route_form,
     );
     second.set_cache(CellCache::open(&dir).expect("cache reopens"));
     let second_json = second.run_parallel().to_json();

@@ -21,7 +21,10 @@
 //! `position` search over the router's channel list; the layout
 //! precomputes that same mapping in [`CoreLayout::ch_src`].
 
-use shg_topology::{routing::Routes, ChannelId, TileId, Topology};
+use shg_topology::{
+    routing::{RouteForm, Routes},
+    ChannelId, TileId, Topology,
+};
 use shg_units::Cycles;
 
 use crate::config::SimConfig;
@@ -218,6 +221,16 @@ impl<'a> CoreLayout<'a> {
     pub(crate) fn route(&self, r: usize, flit: &Flit) -> (u8, u8) {
         if flit.dst.index() == r {
             return (self.ejection_port(r) as u8, 0);
+        }
+        if self.routes.form() != RouteForm::Dense {
+            // Compact forms answer (out port, class) directly in the same
+            // sorted-neighbor port numbering this layout was built with.
+            return self.routes.port_and_class(
+                TileId::new(r as u32),
+                flit.src,
+                flit.dst,
+                flit.hop as usize,
+            );
         }
         let path = self.routes.path(flit.src, flit.dst);
         let hop = &path[flit.hop as usize];

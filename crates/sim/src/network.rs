@@ -43,7 +43,10 @@
 
 use std::collections::VecDeque;
 
-use shg_topology::{routing::Routes, ChannelId, TileId, Topology};
+use shg_topology::{
+    routing::{RouteForm, Routes},
+    ChannelId, TileId, Topology,
+};
 use shg_units::Cycles;
 
 use crate::config::SimConfig;
@@ -536,6 +539,17 @@ impl<'a> Network<'a> {
     ) -> (u8, u8) {
         if flit.dst.index() == tile {
             return (router.ejection_port() as u8, 0);
+        }
+        if routes.form() != RouteForm::Dense {
+            // Compact forms answer (out port, class) directly: their port
+            // numbering is the position in the sorted neighbor list, the
+            // same order `Network::new` created the ports in.
+            return routes.port_and_class(
+                TileId::new(tile as u32),
+                flit.src,
+                flit.dst,
+                flit.hop as usize,
+            );
         }
         let path = routes.path(flit.src, flit.dst);
         let hop = &path[flit.hop as usize];

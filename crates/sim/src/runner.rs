@@ -60,14 +60,11 @@ pub fn zero_load_latency(
             if src == dst {
                 continue;
             }
-            let hops = routes.path(src, dst);
-            let path_delay: u64 = hops
-                .iter()
-                .map(|hop| {
-                    link_latencies[hop.channel.link().index()].value()
-                        + u64::from(config.router_overhead)
-                })
-                .sum();
+            let mut path_delay = 0u64;
+            routes.for_each_hop(src, dst, |hop| {
+                path_delay += link_latencies[hop.channel.link().index()].value()
+                    + u64::from(config.router_overhead);
+            });
             total += path_delay as f64 + (config.packet_len - 1) as f64;
             pairs += 1;
         }

@@ -44,7 +44,6 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use serde_json::Value;
-use shg_topology::TileId;
 
 use super::experiment::SweepCase;
 use super::journal::point_from_value;
@@ -58,14 +57,19 @@ const FORMAT: &str = "shg-cell-cache";
 /// Bump to invalidate every existing entry on a format or keying
 /// change (the version is folded into the fingerprint, so old entries
 /// simply stop being addressed).
-const VERSION: u64 = 1;
+const VERSION: u64 = 2;
 
 /// Digest of everything about a [`SweepCase`] that a cell's outcome
 /// can depend on: name, grid shape, links, per-link latencies and the
-/// **routing table** — [`SweepCase::annotated`] accepts arbitrary
+/// **routing semantics** — [`SweepCase::annotated`] accepts arbitrary
 /// routes, so two cases over the same topology routed differently
-/// must not share entries. Computed once per case (the experiment
-/// memoizes it) and shared by all of its cells.
+/// must not share entries. The routing fold is the table's
+/// *semantic* digest (algorithm, not storage form): paths are a
+/// deterministic function of the links — already folded above — and
+/// the algorithm, and the dense and next-hop forms of one algorithm
+/// produce bit-identical paths, so switching forms keeps warm cache
+/// entries while switching algorithms invalidates them. Computed once
+/// per case (the experiment memoizes it) and shared by all its cells.
 #[must_use]
 pub(crate) fn case_digest(case: &SweepCase<'_>) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
@@ -80,18 +84,7 @@ pub(crate) fn case_digest(case: &SweepCase<'_>) -> u64 {
         fnv_bytes(&mut hash, latency.value().to_le_bytes());
     }
     fnv_bytes(&mut hash, [case.routes.num_vc_classes()]);
-    // The routing table is O(n²) paths; fold each hop as one word
-    // (FNV step per hop, not per byte) so digesting a 256-tile table
-    // stays well under the cost of reading a single cached cell.
-    let n = case.topology.num_tiles() as u32;
-    for src in 0..n {
-        for dst in 0..n {
-            for hop in case.routes.path(TileId::new(src), TileId::new(dst)) {
-                hash ^= ((hop.channel.index() as u64) << 8) | u64::from(hop.vc_class);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        }
-    }
+    fnv_bytes(&mut hash, case.routes.semantic_digest().to_le_bytes());
     hash
 }
 

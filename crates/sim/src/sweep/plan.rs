@@ -72,6 +72,12 @@ impl SweepPlan {
             for latency in &case.link_latencies {
                 fnv_bytes(&mut hash, latency.value().to_le_bytes());
             }
+            // Routing semantics, not storage form: the dense and
+            // next-hop forms of one algorithm simulate identically and
+            // share a fingerprint, while an algorithm change (e.g. to
+            // hierarchical multi-die routing) is caught at the worker
+            // handshake instead of silently mixing results.
+            fnv_bytes(&mut hash, case.routes.semantic_digest().to_le_bytes());
         }
         Self {
             num_cases: cases.len(),

@@ -357,3 +357,52 @@ proptest! {
         prop_assert_eq!((stats.cached, stats.simulated), (4, 0));
     }
 }
+
+/// The cache keys on routing *semantics*, not storage form: a sweep
+/// over next-hop routes re-hits every cell a dense-routed sweep cached
+/// (they simulate byte-identically), while changing the routing
+/// algorithm misses every cell.
+#[test]
+fn cache_is_route_form_agnostic_but_algorithm_sensitive() {
+    use shg_sim::SweepCase;
+    use shg_topology::routing::{build_routes_with, RouteForm, RoutingAlgorithm};
+    use shg_units::Cycles;
+
+    let mesh = generators::mesh(Grid::new(4, 4));
+    let with_routes = |algorithm, form| {
+        let routes = build_routes_with(&mesh, algorithm, form).expect("routes build");
+        let latencies = vec![Cycles::one(); mesh.num_links()];
+        Experiment::new(base_spec(SimConfig::fast_test()))
+            .with_case(SweepCase::annotated("mesh", &mesh, routes, latencies))
+    };
+
+    let scratch = ScratchDir::new("form_agnostic");
+    let dense =
+        with_routes(RoutingAlgorithm::RowColumn, RouteForm::Dense).with_cache(scratch.cache());
+    let reference = dense.run_parallel().to_json();
+    let stats = dense.cache().expect("cache").stats();
+    assert_eq!((stats.cached, stats.simulated), (0, 4), "cold run misses");
+
+    // Same algorithm, compact storage: every cell is already cached.
+    let compact =
+        with_routes(RoutingAlgorithm::RowColumn, RouteForm::NextHop).with_cache(scratch.cache());
+    assert_eq!(compact.run_parallel().to_json(), reference);
+    let stats = compact.cache().expect("cache").stats();
+    assert_eq!(
+        (stats.cached, stats.simulated),
+        (4, 0),
+        "form switch must stay warm"
+    );
+
+    // Different algorithm over the same topology: no entry may be
+    // shared, whatever the storage form.
+    let escalation = with_routes(RoutingAlgorithm::HopEscalation, RouteForm::NextHop)
+        .with_cache(scratch.cache());
+    let _ = escalation.run_parallel();
+    let stats = escalation.cache().expect("cache").stats();
+    assert_eq!(
+        (stats.cached, stats.simulated),
+        (0, 4),
+        "algorithm switch must miss"
+    );
+}

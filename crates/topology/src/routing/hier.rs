@@ -1,0 +1,228 @@
+//! Hierarchical routing tables for multi-die topologies.
+//!
+//! Multi-die networks stitched from a [`TopologyDb`] spec are not
+//! globally row/column complete: seam links only exist on a subset of
+//! rows, so the flat row-column decomposition (`RowColumn`) rejects
+//! them, and the dense per-pair fallback (`HopEscalation`) needs a VC
+//! class per hop — more classes than VCs on anything big. This form
+//! routes in at most three 1D phases instead:
+//!
+//! 1. **column** — ride the source column to the nearest *through row*,
+//! 2. **through row** — a row whose 1D line connects every column pair
+//!    (seam rows qualify: seam links are row-aligned), cross to the
+//!    destination column,
+//! 3. **column** — ride the destination column to the destination row.
+//!
+//! Pairs whose source row already connects their columns skip phase 1
+//! and use their own row. Every phase is a hop-minimal bounded-reversal
+//! 1D walk from a [`LineBank`]; VC classes are banked per phase
+//! (`A₁ | B | A₃` consecutive class ranges), so classes escalate
+//! strictly across phases and by reversal count within one. Phases use
+//! disjoint channel sets per line and classes never decrease along any
+//! path, which keeps the channel × class dependency graph acyclic — the
+//! equivalence suite additionally checks `is_deadlock_free` on sampled
+//! databases. Class count is `A₁ + B + A₃` where each term is 1 + the
+//! worst reversal count actually stored for that phase — bounded by the
+//! dies' internal connectivity, not by network diameter.
+//!
+//! [`TopologyDb`]: crate::db::TopologyDb
+
+use crate::topology::Topology;
+
+use super::line::{row_col_adjacency, LineBank};
+use super::next_hop::Csr;
+use super::{BuildRoutesError, Hop, Routes, RoutingAlgorithm, Table};
+use crate::grid::TileId;
+use crate::topology::ChannelId;
+
+/// A hierarchical three-phase routing table (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub(super) struct HierTable {
+    csr: Csr,
+    cols: u16,
+    row_banks: Vec<LineBank>,
+    col_banks: Vec<LineBank>,
+    /// Nearest through row of each row (ties break toward lower rows).
+    through: Vec<u16>,
+    /// First VC class of the through-row phase (phase 1 starts at 0).
+    p2_base: u8,
+    /// First VC class of the destination-column phase.
+    p3_base: u8,
+}
+
+impl HierTable {
+    /// `(out port, VC class)` at tile `at` for a `src → dst` flit on its
+    /// `hop`-th hop. O(1) apart from the CSR port lookup.
+    pub(super) fn port_and_class(&self, at: usize, src: usize, dst: usize, hop: usize) -> (u8, u8) {
+        let (next, class) = self.step(src, dst, hop);
+        let port = self.csr.port_of(at, next as u32);
+        (u8::try_from(port).expect("radix fits u8"), class)
+    }
+
+    /// The full [`Hop`] of the same query.
+    pub(super) fn hop_at(&self, at: usize, src: usize, dst: usize, hop: usize) -> Hop {
+        let (port, vc_class) = self.port_and_class(at, src, dst, hop);
+        let (to, channel) = self.csr.entry(at, u32::from(port));
+        Hop {
+            channel: ChannelId::new(channel),
+            to: TileId::new(to),
+            vc_class,
+        }
+    }
+
+    /// Path length of `src → dst` in O(1) (sums 2–3 list lengths).
+    pub(super) fn hop_count(&self, src: usize, dst: usize) -> usize {
+        let cols = self.cols as usize;
+        let (sr, sc) = (src / cols, src % cols);
+        let (dr, dc) = (dst / cols, dst % cols);
+        match self.row_banks[sr].list(sc as u16, dc as u16) {
+            Some(row) => row.len() + self.col_list_len(dc, sr, dr),
+            None => {
+                let g = self.through[sr];
+                self.col_list_len(sc, sr, g as usize)
+                    + self.row_banks[g as usize]
+                        .list(sc as u16, dc as u16)
+                        .expect("through row connects every column pair")
+                        .len()
+                    + self.col_list_len(dc, g as usize, dr)
+            }
+        }
+    }
+
+    fn col_list_len(&self, col: usize, from_row: usize, to_row: usize) -> usize {
+        self.col_banks[col]
+            .list(from_row as u16, to_row as u16)
+            .expect("columns are fully connected")
+            .len()
+    }
+
+    /// `(next tile, VC class)` of the `hop`-th hop of `src → dst`.
+    fn step(&self, src: usize, dst: usize, hop: usize) -> (usize, u8) {
+        let cols = self.cols as usize;
+        let (sr, sc) = (src / cols, src % cols);
+        let (dr, dc) = (dst / cols, dst % cols);
+        if let Some(row) = self.row_banks[sr].list(sc as u16, dc as u16) {
+            // Two phases: own row, then destination column.
+            if hop < row.len() {
+                let mv = row[hop];
+                return (sr * cols + mv.to_pos as usize, self.p2_base + mv.reversals);
+            }
+            let col = self.col_banks[dc]
+                .list(sr as u16, dr as u16)
+                .expect("columns are fully connected");
+            let mv = col[hop - row.len()];
+            return (mv.to_pos as usize * cols + dc, self.p3_base + mv.reversals);
+        }
+        // Three phases via the nearest through row.
+        let g = self.through[sr] as usize;
+        let up = self.col_banks[sc]
+            .list(sr as u16, g as u16)
+            .expect("columns are fully connected");
+        if hop < up.len() {
+            let mv = up[hop];
+            return (mv.to_pos as usize * cols + sc, mv.reversals);
+        }
+        let row = self.row_banks[g]
+            .list(sc as u16, dc as u16)
+            .expect("through row connects every column pair");
+        let k = hop - up.len();
+        if k < row.len() {
+            let mv = row[k];
+            return (g * cols + mv.to_pos as usize, self.p2_base + mv.reversals);
+        }
+        let down = self.col_banks[dc]
+            .list(g as u16, dr as u16)
+            .expect("columns are fully connected");
+        let mv = down[k - row.len()];
+        (mv.to_pos as usize * cols + dc, self.p3_base + mv.reversals)
+    }
+
+    /// Approximate resident heap bytes.
+    pub(super) fn bytes(&self) -> usize {
+        self.csr.bytes()
+            + self
+                .row_banks
+                .iter()
+                .chain(self.col_banks.iter())
+                .map(LineBank::bytes)
+                .sum::<usize>()
+            + self.through.len() * 2
+    }
+}
+
+/// Builds the hierarchical table, or [`BuildRoutesError::NotApplicable`]
+/// when the topology has a non-axis-aligned link, a disconnected
+/// column, or (while some row is incomplete) no through row at all.
+pub(super) fn build_hierarchical(topology: &Topology) -> Result<Routes, BuildRoutesError> {
+    let not_applicable = |reason: String| BuildRoutesError::NotApplicable {
+        algorithm: RoutingAlgorithm::Hierarchical,
+        reason,
+    };
+    let grid = topology.grid();
+    let (row_adj, col_adj) = row_col_adjacency(topology).map_err(&not_applicable)?;
+    let row_banks: Vec<LineBank> = row_adj.iter().map(|adj| LineBank::build(adj)).collect();
+    let col_banks: Vec<LineBank> = col_adj.iter().map(|adj| LineBank::build(adj)).collect();
+    if let Some(c) = col_banks.iter().position(|b| !b.fully_connected()) {
+        return Err(not_applicable(format!(
+            "column {c} is disconnected between some rows"
+        )));
+    }
+    let through_rows: Vec<u16> = (0..grid.rows())
+        .filter(|&r| row_banks[r as usize].fully_connected())
+        .collect();
+    if through_rows.is_empty() {
+        return Err(not_applicable(
+            "no row connects every column pair".to_owned(),
+        ));
+    }
+    // Nearest through row per row; scanning the smaller distance (and
+    // the lower row at equal distance) first makes ties deterministic.
+    let through: Vec<u16> = (0..grid.rows())
+        .map(|r| {
+            (0..grid.rows())
+                .flat_map(|d| {
+                    r.checked_sub(d)
+                        .into_iter()
+                        .chain((d > 0 && r + d < grid.rows()).then_some(r + d))
+                })
+                .find(|&t| row_banks[t as usize].fully_connected())
+                .expect("at least one through row exists")
+        })
+        .collect();
+    // Class bank widths. Phase 1 only carries (row → its through row)
+    // column rides, so its width reflects only those lists; phases 2/3
+    // use whole-bank worst cases.
+    let mut p1_classes = 0u8;
+    for r in 0..grid.rows() {
+        if row_banks[r as usize].fully_connected() {
+            continue;
+        }
+        for c in 0..grid.cols() {
+            let max_rev = col_banks[c as usize]
+                .list(r, through[r as usize])
+                .expect("columns are fully connected")
+                .iter()
+                .map(|mv| mv.reversals)
+                .max()
+                .unwrap_or(0);
+            p1_classes = p1_classes.max(max_rev + 1);
+        }
+    }
+    let p2_classes = 1 + row_banks.iter().map(|b| b.max_reversals).max().unwrap_or(0);
+    let p3_classes = 1 + col_banks.iter().map(|b| b.max_reversals).max().unwrap_or(0);
+    let num_vc_classes = p1_classes + p2_classes + p3_classes;
+    Ok(Routes {
+        n: topology.num_tiles(),
+        algorithm: RoutingAlgorithm::Hierarchical,
+        num_vc_classes,
+        table: Table::Hier(HierTable {
+            csr: Csr::build(topology),
+            cols: grid.cols(),
+            row_banks,
+            col_banks,
+            through,
+            p2_base: p1_classes,
+            p3_base: p1_classes + p2_classes,
+        }),
+    })
+}

@@ -1,0 +1,194 @@
+//! Shared 1D (single row / single column) routing machinery: hop-minimal
+//! move lists with bounded direction reversals, and the all-pairs "line
+//! bank" the compact table forms store instead of materialized paths.
+
+use crate::topology::Topology;
+
+/// Maximum direction reversals a 1D phase may take; each reversal
+/// escalates the VC class, which keeps the per-phase channel dependency
+/// graph acyclic.
+pub(super) const MAX_REVERSALS: u8 = 2;
+/// VC classes one 1D phase consumes (`reversals ∈ 0..=MAX_REVERSALS`).
+pub(super) const CLASSES_PER_PHASE: u8 = MAX_REVERSALS + 1;
+
+/// A 1D move along a row or column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) struct Move1D {
+    pub(super) to_pos: u16,
+    pub(super) reversals: u8,
+}
+
+/// Hop-minimal 1D paths with at most [`MAX_REVERSALS`] direction changes,
+/// computed by Dijkstra over `(position, direction)` states with
+/// lexicographic `(hops, reversals)` cost.
+pub(super) fn min_1d_paths(adjacency: &[Vec<u16>], from: u16) -> Vec<Option<Vec<Move1D>>> {
+    let n = adjacency.len();
+    // State: (pos, dir) with dir: 0 = none yet, 1 = increasing, 2 = decreasing.
+    let state = |pos: u16, dir: u8| pos as usize * 3 + dir as usize;
+    let mut best = vec![(u32::MAX, u8::MAX); n * 3];
+    let mut parent: Vec<Option<(u16, u8)>> = vec![None; n * 3];
+    let mut heap = std::collections::BinaryHeap::new();
+    best[state(from, 0)] = (0, 0);
+    heap.push(std::cmp::Reverse((0u32, 0u8, from, 0u8)));
+    while let Some(std::cmp::Reverse((hops, revs, pos, dir))) = heap.pop() {
+        if (hops, revs) > best[state(pos, dir)] {
+            continue;
+        }
+        for &next in &adjacency[pos as usize] {
+            let ndir = if next > pos { 1 } else { 2 };
+            let nrevs = if dir != 0 && ndir != dir {
+                revs + 1
+            } else {
+                revs
+            };
+            if nrevs > MAX_REVERSALS {
+                continue;
+            }
+            let cost = (hops + 1, nrevs);
+            if cost < best[state(next, ndir)] {
+                best[state(next, ndir)] = cost;
+                parent[state(next, ndir)] = Some((pos, dir));
+                heap.push(std::cmp::Reverse((hops + 1, nrevs, next, ndir)));
+            }
+        }
+    }
+    (0..n as u16)
+        .map(|target| {
+            if target == from {
+                return Some(Vec::new());
+            }
+            // Best terminal state for this target.
+            let (dir, &(hops, _)) = [1u8, 2u8]
+                .iter()
+                .map(|&d| (d, &best[state(target, d)]))
+                .min_by_key(|&(_, cost)| *cost)?;
+            if hops == u32::MAX {
+                return None;
+            }
+            // Walk parents back to the source.
+            let mut moves = Vec::new();
+            let (mut pos, mut d) = (target, dir);
+            while pos != from || d != 0 {
+                let (ppos, pdir) = parent[state(pos, d)]?;
+                // Reversal count at this state, relative to the parent.
+                let revs_here = best[state(pos, d)].1;
+                moves.push(Move1D {
+                    to_pos: pos,
+                    reversals: revs_here,
+                });
+                pos = ppos;
+                d = pdir;
+            }
+            moves.reverse();
+            Some(moves)
+        })
+        .collect()
+}
+
+/// All-pairs 1D move lists of one line (one row or one column),
+/// flattened into a single arena: `positions²` `(offset, len)` slots
+/// over one `Vec<Move1D>`. The compact table forms index these banks at
+/// query time instead of materializing per-pair paths; the moves are
+/// exactly what [`min_1d_paths`] produces, so a path reassembled from a
+/// bank is identical to the dense builder's.
+#[derive(Debug, Clone, PartialEq)]
+pub(super) struct LineBank {
+    positions: usize,
+    offsets: Vec<u32>,
+    /// `u16::MAX` marks an unreachable pair.
+    lens: Vec<u16>,
+    moves: Vec<Move1D>,
+    /// Maximum reversal count over every stored move.
+    pub(super) max_reversals: u8,
+}
+
+const UNREACHABLE: u16 = u16::MAX;
+
+impl LineBank {
+    /// Builds the bank from the line's 1D adjacency (one [`min_1d_paths`]
+    /// sweep per source position).
+    pub(super) fn build(adjacency: &[Vec<u16>]) -> Self {
+        let positions = adjacency.len();
+        let mut offsets = vec![0u32; positions * positions];
+        let mut lens = vec![UNREACHABLE; positions * positions];
+        let mut moves = Vec::new();
+        let mut max_reversals = 0u8;
+        for from in 0..positions as u16 {
+            let paths = min_1d_paths(adjacency, from);
+            for (to, path) in paths.iter().enumerate() {
+                let slot = from as usize * positions + to;
+                if let Some(path) = path {
+                    offsets[slot] = u32::try_from(moves.len()).expect("bank arena fits u32");
+                    lens[slot] = u16::try_from(path.len()).expect("1D path fits u16");
+                    for mv in path {
+                        max_reversals = max_reversals.max(mv.reversals);
+                        moves.push(*mv);
+                    }
+                }
+            }
+        }
+        Self {
+            positions,
+            offsets,
+            lens,
+            moves,
+            max_reversals,
+        }
+    }
+
+    /// The move list from `from` to `to`, or `None` when the line cannot
+    /// connect them (within the reversal bound).
+    pub(super) fn list(&self, from: u16, to: u16) -> Option<&[Move1D]> {
+        let slot = from as usize * self.positions + to as usize;
+        let len = self.lens[slot];
+        if len == UNREACHABLE {
+            return None;
+        }
+        let offset = self.offsets[slot] as usize;
+        Some(&self.moves[offset..offset + len as usize])
+    }
+
+    /// `true` when every ordered pair of positions is connected.
+    pub(super) fn fully_connected(&self) -> bool {
+        self.lens.iter().all(|&len| len != UNREACHABLE)
+    }
+
+    /// Approximate resident heap bytes.
+    pub(super) fn bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.lens.len() * std::mem::size_of::<u16>()
+            + self.moves.len() * std::mem::size_of::<Move1D>()
+    }
+}
+
+/// One line's adjacency: per position, the positions it links to.
+pub(super) type LineAdjacency = Vec<Vec<Vec<u16>>>;
+
+/// Per-row and per-column 1D adjacency lists (positions are columns for
+/// rows, rows for columns), extracted from the topology's link set.
+///
+/// # Errors
+///
+/// Returns the offending link rendered as a string when any link is not
+/// row/column aligned (the row/column decompositions only apply then).
+pub(super) fn row_col_adjacency(
+    topology: &Topology,
+) -> Result<(LineAdjacency, LineAdjacency), String> {
+    let grid = topology.grid();
+    let (rows, cols) = (grid.rows(), grid.cols());
+    let mut row_adj: Vec<Vec<Vec<u16>>> = vec![vec![Vec::new(); cols as usize]; rows as usize];
+    let mut col_adj: Vec<Vec<Vec<u16>>> = vec![vec![Vec::new(); rows as usize]; cols as usize];
+    for link in topology.links() {
+        let (ca, cb) = (grid.coord(link.a), grid.coord(link.b));
+        if ca.same_row(cb) {
+            row_adj[ca.row as usize][ca.col as usize].push(cb.col);
+            row_adj[ca.row as usize][cb.col as usize].push(ca.col);
+        } else if ca.same_col(cb) {
+            col_adj[ca.col as usize][ca.row as usize].push(cb.row);
+            col_adj[ca.col as usize][cb.row as usize].push(ca.row);
+        } else {
+            return Err(format!("link {ca} ↔ {cb} is not row/column aligned"));
+        }
+    }
+    Ok((row_adj, col_adj))
+}
