@@ -146,6 +146,7 @@ fn main() {
             scenario.sim = SimConfig::fast_test();
         }
         scenario.sim.alloc = alloc;
+        scenario.sim.faults = shg_bench::fault_plan_from_args();
         let topologies = named_topologies(&scenario);
         let result = scenario_sweep(
             &scenario,

@@ -5,7 +5,7 @@
 //! `cargo run --release -p shg-bench --bin load_curve -- [--scenario a]
 //!  [--topology <spec>] [--case <name>]
 //!  [--pattern all|uniform|transpose|...]
-//!  [--alloc request-queue|full-scan] [--json]
+//!  [--alloc request-queue|full-scan] [--faults <plan>] [--json]
 //!  [--shard i/N] [--resume journal.jsonl] [--cache <dir>]
 //!  [--backend per-cell|reuse|batched|auto] [--lanes K] [--progress]`
 //!
@@ -66,11 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     let routes = routing::default_routes(&annotated.topology)?;
+    let faults = shg_bench::fault_plan_from_args();
+    faults
+        .validate(&annotated.topology)
+        .unwrap_or_else(|e| shg_bench::cli_error(format!("--faults: {e}")));
     let config = SimConfig {
         warmup: 3_000,
         measure: 6_000,
         drain_limit: 20_000,
         alloc: shg_bench::alloc_policy_from_args(),
+        faults,
         ..SimConfig::default()
     };
     let spec = SweepSpec::new(config)

@@ -163,7 +163,8 @@ fn main() {
         &topologies,
         spec,
         shg_bench::sweep::route_form_from_args(),
-    );
+    )
+    .unwrap_or_else(|e| shg_bench::cli_error(e));
     let result = shg_bench::sweep::run_experiment(&mut experiment);
     println!("\n{}", pattern_saturation_table(&result, 0.05));
 }

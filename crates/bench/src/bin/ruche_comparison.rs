@@ -126,7 +126,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &contenders,
         spec,
         shg_bench::sweep::route_form_from_args(),
-    );
+    )
+    .unwrap_or_else(|e| shg_bench::cli_error(e));
     let result = shg_bench::sweep::run_experiment(&mut experiment);
     println!(
         "\nSeven-pattern head-to-head (simulated, resolution 6.25%):\n\n{}",

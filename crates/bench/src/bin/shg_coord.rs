@@ -11,7 +11,8 @@
 //! `cargo run --release -p shg-bench --bin shg_coord --
 //!  (--spawn-workers N [--worker-bin path] | --listen host:port --workers N)
 //!  [--scenario a|b|c|d] [--fast] [--rate-points N] [--add-rates r,..]
-//!  [--alloc request-queue|full-scan] [--db <wire spec>] [--cache <dir>]
+//!  [--alloc request-queue|full-scan] [--db <wire spec>]
+//!  [--faults <plan>] [--cache <dir>]
 //!  [--backend per-cell|reuse|batched|auto] [--lanes K]
 //!  [--chunk-size N] [--durable] [--progress] [--kill-worker I:AFTER]`
 //!
@@ -27,9 +28,10 @@
 //! same flags, no matter how chunks interleaved, stole or died.
 //! `journal=` (optional) streams a solo-shard journal alongside,
 //! byte-identical to a `sweep_worker --out` solo run. The plan keys
-//! (`scenario`, `fast`, `rate-points`, `add-rates`, `alloc`, `db` — the
-//! last a topology database in its one-token wire form, sweeping one
-//! expanded-grid topology instead of the scenario set) default
+//! (`scenario`, `fast`, `rate-points`, `add-rates`, `alloc`, `db` — a
+//! topology database in its one-token wire form, sweeping one
+//! expanded-grid topology instead of the scenario set — and `faults`,
+//! a deterministic fault-injection plan) default
 //! to the coordinator's own flags and may be overridden per request;
 //! they are forwarded to the workers as the user's raw strings, and
 //! the plan-fingerprint handshake aborts the request if any worker
@@ -73,11 +75,15 @@ Usage: shg_coord (--spawn-workers N [--worker-bin path]
   Reads requests from stdin, one per line, as key=value tokens:
     out=result.json [journal=j.jsonl] [scenario=..] [fast=1]
     [rate-points=N] [add-rates=r1,r2] [alloc=..] [routes=..]
-    [db=<wire spec>]
+    [db=<wire spec>] [faults=<plan>]
   and answers each with the full sweep JSON at out= — byte-identical
   to `sweep_worker --single-shot` of the same flags. db= sweeps one
   expanded-grid topology instantiated from a topology database in its
   one-token wire form (e.g. db=die/a/4x4/mesh;die/b/4x4/shg:sr=2).
+  faults= injects deterministic mid-run link/router kills (e.g.
+  faults=drain,2000:link:3-4,2500:router:9) with rerouting over the
+  surviving graph; the raw plan string is forwarded to the workers
+  like every other plan key.
 
   --spawn-workers  spawn N `sweep_worker --serve` children over pipes
   --worker-bin     worker binary (default: sweep_worker next to this
@@ -117,12 +123,11 @@ fn parse_request(line: &str, base: &[(String, String)]) -> Result<Request, Strin
         match key {
             "out" => out = Some(value.to_owned()),
             "journal" => journal = Some(value.to_owned()),
-            "scenario" | "fast" | "rate-points" | "add-rates" | "alloc" | "routes" | "db" => {
-                match params.iter_mut().find(|(k, _)| k == key) {
-                    Some(pair) => pair.1 = value.to_owned(),
-                    None => params.push((key.to_owned(), value.to_owned())),
-                }
-            }
+            "scenario" | "fast" | "rate-points" | "add-rates" | "alloc" | "routes" | "db"
+            | "faults" => match params.iter_mut().find(|(k, _)| k == key) {
+                Some(pair) => pair.1 = value.to_owned(),
+                None => params.push((key.to_owned(), value.to_owned())),
+            },
             other => return Err(format!("unknown request key '{other}'")),
         }
     }
@@ -204,6 +209,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let progress_flag = has_flag("--progress");
     let cache_dir = arg_value("--cache");
+    // The coordinator's own plan flags are the per-request defaults;
+    // interpreting them once up front turns a malformed --scenario,
+    // --db or --faults into an immediate usage error instead of a
+    // failure on the first request (after workers were spawned).
+    let base_params = request_params_from_args();
+    let _ = request_setup(&base_params).unwrap_or_else(|e| cli_error(e));
 
     // Fleet.
     let spawn_count = arg_value("--spawn-workers").map(|n| {
@@ -234,7 +245,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kill_done = false;
 
     // Coordinator-side experiment ingredients, shared across requests.
-    let base_params = request_params_from_args();
     let scenarios: Vec<(String, Vec<(String, Topology)>)> = ["a", "b", "c", "d"]
         .iter()
         .map(|letter| {
@@ -271,7 +281,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             topologies,
             setup.spec,
             setup.route_form,
-        );
+        )
+        .unwrap_or_else(|e| cli_error(e));
         // A fresh cache handle per request: its counters are this
         // request's cached/simulated split over the shared directory.
         if let Some(dir) = &cache_dir {

@@ -59,7 +59,7 @@ use shg_bench::sweep::{
 };
 use shg_bench::{arg_value, cli_error, has_flag, named_topologies};
 use shg_core::Scenario;
-use shg_sim::sweep::{run_journaled_durable, serve_worker};
+use shg_sim::sweep::{connect_with_backoff, run_journaled_durable, serve_worker};
 use shg_sim::{Experiment, ShardSpec};
 use shg_topology::Topology;
 
@@ -68,11 +68,11 @@ Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
                     [--add-rates r1,r2,..] [--alloc request-queue|full-scan]
                     [--routes dense|next-hop]
                     [--db <topology-db wire spec>]
-                    [--backend per-cell|reuse|batched|auto] [--lanes K]
-                    [--cache <dir>]
+                    [--faults <plan>] [--backend per-cell|reuse|batched|auto]
+                    [--lanes K] [--cache <dir>]
                     [--shard i/N] (--out j.jsonl | --resume j.jsonl)
                     [--single-shot result.json] [--durable] [--progress]
-                    [--serve | --connect host:port]
+                    [--serve | --connect host:port [--connect-patience SECS]]
 
   --scenario     KNC scenario whose grid to sweep (default: a)
   --db           sweep one expanded-grid topology instantiated from a
@@ -86,6 +86,13 @@ Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
                  sweep without shifting existing cells' coordinates,
                  so a warm --cache re-simulates only these new cells
   --alloc        allocation policy (default: request-queue)
+  --faults       deterministic fault-injection plan: an optional
+                 drop|drain in-flight policy token followed by
+                 comma-separated CYCLE:link:A-B / CYCLE:router:R kills
+                 (e.g. drain,2000:link:3-4,2500:router:9); routes are
+                 recomputed over the surviving graph at each fault
+                 cycle, and link kills must name links present in every
+                 swept topology (router kills apply everywhere)
   --routes       routing-table form (default: next-hop — compact O(1)
                  per-hop tables, bit-identical results to dense; db
                  topologies auto-upgrade to hierarchical multi-die
@@ -105,7 +112,11 @@ Usage: sweep_worker [--scenario a|b|c|d] [--fast] [--rate-points N]
   --serve        worker service mode: speak the shg_coord protocol on
                  stdin/stdout (plan flags come per request; --backend,
                  --lanes and --cache still configure this worker)
-  --connect      like --serve, but dial a coordinator listening on TCP";
+  --connect      like --serve, but dial a coordinator listening on TCP;
+                 retried with capped jittered exponential backoff, so
+                 the worker may be started before the coordinator
+  --connect-patience  seconds to keep retrying --connect before giving
+                 up with a usage error (default: 30)";
 
 /// Service mode: serve coordinator requests until shutdown or hangup.
 /// Topology sets for every scenario are built up front so one
@@ -151,7 +162,7 @@ fn serve() -> Result<(), Box<dyn std::error::Error>> {
             topologies,
             setup.spec,
             setup.route_form,
-        );
+        )?;
         experiment.set_backend(shg_sim::ExecBackend::Auto);
         configure_experiment(&mut experiment);
         eprintln!(
@@ -163,8 +174,18 @@ fn serve() -> Result<(), Box<dyn std::error::Error>> {
         Ok(experiment)
     };
     if let Some(addr) = arg_value("--connect") {
-        let stream = std::net::TcpStream::connect(&addr)
-            .unwrap_or_else(|e| cli_error(format!("--connect {addr}: {e}")));
+        let patience = arg_value("--connect-patience").map_or(30, |secs| {
+            secs.parse::<u64>()
+                .unwrap_or_else(|e| cli_error(format!("--connect-patience {secs}: {e}")))
+        });
+        let patience = std::time::Duration::from_secs(patience);
+        let stream = connect_with_backoff(&addr, patience).unwrap_or_else(|e| {
+            cli_error(format!(
+                "--connect {addr}: no coordinator answered within {}s of backoff retries \
+                 (last error: {e}); start shg_coord --listen first or raise --connect-patience",
+                patience.as_secs()
+            ))
+        });
         eprintln!("[sweep_worker] connected to coordinator at {addr}");
         let mut reader = stream.try_clone()?;
         let mut writer = stream;
@@ -202,7 +223,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &topologies,
         setup.spec,
         setup.route_form,
-    );
+    )
+    .unwrap_or_else(|e| cli_error(e));
     // The worker's default backend is auto (bit-identical to per-cell,
     // usually faster); an explicit --backend below overrides it.
     experiment.set_backend(shg_sim::ExecBackend::Auto);

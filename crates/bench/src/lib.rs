@@ -312,6 +312,28 @@ pub fn alloc_policy_by_name(name: &str) -> Option<AllocPolicy> {
     }
 }
 
+/// The fault-injection plan selected by `--faults <plan>` (default:
+/// the empty plan — no faults, bit-identical to a fault-free build).
+/// The wire form is [`shg_sim::FaultPlan::parse`]'s: an optional
+/// `drop`/`drain` in-flight policy token followed by comma-separated
+/// `CYCLE:link:A-B` / `CYCLE:router:R` kills, e.g.
+/// `drain,2000:link:3-4,2500:router:9`.
+///
+/// Only the syntax is checked here; range checks against the concrete
+/// swept topologies happen when cases are annotated
+/// ([`sweep::annotated_experiment`]) or, for single-topology binaries,
+/// via [`shg_sim::FaultPlan::validate`] at the call site.
+///
+/// A malformed plan is a usage error: reported via [`cli_error`] (exit
+/// code 2), never a panic.
+#[must_use]
+pub fn fault_plan_from_args() -> shg_sim::FaultPlan {
+    arg_value("--faults").map_or_else(shg_sim::FaultPlan::default, |spec| {
+        shg_sim::FaultPlan::parse(&spec)
+            .unwrap_or_else(|e| cli_error(format!("--faults '{spec}': {e}")))
+    })
+}
+
 /// The allocation policy selected by `--alloc request-queue|full-scan`
 /// (default: the request-driven allocator). Every harness binary that
 /// simulates accepts the flag, so the exhaustive reference stays one

@@ -88,17 +88,18 @@ impl TopologyCache {
     /// form) combination — the prediction inputs are part of the key,
     /// so one cache can serve several scenarios without stale hits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no deadlock-free minimal routing applies (all built-in
-    /// topologies route).
+    /// Returns a description when no deadlock-free minimal routing
+    /// applies (all built-in topologies route, but a topology-database
+    /// spec can describe a disconnected graph).
     pub fn prepare(
         &mut self,
         params: &ArchParams,
         options: &ModelOptions,
         topology: &Topology,
         form: RouteForm,
-    ) -> PreparedCase {
+    ) -> Result<PreparedCase, String> {
         let mut key = topology_fingerprint(topology);
         for input in [
             serde_json::to_string(params).expect("params serialize"),
@@ -112,18 +113,18 @@ impl TopologyCache {
         }
         if let Some(prepared) = self.entries.get(&key) {
             self.hits += 1;
-            return prepared.clone();
+            return Ok(prepared.clone());
         }
         self.misses += 1;
         let routes = routing::default_routes_with(topology, form)
-            .unwrap_or_else(|e| panic!("routing {topology}: {e}"));
+            .map_err(|e| format!("routing {topology}: {e}"))?;
         let prediction = predict(params, topology, options);
         let prepared = PreparedCase {
             routes,
             link_latencies: prediction.estimates.link_latencies,
         };
         self.entries.insert(key, prepared.clone());
-        prepared
+        Ok(prepared)
     }
 
     /// `(hits, misses)` so far.
@@ -138,6 +139,14 @@ impl TopologyCache {
 /// routing tables stored in `form` (the compact `next-hop` form and
 /// the dense reference simulate byte-identically; the form never
 /// shows in the plan fingerprint).
+///
+/// # Errors
+///
+/// Returns a description naming the offending case when a topology
+/// does not route ([`TopologyCache::prepare`]) or when the spec's
+/// fault plan references elements a case's topology does not have
+/// ([`shg_sim::FaultPlan::validate`] — a link kill must name a link
+/// present in *every* swept topology).
 pub fn annotated_experiment<'a>(
     params: &ArchParams,
     options: &ModelOptions,
@@ -145,10 +154,18 @@ pub fn annotated_experiment<'a>(
     topologies: &'a [(String, Topology)],
     spec: SweepSpec,
     form: RouteForm,
-) -> Experiment<'a> {
+) -> Result<Experiment<'a>, String> {
+    for (name, topology) in topologies {
+        spec.config
+            .faults
+            .validate(topology)
+            .map_err(|e| format!("--faults on case '{name}': {e}"))?;
+    }
     let mut experiment = Experiment::new(spec);
     for (name, topology) in topologies {
-        let prepared = cache.prepare(params, options, topology, form);
+        let prepared = cache
+            .prepare(params, options, topology, form)
+            .map_err(|e| format!("case '{name}': {e}"))?;
         experiment.push_case(SweepCase::annotated(
             name.clone(),
             topology,
@@ -156,7 +173,7 @@ pub fn annotated_experiment<'a>(
             prepared.link_latencies,
         ));
     }
-    experiment
+    Ok(experiment)
 }
 
 /// The spec of the standard wide scenario sweep: all seven traffic
@@ -176,8 +193,10 @@ pub fn scenario_sweep_spec(scenario: &Scenario, rate_points: usize) -> SweepSpec
 /// key-value strings — the coordinator/worker wire format of "which
 /// sweep is this". The supported keys are `scenario`, `fast`,
 /// `rate-points`, `add-rates`, `alloc`, `routes` (the routing-table
-/// form, `dense` or `next-hop`) and `db` (a topology database in
-/// its one-token wire form, see [`shg_topology::db::TopologyDb::wire`]);
+/// form, `dense` or `next-hop`), `db` (a topology database in
+/// its one-token wire form, see [`shg_topology::db::TopologyDb::wire`])
+/// and `faults` (a fault plan in [`shg_sim::FaultPlan::parse`] wire
+/// form, e.g. `drain,2000:link:3-4,2500:router:9`);
 /// values are the user's raw flag strings, forwarded **unreformatted**
 /// so every process parses the identical text (re-formatting a float on
 /// one side would silently change its grid). [`request_setup`] is the
@@ -194,6 +213,7 @@ pub fn request_params_from_args() -> Vec<(String, String)> {
         "alloc",
         "routes",
         "db",
+        "faults",
     ] {
         if let Some(value) = arg_value(&format!("--{key}")) {
             params.push((key.to_owned(), value));
@@ -247,6 +267,7 @@ pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String
     let mut alloc: Option<String> = None;
     let mut routes_raw: Option<String> = None;
     let mut db_raw: Option<String> = None;
+    let mut faults_raw: Option<String> = None;
     for (key, value) in params {
         match key.as_str() {
             "scenario" => which.clone_from(value),
@@ -256,6 +277,7 @@ pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String
             "alloc" => alloc = Some(value.clone()),
             "routes" => routes_raw = Some(value.clone()),
             "db" => db_raw = Some(value.clone()),
+            "faults" => faults_raw = Some(value.clone()),
             other => return Err(format!("unknown request param '{other}'")),
         }
     }
@@ -292,6 +314,13 @@ pub fn request_setup(params: &[(String, String)]) -> Result<RequestSetup, String
         })?,
         None => scenario.sim.alloc,
     };
+    // Installed after the `fast` override replaced the whole config;
+    // range checks against the concrete topologies happen when the
+    // cases are annotated ([`annotated_experiment`]).
+    if let Some(spec) = faults_raw {
+        scenario.sim.faults =
+            shg_sim::FaultPlan::parse(&spec).map_err(|e| format!("faults '{spec}': {e}"))?;
+    }
     let rate_points: usize = match rate_points_raw {
         Some(raw) => raw
             .parse()
@@ -359,7 +388,8 @@ pub fn scenario_sweep(
         topologies,
         spec,
         form,
-    );
+    )
+    .unwrap_or_else(|e| cli_error(e));
     run_experiment(&mut experiment)
 }
 
@@ -624,14 +654,20 @@ mod tests {
         };
         let mesh = generators::mesh(scenario.params.grid);
         let mut cache = TopologyCache::new();
-        let a = cache.prepare(&scenario.params, &options, &mesh, RouteForm::NextHop);
-        let b = cache.prepare(&scenario.params, &options, &mesh, RouteForm::NextHop);
+        let a = cache
+            .prepare(&scenario.params, &options, &mesh, RouteForm::NextHop)
+            .expect("mesh routes");
+        let b = cache
+            .prepare(&scenario.params, &options, &mesh, RouteForm::NextHop)
+            .expect("mesh routes");
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(a.link_latencies, b.link_latencies);
         assert_eq!(a.link_latencies.len(), mesh.num_links());
         assert_eq!(a.routes.form(), RouteForm::NextHop);
         // A different form is a different artifact: its own cache slot.
-        let dense = cache.prepare(&scenario.params, &options, &mesh, RouteForm::Dense);
+        let dense = cache
+            .prepare(&scenario.params, &options, &mesh, RouteForm::Dense)
+            .expect("mesh routes");
         assert_eq!(cache.stats(), (1, 2));
         assert_eq!(dense.routes.form(), RouteForm::Dense);
     }

@@ -167,6 +167,67 @@ fn worker_rejects_a_malformed_db_param() {
 }
 
 #[test]
+fn malformed_fault_cycle_is_a_usage_error() {
+    let output = sweep_worker(&[
+        "--fast",
+        "--faults",
+        "soon:link:0-1",
+        "--single-shot",
+        "/dev/null",
+    ]);
+    assert_usage_error(&output, "bad fault cycle");
+}
+
+#[test]
+fn out_of_range_fault_router_is_a_usage_error() {
+    // Parses fine; dies at annotation when checked against the
+    // scenario's concrete 64-tile topologies.
+    let output = sweep_worker(&[
+        "--fast",
+        "--faults",
+        "100:router:9999",
+        "--single-shot",
+        "/dev/null",
+    ]);
+    assert_usage_error(&output, "out of range");
+}
+
+#[test]
+fn duplicate_fault_kill_is_a_usage_error() {
+    // The two events name the same canonical link from both ends.
+    let output = sweep_worker(&[
+        "--fast",
+        "--faults",
+        "100:link:0-1,200:link:1-0",
+        "--single-shot",
+        "/dev/null",
+    ]);
+    assert_usage_error(&output, "duplicate kill");
+}
+
+#[test]
+fn load_curve_rejects_an_absent_fault_link() {
+    // Tiles 0 and 2 both exist but share no link on the scenario mesh.
+    let output = load_curve(&["--topology", "mesh", "--faults", "100:link:0-2"]);
+    assert_usage_error(&output, "no link 0-2");
+}
+
+#[test]
+fn coordinator_validates_faults_before_spawning_the_fleet() {
+    let output = shg_coord(&["--spawn-workers", "2", "--fast", "--faults", "100:nuke:3"]);
+    assert_usage_error(&output, "bad fault event");
+}
+
+#[test]
+fn resilience_rejects_an_out_of_range_kill_fraction() {
+    let output = Command::new(env!("CARGO_BIN_EXE_resilience"))
+        .args(["--fractions", "0.5,1.5"])
+        .output()
+        .expect("spawn resilience");
+    assert_usage_error(&output, "fraction");
+}
+
+#[test]
 fn merge_without_journals_is_a_usage_error() {
     let output = sweep_merge(&[]);
     assert_usage_error(&output, "no journals given");

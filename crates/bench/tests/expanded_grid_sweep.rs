@@ -49,7 +49,8 @@ fn db_request_matches_the_legacy_mesh_plan_and_bytes() {
         std::slice::from_ref(pair),
         setup.spec.clone(),
         setup.route_form,
-    );
+    )
+    .expect("annotates");
 
     // The legacy path: the same mesh from the legacy constructor,
     // manually case-named `db` so the plans are comparable.
@@ -65,7 +66,8 @@ fn db_request_matches_the_legacy_mesh_plan_and_bytes() {
         &legacy,
         legacy_setup.spec.clone(),
         legacy_setup.route_form,
-    );
+    )
+    .expect("annotates");
 
     // Same plan fingerprint (spec, case names, grids, links, floorplan
     // latencies) — the coordinator's handshake would accept either
@@ -98,7 +100,8 @@ fn warm_cache_from_legacy_cells_answers_the_db_request() {
         &legacy,
         legacy_setup.spec.clone(),
         legacy_setup.route_form,
-    );
+    )
+    .expect("annotates");
     cold.set_cache(CellCache::open(&dir).expect("cache opens"));
     let cold_json = cold.run_parallel().to_json();
     let total = cold.plan().num_cells();
@@ -118,7 +121,8 @@ fn warm_cache_from_legacy_cells_answers_the_db_request() {
         std::slice::from_ref(pair),
         setup.spec.clone(),
         setup.route_form,
-    );
+    )
+    .expect("annotates");
     warm.set_cache(CellCache::open(&dir).expect("cache reopens"));
     let warm_json = warm.run_parallel().to_json();
     assert_eq!(warm_json, cold_json);
@@ -153,7 +157,8 @@ fn two_die_heterogeneous_sweep_is_byte_deterministic_and_cache_warm() {
         std::slice::from_ref(pair),
         setup.spec.clone(),
         setup.route_form,
-    );
+    )
+    .expect("annotates");
     first.set_cache(CellCache::open(&dir).expect("cache opens"));
     let first_json = first.run_parallel().to_json();
 
@@ -168,7 +173,8 @@ fn two_die_heterogeneous_sweep_is_byte_deterministic_and_cache_warm() {
         std::slice::from_ref(pair2),
         setup2.spec.clone(),
         setup2.route_form,
-    );
+    )
+    .expect("annotates");
     second.set_cache(CellCache::open(&dir).expect("cache reopens"));
     let second_json = second.run_parallel().to_json();
     assert_eq!(second_json, first_json);

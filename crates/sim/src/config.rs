@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
 use crate::injection::InjectionPolicy;
 use crate::router::AllocPolicy;
 
@@ -50,6 +51,11 @@ pub struct SimConfig {
     /// [`AllocPolicy`]); the request-driven default and the exhaustive
     /// port × VC scan produce bit-identical outcomes.
     pub alloc: AllocPolicy,
+    /// Deterministic mid-run fault injection (see [`FaultPlan`]). The
+    /// default empty plan simulates bit-identically to a fault-free
+    /// build; a non-empty plan kills links/routers at its scheduled
+    /// cycles and reroutes over the surviving subgraph.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -65,6 +71,7 @@ impl Default for SimConfig {
             seed: 0x5eed_1234,
             injection: InjectionPolicy::EventDriven,
             alloc: AllocPolicy::RequestQueue,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -84,6 +91,7 @@ impl SimConfig {
             seed: 42,
             injection: InjectionPolicy::EventDriven,
             alloc: AllocPolicy::RequestQueue,
+            faults: FaultPlan::default(),
         }
     }
 

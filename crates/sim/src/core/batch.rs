@@ -30,10 +30,14 @@
 //! O(touched) cleanup), and is refilled with the batch's next pending
 //! cell while its siblings continue undisturbed.
 
-use shg_topology::{routing::Routes, TileId, Topology};
+use shg_topology::{
+    routing::{Routes, NO_COMPONENT, NO_ROUTE},
+    TileId, Topology,
+};
 use shg_units::Cycles;
 
 use crate::config::SimConfig;
+use crate::fault::{FaultEpoch, FaultSchedule, InFlightPolicy};
 use crate::flit::Flit;
 use crate::injection::Injector;
 use crate::network::ActiveSet;
@@ -92,6 +96,10 @@ struct LaneRun {
     measure_end: u64,
     hard_stop: u64,
     next_packet: u64,
+    /// Fault epochs already applied to this lane (lanes have
+    /// independent clocks, so each replays the shared [`FaultSchedule`]
+    /// at its own pace; a refilled lane restarts from zero).
+    epoch: usize,
     pattern: TrafficPattern,
     injector: Injector,
     recorder: OutcomeRecorder,
@@ -117,6 +125,7 @@ impl LaneRun {
             measure_end,
             hard_stop,
             next_packet: 0,
+            epoch: 0,
             pattern: spec.pattern,
             injector,
             recorder,
@@ -167,8 +176,11 @@ impl<'a> Engine<'a> {
     }
 
     /// Phase A for one lane: packet generation through the lane's own
-    /// injector and per-tile streams.
-    fn inject(&mut self, lane: usize, run: &mut LaneRun) {
+    /// injector and per-tile streams. `component` is the lane's current
+    /// surviving-component map (`None` before the first fault epoch);
+    /// gating comes *after* the destination draw, so the RNG streams
+    /// advance identically with and without faults.
+    fn inject(&mut self, lane: usize, run: &mut LaneRun, component: Option<&[u32]>) {
         let Self {
             layout,
             state,
@@ -190,6 +202,13 @@ impl<'a> Engine<'a> {
         injector.fire_at(now, |t, stream| {
             let src = TileId::new(t as u32);
             if let Some(dst) = pattern.destination(grid, src, stream) {
+                if let Some(component) = component {
+                    let (a, b) = (component[t], component[dst.index()]);
+                    if a == NO_COMPONENT || a != b {
+                        recorder.record_unroutable(now);
+                        return;
+                    }
+                }
                 recorder.record_injection(now);
                 let id = *next_packet;
                 *next_packet += 1;
@@ -206,21 +225,47 @@ impl<'a> Engine<'a> {
     /// Phase B: delivers due flits and credits on the union's active
     /// channels, lane by lane (a lane without in-flight traffic on a
     /// channel is a no-op, exactly like the reference's idle channel).
-    fn deliver(&mut self, lanes: &[Option<LaneRun>]) {
+    ///
+    /// Under an applied drain-policy fault epoch, a lane's flits due on
+    /// a dead channel — and flits arriving at an input VC mid-sink —
+    /// are discarded with their credit returned upstream, exactly like
+    /// `Network::deliver`.
+    fn deliver(&mut self, lanes: &mut [Option<LaneRun>], schedule: Option<&FaultSchedule>) {
         let k = self.state.lanes;
         let sweep = self.active_channels.start_sweep();
         for &c in &sweep {
             let mut busy = false;
-            for (lane, slot) in lanes.iter().enumerate() {
+            for (lane, slot) in lanes.iter_mut().enumerate() {
                 let Some(run) = slot else { continue };
                 let now = run.now;
                 let ci = c * k + lane;
+                let dead = match (schedule, run.epoch) {
+                    (Some(s), e) if e > 0 && s.policy == InFlightPolicy::Drain => {
+                        Some(s.epochs[e - 1].dead_channel.as_slice())
+                    }
+                    _ => None,
+                };
                 while let Some(&(ready, _)) = self.state.data_pipe[ci].front() {
                     if ready > now {
                         break;
                     }
                     let (_, flit) = self.state.data_pipe[ci].pop_front().expect("checked front");
                     let (r, p) = self.layout.ch_dst[c];
+                    if let Some(dead) = dead {
+                        let s = self.state.islot(&self.layout, r, p, lane);
+                        let sinking = self.state.sink_vc_mask[s] & (1 << flit.vc) != 0;
+                        if dead[c] || sinking {
+                            if flit.is_tail {
+                                if !dead[c] {
+                                    self.state.sink_vc_mask[s] &= !(1 << flit.vc);
+                                }
+                                run.recorder.record_drop(flit.created);
+                            }
+                            let lat = self.layout.latency[c];
+                            self.state.credit_pipe[ci].push_back((now + lat, flit.vc));
+                            continue;
+                        }
+                    }
                     debug_assert!(
                         self.state.buffers
                             [self.state.ivc(&self.layout, r, p, flit.vc as usize, lane)]
@@ -268,7 +313,7 @@ impl<'a> Engine<'a> {
     /// routers in ascending order; each `(router, lane)` visit is
     /// gated on that lane's own occupancy — the per-lane reference
     /// membership criterion.
-    fn phase_c(&mut self, lanes: &mut [Option<LaneRun>]) {
+    fn phase_c(&mut self, lanes: &mut [Option<LaneRun>], schedule: Option<&FaultSchedule>) {
         let k = self.state.lanes;
         let sweep = self.active_routers.start_sweep();
         for &r in &sweep {
@@ -278,7 +323,13 @@ impl<'a> Engine<'a> {
                 if self.state.occupied[r * k + lane] == 0 {
                     continue;
                 }
-                self.vc_allocate(r, lane);
+                // The lane's current routing table: the base one until
+                // its first fault epoch swaps in a degraded table.
+                let routes = match (schedule, run.epoch) {
+                    (Some(s), e) if e > 0 => &s.epochs[e - 1].routes,
+                    _ => self.layout.routes,
+                };
+                self.vc_allocate(r, lane, routes, run);
                 self.switch_allocate_and_traverse(r, lane, run);
                 busy |= self.state.occupied[r * k + lane] > 0;
             }
@@ -293,14 +344,14 @@ impl<'a> Engine<'a> {
     /// request word in ascending VC order — the reference's ascending
     /// (port, VC) slot order. `consider_va` only ever clears the bit
     /// it was called for, so the word snapshot stays exact.
-    fn vc_allocate(&mut self, r: usize, lane: usize) {
+    fn vc_allocate(&mut self, r: usize, lane: usize, routes: &Routes, run: &mut LaneRun) {
         for p in 0..self.layout.in_ports(r) {
             let s = self.state.islot(&self.layout, r, p, lane);
             let mut word = self.state.va_vc_mask[s];
             while word != 0 {
                 let v = word.trailing_zeros() as usize;
                 word &= word - 1;
-                self.consider_va(r, p, v, lane);
+                self.consider_va(r, p, v, lane, routes, run);
             }
         }
     }
@@ -308,8 +359,22 @@ impl<'a> Engine<'a> {
     /// One (port, vc) step of VC allocation — the core's transcription
     /// of `Router::consider_va` (request-queue grant, which the object
     /// model pins as bit-identical to the exhaustive scan).
-    fn consider_va(&mut self, r: usize, p: usize, v: usize, lane: usize) {
-        let Self { layout, state, .. } = self;
+    fn consider_va(
+        &mut self,
+        r: usize,
+        p: usize,
+        v: usize,
+        lane: usize,
+        routes: &Routes,
+        run: &mut LaneRun,
+    ) {
+        let Self {
+            layout,
+            state,
+            active_channels,
+            touched_channels,
+            ..
+        } = self;
         let i = state.ivc(layout, r, p, v, lane);
         if state.in_active[i] {
             return;
@@ -322,8 +387,43 @@ impl<'a> Engine<'a> {
             // happen transiently after a tail release; skip.
             return;
         }
-        let (out_port, class) = layout.route(r, &front);
+        let (out_port, class) = layout.route(routes, r, &front);
         let s = state.islot(layout, r, p, lane);
+        if out_port == NO_ROUTE {
+            // No surviving route to the destination (drain fault
+            // policy): sink the packet here, exactly like
+            // `Router::consider_va` — discard its buffered flits
+            // (crediting upstream so senders drain), account the drop
+            // on the tail, and keep sinking arrivals until the tail
+            // shows up.
+            state.va_vc_mask[s] &= !(1 << v);
+            let k = state.lanes;
+            let in_ch = layout.islot_channel[layout.islot(r, p)];
+            let mut saw_tail = false;
+            while let Some(flit) = state.buffers[i].pop_front() {
+                state.occupied[r * k + lane] -= 1;
+                if in_ch != NO_CHANNEL {
+                    let lat = layout.latency[in_ch];
+                    state.credit_pipe[in_ch * k + lane].push_back((run.now + lat, flit.vc));
+                    active_channels.insert(in_ch);
+                    touched_channels[lane].insert(in_ch);
+                }
+                if flit.is_tail {
+                    run.recorder.record_drop(flit.created);
+                    saw_tail = true;
+                    break;
+                }
+            }
+            if saw_tail {
+                if !state.buffers[i].is_empty() {
+                    // The next packet's head is at the front now.
+                    state.va_vc_mask[s] |= 1 << v;
+                }
+            } else {
+                state.sink_vc_mask[s] |= 1 << v;
+            }
+            return;
+        }
         if out_port as usize == layout.ejection_port(r) {
             state.in_active[i] = true;
             state.in_out_port[i] = out_port;
@@ -493,6 +593,100 @@ impl<'a> Engine<'a> {
         self.touched_channels[lane].insert(out_ch);
     }
 
+    /// Applies one fault epoch's state change to one lane — the
+    /// lane-local twin of `Network::apply_fault_epoch`.
+    ///
+    /// Under [`InFlightPolicy::Drop`] the lane's entire transient state
+    /// is discarded (every router and channel it touched is wiped back
+    /// to constructed state, counting lost measured packets by their
+    /// tail flits), while the injector, packet counter and clock carry
+    /// on. The union active sets are *not* cleared: stale entries are
+    /// occupancy-gated no-ops for this lane and still live for its
+    /// siblings.
+    ///
+    /// Under [`InFlightPolicy::Drain`] only the routers that die at
+    /// this epoch are wiped, with each flit buffered on a network input
+    /// port returning its credit upstream so senders drain.
+    fn apply_fault_epoch(
+        &mut self,
+        lane: usize,
+        run: &mut LaneRun,
+        epoch: &FaultEpoch,
+        policy: InFlightPolicy,
+    ) {
+        let Self {
+            layout,
+            state,
+            active_channels,
+            touched_routers,
+            touched_channels,
+            ..
+        } = self;
+        let k = state.lanes;
+        let vcs = layout.vcs;
+        let recorder = &mut run.recorder;
+        match policy {
+            InFlightPolicy::Drop => {
+                touched_routers[lane].clear_with(|r| {
+                    for p in 0..layout.in_ports(r) {
+                        for v in 0..vcs {
+                            let i = (layout.islot(r, p) * vcs + v) * k + lane;
+                            for flit in &state.buffers[i] {
+                                if flit.is_tail {
+                                    recorder.record_drop(flit.created);
+                                }
+                            }
+                        }
+                    }
+                    state.reset_router_lane(layout, r, lane);
+                });
+                touched_channels[lane].clear_with(|c| {
+                    for (_, flit) in &state.data_pipe[c * k + lane] {
+                        if flit.is_tail {
+                            recorder.record_drop(flit.created);
+                        }
+                    }
+                    state.reset_channel_lane(c, lane);
+                });
+            }
+            InFlightPolicy::Drain => {
+                for &r in &epoch.newly_dead_routers {
+                    let r = r as usize;
+                    for p in 0..layout.in_ports(r) {
+                        let in_ch = layout.islot_channel[layout.islot(r, p)];
+                        for v in 0..vcs {
+                            let i = (layout.islot(r, p) * vcs + v) * k + lane;
+                            for flit in &state.buffers[i] {
+                                if flit.is_tail {
+                                    recorder.record_drop(flit.created);
+                                }
+                                if in_ch != NO_CHANNEL {
+                                    let lat = layout.latency[in_ch];
+                                    state.credit_pipe[in_ch * k + lane]
+                                        .push_back((run.now + lat, flit.vc));
+                                    active_channels.insert(in_ch);
+                                    touched_channels[lane].insert(in_ch);
+                                }
+                            }
+                        }
+                    }
+                    // Same reasoning as the object model's drain arm:
+                    // credit returns for flits this router sent before
+                    // dying are still in flight back to it, so its
+                    // counters keep their values across the wipe instead
+                    // of refilling (and then overflowing as the returns
+                    // land). The slice covers every lane; other lanes
+                    // are written back unchanged.
+                    let base = layout.oslot(r, 0) * vcs * k;
+                    let len = layout.out_ports(r) * vcs * k;
+                    let saved = state.credits[base..base + len].to_vec();
+                    state.reset_router_lane(layout, r, lane);
+                    state.credits[base..base + len].copy_from_slice(&saved);
+                }
+            }
+        }
+    }
+
     /// Wipes everything a finished lane touched back to constructed
     /// state, in O(touched). Union active-set entries that existed only
     /// for this lane become no-ops and drop out on the next sweep.
@@ -532,6 +726,11 @@ pub(crate) fn run_batch(
     }
     let k = max_lanes.max(1).min(jobs.len());
     let layout = CoreLayout::new(topology, routes, link_latencies, config.clone());
+    // Compiled fault plan: `None` (the overwhelmingly common case)
+    // keeps the loop on the exact fault-free path. Shared by all lanes,
+    // each replaying it on its own clock.
+    let schedule = FaultSchedule::build(&config.faults, topology, routes.num_vc_classes());
+    let schedule = schedule.as_ref();
     let nodes = topology.num_tiles() as f64;
     let mut engine = Engine::new(layout, k);
     let mut lanes: Vec<Option<LaneRun>> = (0..k).map(|_| None).collect();
@@ -545,16 +744,28 @@ pub(crate) fn run_batch(
     }
     while lanes.iter().any(Option::is_some) {
         // Phase A: per-lane packet generation (disjoint state; lane
-        // order is unobservable).
+        // order is unobservable). Fault epochs strike first, at the top
+        // of their cycle on each lane's own clock, exactly like the
+        // reference's top-of-loop application.
         for (lane, slot) in lanes.iter_mut().enumerate() {
             if let Some(run) = slot.as_mut() {
-                engine.inject(lane, run);
+                if let Some(sched) = schedule {
+                    while run.epoch < sched.epochs.len() && run.now >= sched.epochs[run.epoch].at {
+                        engine.apply_fault_epoch(lane, run, &sched.epochs[run.epoch], sched.policy);
+                        run.epoch += 1;
+                    }
+                }
+                let component = match (schedule, run.epoch) {
+                    (Some(s), e) if e > 0 => Some(s.epochs[e - 1].component.as_slice()),
+                    _ => None,
+                };
+                engine.inject(lane, run, component);
             }
         }
         // Phase B: arrivals on the channel union.
-        engine.deliver(&lanes);
+        engine.deliver(&mut lanes, schedule);
         // Phase C: allocation + traversal on the router union.
-        engine.phase_c(&mut lanes);
+        engine.phase_c(&mut lanes, schedule);
         // Advance each live lane's clock; finished lanes finalize,
         // reset their slice and pick up the next pending cell.
         for (lane, slot) in lanes.iter_mut().enumerate() {

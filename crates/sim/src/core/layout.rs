@@ -216,23 +216,26 @@ impl<'a> CoreLayout<'a> {
 
     /// The output port and VC class the head flit needs at router `r` —
     /// the core's `route_head`, with the channel→port `position` search
-    /// replaced by the precomputed [`CoreLayout::ch_src`] map.
+    /// replaced by the precomputed [`CoreLayout::ch_src`] map. `routes`
+    /// is the *current* table — [`CoreLayout::routes`] until a fault
+    /// epoch swaps in a degraded table (same port numbering, so
+    /// `ch_src` stays valid).
     #[inline]
-    pub(crate) fn route(&self, r: usize, flit: &Flit) -> (u8, u8) {
+    pub(crate) fn route(&self, routes: &Routes, r: usize, flit: &Flit) -> (u8, u8) {
         if flit.dst.index() == r {
             return (self.ejection_port(r) as u8, 0);
         }
-        if self.routes.form() != RouteForm::Dense {
+        if routes.form() != RouteForm::Dense {
             // Compact forms answer (out port, class) directly in the same
             // sorted-neighbor port numbering this layout was built with.
-            return self.routes.port_and_class(
+            return routes.port_and_class(
                 TileId::new(r as u32),
                 flit.src,
                 flit.dst,
                 flit.hop as usize,
             );
         }
-        let path = self.routes.path(flit.src, flit.dst);
+        let path = routes.path(flit.src, flit.dst);
         let hop = &path[flit.hop as usize];
         let (src_router, out_port) = self.ch_src[hop.channel.index()];
         debug_assert_eq!(src_router, r, "flit at wrong router for its path");

@@ -69,6 +69,11 @@ pub(crate) struct CoreState {
     pub(crate) va_vc_mask: Vec<u64>,
     /// Active VCs with buffered flits (switch requests), per in-slot.
     pub(crate) sa_vc_mask: Vec<u64>,
+    /// VCs mid-packet on an unroutable destination, per in-slot: body
+    /// flits arriving on a sinking VC are discarded until the tail
+    /// clears the bit (the twin of `Router::sinking`; only a fault
+    /// epoch can set it).
+    pub(crate) sink_vc_mask: Vec<u64>,
     /// VC-allocation round-robin pointer per out-slot.
     pub(crate) va_rr: Vec<u8>,
     /// Switch-allocation input round-robin pointer per in-slot.
@@ -104,6 +109,7 @@ impl CoreState {
             out_vc_used: vec![0; oslots],
             va_vc_mask: vec![0; islots],
             sa_vc_mask: vec![0; islots],
+            sink_vc_mask: vec![0; islots],
             va_rr: vec![0; oslots],
             sa_in_rr: vec![0; islots],
             sa_out_rr: vec![0; oslots],
@@ -170,6 +176,7 @@ impl CoreState {
             let s = islot * k + lane;
             self.va_vc_mask[s] = 0;
             self.sa_vc_mask[s] = 0;
+            self.sink_vc_mask[s] = 0;
             self.sa_in_rr[s] = 0;
         }
         for o in 0..layout.out_ports(r) {

@@ -43,6 +43,7 @@
 
 mod config;
 mod core;
+mod fault;
 mod flit;
 mod injection;
 mod network;
@@ -53,6 +54,7 @@ pub mod sweep;
 mod traffic;
 
 pub use config::SimConfig;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, InFlightPolicy};
 pub use flit::Flit;
 pub use injection::{geometric_gap, tile_stream_seed, InjectionPolicy, Injector};
 pub use network::{Network, PhaseProfile, ScanPolicy};
@@ -61,7 +63,7 @@ pub use runner::{
     load_sweep, measure_performance, measured_zero_load_latency, saturation_throughput,
     zero_load_latency, Performance, SaturationSearch,
 };
-pub use stats::{percentile, SimOutcome};
+pub use stats::{percentile, FaultStats, SimOutcome};
 pub use sweep::{
     CacheStats, CellCache, CellId, CoordOptions, CoordSummary, ExecBackend, ExecStats, Experiment,
     ShardResult, ShardSpec, SweepCase, SweepPlan, SweepPoint, SweepResult, SweepSpec, WorkerLink,

@@ -44,16 +44,17 @@
 use std::collections::VecDeque;
 
 use shg_topology::{
-    routing::{RouteForm, Routes},
+    routing::{RouteForm, Routes, NO_COMPONENT},
     ChannelId, TileId, Topology,
 };
 use shg_units::Cycles;
 
 use crate::config::SimConfig;
+use crate::fault::{FaultEpoch, FaultSchedule, InFlightPolicy};
 use crate::flit::Flit;
 use crate::injection::Injector;
 use crate::router::{AllocPolicy, Router, TraversalOutput};
-use crate::stats::SimOutcome;
+use crate::stats::{OutcomeRecorder, SimOutcome};
 use crate::traffic::TrafficPattern;
 
 /// Wall-clock decomposition of one run into its simulation phases —
@@ -396,19 +397,54 @@ impl<'a> Network<'a> {
             packet_prob,
             hard_stop,
         );
+        // Compiled fault plan: `None` (the overwhelmingly common case)
+        // keeps this loop on the exact fault-free path.
+        let schedule =
+            FaultSchedule::build(&config.faults, self.topology, self.routes.num_vc_classes());
+        let mut epoch_idx = 0usize;
+        let mut routes: &Routes = self.routes;
+        let mut component: Option<&[u32]> = None;
+        let mut dead_channels: Option<&[bool]> = None;
         let mut next_packet = 0u64;
         let mut now = 0u64;
         let mut traversal = TraversalOutput::default();
         loop {
+            // Fault epochs strike at the top of their cycle, before that
+            // cycle's injection: kill state is applied, and routing
+            // switches to the surviving subgraph's table.
+            if let Some(sched) = schedule.as_ref() {
+                while epoch_idx < sched.epochs.len() && now >= sched.epochs[epoch_idx].at {
+                    let epoch = &sched.epochs[epoch_idx];
+                    self.apply_fault_epoch(epoch, sched.policy, now, &mut recorder);
+                    routes = &epoch.routes;
+                    component = Some(&epoch.component);
+                    if sched.policy == InFlightPolicy::Drain {
+                        // Under `Drop` no traffic can ever reach a dead
+                        // channel (all transient state died with the
+                        // epoch), so delivery needs no dead mask.
+                        dead_channels = Some(&epoch.dead_channel);
+                    }
+                    epoch_idx += 1;
+                }
+            }
             let mut stamp = profile.as_ref().map(|_| std::time::Instant::now());
             // Phase A: packet generation (keeps injecting during drain to
             // sustain back-pressure). The injector owns the RNG streams;
             // per-tile streams make the arrivals schedule-independent, so
             // the event-driven calendar and the per-cycle scan agree
-            // bit-for-bit.
+            // bit-for-bit. Fault gating comes *after* the destination
+            // draw, so the RNG streams advance identically with and
+            // without faults.
             injector.fire_at(now, |t, stream| {
                 let src = TileId::new(t as u32);
                 if let Some(dst) = pattern.destination(grid, src, stream) {
+                    if let Some(component) = component {
+                        let (a, b) = (component[t], component[dst.index()]);
+                        if a == NO_COMPONENT || a != b {
+                            recorder.record_unroutable(now);
+                            return;
+                        }
+                    }
                     recorder.record_injection(now);
                     let id = next_packet;
                     next_packet += 1;
@@ -426,7 +462,7 @@ impl<'a> Network<'a> {
                 stamp = Some(std::time::Instant::now());
             }
             // Phase B: deliver arrivals.
-            self.deliver(now, policy);
+            self.deliver(now, policy, dead_channels, &mut recorder);
             if let Some(p) = profile.as_deref_mut() {
                 let t = stamp.expect("profiling stamps");
                 p.delivery += t.elapsed();
@@ -442,7 +478,7 @@ impl<'a> Network<'a> {
                 ScanPolicy::FullScan => (0..self.routers.len()).collect(),
             };
             for &r in &sweep {
-                self.vc_allocate(r, alloc);
+                self.vc_allocate(r, routes, alloc, &mut traversal);
                 self.routers[r].switch_allocate_and_traverse(&self.config, alloc, &mut traversal);
                 for (channel, vc) in traversal.credits.drain(..) {
                     let lat = self.latency[channel.index()];
@@ -458,6 +494,9 @@ impl<'a> Network<'a> {
                 }
                 for flit in traversal.ejected.drain(..) {
                     recorder.record_ejection(&flit, now);
+                }
+                for created in traversal.dropped.drain(..) {
+                    recorder.record_drop(created);
                 }
                 if policy == ScanPolicy::ActiveSet && self.routers[r].has_occupied_buffers() {
                     self.active_routers.keep(r);
@@ -486,7 +525,19 @@ impl<'a> Network<'a> {
     }
 
     /// Delivers due flits and credits on (active) channels.
-    fn deliver(&mut self, now: u64, policy: ScanPolicy) {
+    ///
+    /// `dead_channels` is `Some` only under an applied drain-policy
+    /// fault epoch: flits due on a dead channel — and flits arriving at
+    /// an input VC mid-sink — are discarded with their credit returned
+    /// upstream, so senders drain instead of wedging. Credits deliver
+    /// on dead channels unchanged.
+    fn deliver(
+        &mut self,
+        now: u64,
+        policy: ScanPolicy,
+        dead_channels: Option<&[bool]>,
+        recorder: &mut OutcomeRecorder,
+    ) {
         let sweep = match policy {
             ScanPolicy::ActiveSet => self.active_channels.start_sweep(),
             ScanPolicy::FullScan => (0..self.data_pipe.len()).collect(),
@@ -498,6 +549,20 @@ impl<'a> Network<'a> {
                 }
                 let (_, flit) = self.data_pipe[c].pop_front().expect("checked front");
                 let (r, p) = self.ch_dst[c];
+                if let Some(dead) = dead_channels {
+                    let discard = dead[c] || self.routers[r].is_sinking(p as usize, flit.vc);
+                    if discard {
+                        if flit.is_tail {
+                            if !dead[c] {
+                                self.routers[r].clear_sink(p as usize, flit.vc);
+                            }
+                            recorder.record_drop(flit.created);
+                        }
+                        let lat = self.latency[c];
+                        self.credit_pipe[c].push_back((now + lat, flit.vc));
+                        continue;
+                    }
+                }
                 let router = &mut self.routers[r];
                 debug_assert!(
                     router.buffers[p as usize][flit.vc as usize].len()
@@ -567,14 +632,108 @@ impl<'a> Network<'a> {
     }
 
     /// VC allocation for router `r` (routing closure plumbed in here).
-    fn vc_allocate(&mut self, r: usize, alloc: AllocPolicy) {
-        let (topology, routes) = (self.topology, self.routes);
+    /// `routes` is the *current* table — the base one until a fault
+    /// epoch swaps in a degraded table over the surviving subgraph.
+    fn vc_allocate(
+        &mut self,
+        r: usize,
+        routes: &Routes,
+        alloc: AllocPolicy,
+        out: &mut TraversalOutput,
+    ) {
+        let topology = self.topology;
         let num_vc_classes = routes.num_vc_classes();
         let router = &mut self.routers[r];
         // Split borrow: the routing closure reads topology/routes only.
         let route =
             |router: &Router, flit: &Flit| Self::route_head(topology, routes, router, r, flit);
-        router.vc_allocate_with(&self.config, num_vc_classes, alloc, route);
+        router.vc_allocate_with(&self.config, num_vc_classes, alloc, route, out);
+    }
+
+    /// Applies one fault epoch's state change at cycle `now`.
+    ///
+    /// Under [`InFlightPolicy::Drop`] the entire transient state of the
+    /// fabric is discarded — every touched router and channel is wiped
+    /// back to constructed state, counting each lost measured packet
+    /// (by its tail flit) as dropped — while the injector, packet
+    /// counter and clock carry on.
+    ///
+    /// Under [`InFlightPolicy::Drain`] only the routers that die *at
+    /// this epoch* are wiped; each flit buffered on a network input
+    /// port returns its credit upstream so senders drain. Everything
+    /// else keeps flowing: dead-channel arrivals and unroutable
+    /// packets are sunk cycle-by-cycle in [`Network::deliver`] and VC
+    /// allocation.
+    fn apply_fault_epoch(
+        &mut self,
+        epoch: &FaultEpoch,
+        policy: InFlightPolicy,
+        now: u64,
+        recorder: &mut OutcomeRecorder,
+    ) {
+        match policy {
+            InFlightPolicy::Drop => {
+                let routers = &mut self.routers;
+                let config = &self.config;
+                self.touched_routers.clear_with(|r| {
+                    for port in &routers[r].buffers {
+                        for buffer in port {
+                            for flit in buffer {
+                                if flit.is_tail {
+                                    recorder.record_drop(flit.created);
+                                }
+                            }
+                        }
+                    }
+                    routers[r].reset(config);
+                });
+                let (data, credit) = (&mut self.data_pipe, &mut self.credit_pipe);
+                self.touched_channels.clear_with(|c| {
+                    for (_, flit) in &data[c] {
+                        if flit.is_tail {
+                            recorder.record_drop(flit.created);
+                        }
+                    }
+                    data[c].clear();
+                    credit[c].clear();
+                });
+                self.active_routers.clear_with(|_| ());
+                self.active_channels.clear_with(|_| ());
+            }
+            InFlightPolicy::Drain => {
+                for &r in &epoch.newly_dead_routers {
+                    let r = r as usize;
+                    let router = &mut self.routers[r];
+                    let net_ports = router.in_channels.len();
+                    for p in 0..router.buffers.len() {
+                        for v in 0..router.buffers[p].len() {
+                            for flit in &router.buffers[p][v] {
+                                if flit.is_tail {
+                                    recorder.record_drop(flit.created);
+                                }
+                                if p < net_ports {
+                                    let c = router.in_channels[p].index();
+                                    let lat = self.latency[c];
+                                    self.credit_pipe[c].push_back((now + lat, flit.vc));
+                                    self.active_channels.insert(c);
+                                    self.touched_channels.insert(c);
+                                }
+                            }
+                        }
+                    }
+                    // The credit counters must survive the reset: credits
+                    // for flits this router sent before dying are still in
+                    // flight back to it, and delivering them onto freshly
+                    // refilled counters would push past the buffer depth.
+                    // Preserved, they climb back toward (never past) full
+                    // as the outstanding returns arrive — the router is
+                    // never allocated again, so they are otherwise inert.
+                    let saved = std::mem::take(&mut router.credits);
+                    router.reset(&self.config);
+                    self.routers[r].credits = saved;
+                }
+            }
+        }
     }
 }
 

@@ -44,6 +44,7 @@
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
+use shg_topology::routing::NO_ROUTE;
 use shg_topology::ChannelId;
 
 use crate::config::SimConfig;
@@ -103,6 +104,9 @@ pub(crate) struct TraversalOutput {
     pub(crate) forwards: Vec<(ChannelId, Flit)>,
     /// Credits returned upstream: `(channel, vc)`.
     pub(crate) credits: Vec<(ChannelId, u8)>,
+    /// Creation cycles of packets whose tail was discarded by a fault
+    /// sink (empty on every fault-free cycle).
+    pub(crate) dropped: Vec<u64>,
 }
 
 /// One router: buffers, reservations, credits and arbitration state.
@@ -151,6 +155,12 @@ pub(crate) struct Router {
     out_requests: Vec<Vec<(u8, u8)>>,
     /// Output ports with entries in `out_requests`. Per-cycle scratch.
     touched_outputs: Vec<u8>,
+    /// `sinking[in_port]`: VCs mid-way through discarding a packet whose
+    /// destination became unreachable (drain fault policy) — the head
+    /// and buffered flits are gone, the rest is still in flight and is
+    /// discarded on arrival until the tail clears the bit. All-zero in
+    /// fault-free runs.
+    sinking: Vec<u64>,
 }
 
 impl Router {
@@ -184,6 +194,7 @@ impl Router {
             out_vc_used: vec![0; out_ports],
             out_requests: vec![Vec::new(); out_ports],
             touched_outputs: Vec::new(),
+            sinking: vec![0; in_ports],
         }
     }
 
@@ -200,6 +211,20 @@ impl Router {
     /// event that fills a buffer re-activates it.
     pub(crate) fn has_occupied_buffers(&self) -> bool {
         self.occupied > 0
+    }
+
+    /// `true` while input VC `(port, vc)` is discarding the remainder of
+    /// an unroutable packet (drain fault policy).
+    #[inline]
+    pub(crate) fn is_sinking(&self, port: usize, vc: u8) -> bool {
+        self.sinking[port] & (1 << vc) != 0
+    }
+
+    /// Ends the sink on `(port, vc)` — called when the packet's tail
+    /// flit arrives and is discarded.
+    #[inline]
+    pub(crate) fn clear_sink(&mut self, port: usize, vc: u8) {
+        self.sinking[port] &= !(1 << vc);
     }
 
     #[inline]
@@ -250,12 +275,18 @@ impl Router {
     /// router (the ejection port for flits that have arrived). It
     /// receives the router by shared reference so it can inspect port
     /// lists without fighting the mutable borrow held by allocation.
+    ///
+    /// A routed port of [`NO_ROUTE`] (possible only under degraded
+    /// routes) sinks the packet instead: its buffered flits are
+    /// discarded with upstream credits reported into `out.credits` and
+    /// the drop into `out.dropped`.
     pub(crate) fn vc_allocate_with(
         &mut self,
         config: &SimConfig,
         num_vc_classes: u8,
         policy: AllocPolicy,
         route: impl Fn(&Router, &Flit) -> (u8, u8),
+        out: &mut TraversalOutput,
     ) {
         let vcs = config.num_vcs as usize;
         match policy {
@@ -263,7 +294,7 @@ impl Router {
                 let in_ports = self.buffers.len();
                 for p in 0..in_ports {
                     for v in 0..vcs {
-                        self.consider_va(p, v, config, num_vc_classes, policy, &route);
+                        self.consider_va(p, v, config, num_vc_classes, policy, &route, out);
                     }
                 }
             }
@@ -284,6 +315,7 @@ impl Router {
                             num_vc_classes,
                             policy,
                             &route,
+                            out,
                         );
                     }
                 }
@@ -294,6 +326,7 @@ impl Router {
     /// One (port, vc) step of VC allocation, shared by both policies:
     /// checks whether the slot's front is a head flit awaiting an
     /// output VC and tries to grant one.
+    #[allow(clippy::too_many_arguments)]
     fn consider_va(
         &mut self,
         p: usize,
@@ -302,6 +335,7 @@ impl Router {
         num_vc_classes: u8,
         policy: AllocPolicy,
         route: &impl Fn(&Router, &Flit) -> (u8, u8),
+        out: &mut TraversalOutput,
     ) {
         if self.in_state[p][v].active {
             return;
@@ -315,6 +349,35 @@ impl Router {
             return;
         }
         let (out_port, class) = route(&*self, &front);
+        if out_port == NO_ROUTE {
+            // No surviving route to the destination (drain fault
+            // policy): sink the packet here. Discard its buffered
+            // flits (crediting upstream so senders drain), account the
+            // drop on the tail, and keep sinking arrivals until the
+            // tail shows up.
+            self.va_clear(p, v);
+            let mut saw_tail = false;
+            while let Some(flit) = self.buffers[p][v].pop_front() {
+                self.occupied -= 1;
+                if p < self.in_channels.len() {
+                    out.credits.push((self.in_channels[p], flit.vc));
+                }
+                if flit.is_tail {
+                    out.dropped.push(flit.created);
+                    saw_tail = true;
+                    break;
+                }
+            }
+            if saw_tail {
+                if !self.buffers[p][v].is_empty() {
+                    // The next packet's head is at the front now.
+                    self.va_set(p, v);
+                }
+            } else {
+                self.sinking[p] |= 1 << v;
+            }
+            return;
+        }
         if out_port as usize == self.ejection_port() {
             self.in_state[p][v] = InVc {
                 active: true,
@@ -581,6 +644,7 @@ impl Router {
             requests.clear();
         }
         self.touched_outputs.clear();
+        self.sinking.fill(0);
     }
 
     /// Asserts every cross-structure invariant of the router's state —
@@ -633,6 +697,14 @@ impl Router {
             }
             let port_bit = self.sa_ports[p >> 6] & (1 << (p & 63)) != 0;
             assert_eq!(port_bit, self.sa_mask[p] != 0, "sa_ports bit {p} stale");
+            for (v, slot) in port.iter().enumerate().take(vcs) {
+                if self.sinking[p] & (1 << v) != 0 {
+                    assert!(
+                        slot.is_empty() && !self.in_state[p][v].active,
+                        "sinking VC [{p}][{v}] must stay empty and inactive"
+                    );
+                }
+            }
         }
         assert_eq!(total as u32, self.occupied, "occupancy counter drifted");
         for (o, owners) in self.out_owner.iter().enumerate() {

@@ -1,12 +1,36 @@
 //! Simulation outcome records.
 
-use serde::{Deserialize, Serialize};
+use serde::{JsonWriter, Serialize};
 
 use crate::config::SimConfig;
 use crate::flit::Flit;
 
+/// Fault-related packet accounting of one run (measurement-window
+/// scope, like every other outcome counter). All-zero for fault-free
+/// runs, in which case it is omitted from the serialized outcome so
+/// fault-free output stays byte-identical to builds that predate fault
+/// injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct FaultStats {
+    /// Measured packets discarded by a fault epoch (in-flight traffic
+    /// under the drop policy, dead-router buffers and unreachable
+    /// packets under the drain policy).
+    pub dropped_packets: u64,
+    /// Injection attempts suppressed because no surviving route
+    /// connected source and destination (the packet was never offered).
+    pub unroutable_packets: u64,
+}
+
+impl FaultStats {
+    /// `true` if no fault ever touched a measured packet.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// The measured result of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimOutcome {
     /// Injected flits per node per cycle during the measurement window.
     pub offered_rate: f64,
@@ -26,6 +50,42 @@ pub struct SimOutcome {
     pub stable: bool,
     /// Total simulated cycles.
     pub cycles: u64,
+    /// Dropped/unroutable packet accounting under fault injection
+    /// (all-zero, and omitted from JSON, for fault-free runs).
+    pub faults: FaultStats,
+}
+
+/// Hand-written so the `faults` block only appears when a fault touched
+/// the run: every fault-free outcome — including every pre-existing
+/// cache entry and journal line — keeps its exact historical byte
+/// representation, which the sweep byte-identity gates rely on.
+impl Serialize for SimOutcome {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field("offered_rate");
+        self.offered_rate.serialize(w);
+        w.field("accepted_rate");
+        self.accepted_rate.serialize(w);
+        w.field("avg_packet_latency");
+        self.avg_packet_latency.serialize(w);
+        w.field("p50_packet_latency");
+        self.p50_packet_latency.serialize(w);
+        w.field("p99_packet_latency");
+        self.p99_packet_latency.serialize(w);
+        w.field("max_packet_latency");
+        self.max_packet_latency.serialize(w);
+        w.field("measured_packets");
+        self.measured_packets.serialize(w);
+        w.field("stable");
+        self.stable.serialize(w);
+        w.field("cycles");
+        self.cycles.serialize(w);
+        if !self.faults.is_zero() {
+            w.field("faults");
+            self.faults.serialize(w);
+        }
+        w.end_object();
+    }
 }
 
 /// Computes a percentile (0.0–1.0) of a latency sample by sorting a copy.
@@ -57,6 +117,8 @@ pub(crate) struct OutcomeRecorder {
     latencies: Vec<f64>,
     ejected_in_window: u64,
     injected_in_window: u64,
+    dropped_packets: u64,
+    unroutable_packets: u64,
 }
 
 impl OutcomeRecorder {
@@ -70,6 +132,8 @@ impl OutcomeRecorder {
             latencies: Vec::new(),
             ejected_in_window: 0,
             injected_in_window: 0,
+            dropped_packets: 0,
+            unroutable_packets: 0,
         }
     }
 
@@ -95,6 +159,27 @@ impl OutcomeRecorder {
         }
         if now >= self.measure_start && now < self.measure_end {
             self.ejected_in_window += 1;
+        }
+    }
+
+    /// Accounts one dropped packet (its tail flit was discarded by a
+    /// fault). Called exactly once per packet, on the tail; packets
+    /// created outside the window were never outstanding and only
+    /// window packets are counted.
+    #[inline]
+    pub(crate) fn record_drop(&mut self, created: u64) {
+        if created >= self.measure_start && created < self.measure_end {
+            self.outstanding_measured -= 1;
+            self.dropped_packets += 1;
+        }
+    }
+
+    /// Accounts one injection attempt suppressed because no surviving
+    /// route connects source and destination at cycle `now`.
+    #[inline]
+    pub(crate) fn record_unroutable(&mut self, now: u64) {
+        if now >= self.measure_start && now < self.measure_end {
+            self.unroutable_packets += 1;
         }
     }
 
@@ -129,6 +214,10 @@ impl OutcomeRecorder {
             measured_packets: self.latencies.len() as u64,
             stable,
             cycles: now,
+            faults: FaultStats {
+                dropped_packets: self.dropped_packets,
+                unroutable_packets: self.unroutable_packets,
+            },
         }
     }
 }
@@ -141,7 +230,7 @@ impl SimOutcome {
     /// # Examples
     ///
     /// ```
-    /// use shg_sim::SimOutcome;
+    /// use shg_sim::{FaultStats, SimOutcome};
     ///
     /// let outcome = SimOutcome {
     ///     offered_rate: 0.2,
@@ -153,6 +242,7 @@ impl SimOutcome {
     ///     measured_packets: 1000,
     ///     stable: true,
     ///     cycles: 20_000,
+    ///     faults: FaultStats::default(),
     /// };
     /// assert!(outcome.keeps_up(0.05));
     /// ```
@@ -177,7 +267,24 @@ mod tests {
             measured_packets: 100,
             stable,
             cycles: 1000,
+            faults: FaultStats::default(),
         }
+    }
+
+    #[test]
+    fn fault_block_is_omitted_until_a_fault_touches_the_run() {
+        let json = |o: &SimOutcome| {
+            let mut w = JsonWriter::new();
+            o.serialize(&mut w);
+            w.finish()
+        };
+        let clean = outcome(true, 0.1, 0.1);
+        assert!(!json(&clean).contains("faults"));
+        let mut faulty = clean;
+        faulty.faults.dropped_packets = 3;
+        faulty.faults.unroutable_packets = 2;
+        let text = json(&faulty);
+        assert!(text.ends_with(r#""faults":{"dropped_packets":3,"unroutable_packets":2}}"#));
     }
 
     #[test]

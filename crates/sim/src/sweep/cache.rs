@@ -273,7 +273,7 @@ impl CellCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::SimOutcome;
+    use crate::stats::{FaultStats, SimOutcome};
 
     fn scratch_dir(name: &str) -> PathBuf {
         let dir =
@@ -298,6 +298,7 @@ mod tests {
                 measured_packets: 12_345,
                 stable: true,
                 cycles: 20_000,
+                faults: FaultStats::default(),
             },
         }
     }

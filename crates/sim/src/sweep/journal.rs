@@ -25,7 +25,7 @@ use super::experiment::Experiment;
 use super::plan::{CellId, SweepPlan};
 use super::result::{ShardResult, SweepPoint, SweepResult};
 use super::shard::ShardSpec;
-use crate::stats::SimOutcome;
+use crate::stats::{FaultStats, SimOutcome};
 use crate::traffic::TrafficPattern;
 
 /// The journal format tag (first line's `format` field).
@@ -223,6 +223,17 @@ pub(crate) fn cell_from_value(value: &Value) -> Result<CellId, String> {
 }
 
 fn outcome_from_value(value: &Value) -> Result<SimOutcome, String> {
+    // `faults` is omitted from fault-free outcomes (the overwhelmingly
+    // common case, and every pre-fault-injection journal line), so its
+    // absence decodes to the all-zero default — keeping the byte-exact
+    // re-serialization identity in both directions.
+    let faults = match value.get("faults") {
+        Some(v) => FaultStats {
+            dropped_packets: u64_field(v, "dropped_packets")?,
+            unroutable_packets: u64_field(v, "unroutable_packets")?,
+        },
+        None => FaultStats::default(),
+    };
     Ok(SimOutcome {
         offered_rate: f64_field(value, "offered_rate")?,
         accepted_rate: f64_field(value, "accepted_rate")?,
@@ -233,6 +244,7 @@ fn outcome_from_value(value: &Value) -> Result<SimOutcome, String> {
         measured_packets: u64_field(value, "measured_packets")?,
         stable: bool_field(value, "stable")?,
         cycles: u64_field(value, "cycles")?,
+        faults,
     })
 }
 
@@ -633,6 +645,10 @@ mod tests {
                 measured_packets: 12_345,
                 stable: true,
                 cycles: 20_000,
+                faults: FaultStats {
+                    dropped_packets: 17,
+                    unroutable_packets: 4,
+                },
             },
         };
         let cell = CellId {
@@ -707,6 +723,7 @@ mod tests {
                 measured_packets: 100,
                 stable: true,
                 cycles: 1_000,
+                faults: FaultStats::default(),
             },
         };
         let cell = |rate: u32| CellId {

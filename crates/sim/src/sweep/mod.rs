@@ -106,7 +106,7 @@ pub use journal::{
     read_journal, run_journaled, run_journaled_durable, JournalError, JournalWriter,
 };
 pub use plan::{CellId, SweepPlan};
-pub use proto::serve_worker;
+pub use proto::{connect_with_backoff, serve_worker};
 pub use result::{MergeError, ShardResult, SweepPoint, SweepResult};
 pub use shard::{ShardParseError, ShardSpec};
 pub use spec::{log_spaced, PatternRates, SweepSpec, ALL_PATTERNS};

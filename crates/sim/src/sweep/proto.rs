@@ -473,10 +473,55 @@ where
     }
 }
 
+/// Dials a coordinator, retrying with capped jittered exponential
+/// backoff until `patience` is exhausted — a worker is routinely
+/// started before (or alongside) the coordinator it serves, so the
+/// first connection attempts are expected to be refused.
+///
+/// Delays double from 50 ms up to a 2 s cap; each gets up to 25%
+/// additive jitter derived from the process id and attempt number (so
+/// a fleet launched by one script does not hammer the listener in
+/// lockstep, without introducing a shared RNG). The final attempt is
+/// made right at the deadline, so a coordinator appearing anywhere
+/// within `patience` is always caught.
+///
+/// # Errors
+///
+/// Returns the last connection error once `patience` has elapsed.
+pub fn connect_with_backoff(
+    addr: &str,
+    patience: std::time::Duration,
+) -> std::io::Result<std::net::TcpStream> {
+    let start = std::time::Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(error) => {
+                let remaining = match patience.checked_sub(start.elapsed()) {
+                    Some(left) if !left.is_zero() => left,
+                    _ => return Err(error),
+                };
+                let exp_ms = 50u64.saturating_mul(1 << attempt.min(16)).min(2_000);
+                // splitmix64 of (pid, attempt): deterministic per
+                // process, decorrelated across a fleet.
+                let mut z = (u64::from(std::process::id()) << 32) | u64::from(attempt);
+                z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                let delay = std::time::Duration::from_millis(exp_ms + (z % (exp_ms / 4 + 1)));
+                std::thread::sleep(delay.min(remaining));
+                attempt += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::SimOutcome;
+    use crate::stats::{FaultStats, SimOutcome};
     use crate::traffic::TrafficPattern;
 
     fn sample_entries() -> Vec<(CellId, SweepPoint)> {
@@ -495,6 +540,7 @@ mod tests {
                 measured_packets: 12_345,
                 stable: true,
                 cycles: 20_000,
+                faults: FaultStats::default(),
             },
         };
         vec![

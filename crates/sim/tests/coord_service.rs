@@ -10,7 +10,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 
 use shg_sim::sweep::{
-    run_coordinated, run_journaled, serve_worker, CoordError, CoordOptions, WorkerLink,
+    connect_with_backoff, run_coordinated, run_journaled, serve_worker, CoordError, CoordOptions,
+    WorkerLink,
 };
 use shg_sim::{CellCache, Experiment, ShardSpec, SimConfig, SweepSpec, TrafficPattern};
 use shg_topology::{generators, Grid, Topology};
@@ -351,6 +352,76 @@ fn losing_every_worker_is_a_hard_error_not_a_hang() {
     );
     assert!(links.is_empty());
     handle.join().expect("worker thread");
+}
+
+/// Spawns a worker that dials with [`connect_with_backoff`] — it may
+/// start before any coordinator is listening and must retry until one
+/// appears.
+fn spawn_patient_worker(addr: SocketAddr) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let stream = connect_with_backoff(&addr.to_string(), std::time::Duration::from_secs(30))
+            .expect("worker outlasts the coordinator's late start");
+        let mut reader = stream.try_clone().expect("stream clones");
+        let mut writer = stream;
+        let mesh = generators::mesh(Grid::new(4, 4));
+        let torus = generators::torus(Grid::new(4, 4));
+        serve_worker(&mut reader, &mut writer, |params| {
+            build_experiment(params, &mesh, &torus, None)
+        })
+        .expect("worker serve loop");
+    })
+}
+
+#[test]
+fn workers_started_before_the_coordinator_retry_until_it_listens() {
+    let mesh = generators::mesh(Grid::new(4, 4));
+    let torus = generators::torus(Grid::new(4, 4));
+    let params = vec![("rates".to_owned(), "0.02,0.05,0.08".to_owned())];
+    let experiment = build_experiment(&params, &mesh, &torus, None).expect("builds");
+    let reference = experiment.run_parallel().to_json();
+
+    // Reserve a port, then close the listener again: the workers start
+    // first, against an address nobody is listening on yet.
+    let addr = {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("probe listener");
+        probe.local_addr().expect("addr")
+    };
+    let handles: Vec<_> = (0..3).map(|_| spawn_patient_worker(addr)).collect();
+    // Long enough that every worker's first dial has failed and the
+    // fleet is deep in its backoff loop before the door opens.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let listener = TcpListener::bind(addr).expect("late coordinator listener");
+    let mut links = accept_workers(&listener, 3);
+
+    let options = CoordOptions {
+        chunk_size: Some(1),
+        durable: false,
+    };
+    let (result, summary) =
+        run_coordinated(&experiment, 1, &params, &mut links, None, &options, |_| {})
+            .expect("coordinated run");
+    assert_eq!(result.to_json(), reference, "late-start fleet drifted");
+    assert_eq!(summary.lost_workers, 0);
+    shutdown_fleet(links, handles);
+}
+
+#[test]
+fn backoff_returns_the_last_error_once_patience_is_spent() {
+    let addr = {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("probe listener");
+        probe.local_addr().expect("addr")
+    };
+    let patience = std::time::Duration::from_millis(150);
+    let start = std::time::Instant::now();
+    let error = connect_with_backoff(&addr.to_string(), patience)
+        .expect_err("nobody ever listens on the probe port");
+    assert!(
+        start.elapsed() >= patience,
+        "gave up after {:?}, before the patience window closed",
+        start.elapsed()
+    );
+    // The error is the real connect failure, not a synthetic timeout.
+    assert_ne!(error.kind(), std::io::ErrorKind::TimedOut);
 }
 
 #[test]

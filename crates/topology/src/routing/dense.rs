@@ -328,9 +328,9 @@ pub(super) fn build_ecube(topology: &Topology) -> Result<Routes, BuildRoutesErro
 /// [`hop_escalation_table`]) into dense paths, so the dense reference and
 /// the compact form share one deterministic tie-break and reconstruct
 /// identical paths.
-pub(super) fn build_hop_escalation(topology: &Topology) -> Routes {
+pub(super) fn build_hop_escalation(topology: &Topology) -> Result<Routes, BuildRoutesError> {
     let n = topology.num_tiles();
-    let (next_port, num_vc_classes) = hop_escalation_table(topology);
+    let (next_port, num_vc_classes) = hop_escalation_table(topology)?;
     let mut paths = vec![Vec::new(); n * n];
     for src in topology.grid().tiles() {
         for dst in topology.grid().tiles() {
@@ -350,10 +350,10 @@ pub(super) fn build_hop_escalation(topology: &Topology) -> Routes {
             paths[src.index() * n + dst.index()] = hops;
         }
     }
-    Routes {
+    Ok(Routes {
         n,
         algorithm: RoutingAlgorithm::HopEscalation,
         num_vc_classes,
         table: Table::Dense { paths },
-    }
+    })
 }

@@ -105,6 +105,14 @@ pub enum BuildRoutesError {
         /// Explanation of the failure.
         reason: String,
     },
+    /// The (sub)graph being routed is partitioned: some ordered pair of
+    /// routable tiles has no surviving path. Raised instead of a panic by
+    /// the BFS-based builders and by [`degraded_routes`] when a fault mask
+    /// splits the network.
+    Disconnected {
+        /// Explanation naming a witness pair or component count.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for BuildRoutesError {
@@ -112,6 +120,9 @@ impl std::fmt::Display for BuildRoutesError {
         match self {
             Self::NotApplicable { algorithm, reason } => {
                 write!(f, "{algorithm:?} routing not applicable: {reason}")
+            }
+            Self::Disconnected { reason } => {
+                write!(f, "network is disconnected: {reason}")
             }
         }
     }
@@ -580,7 +591,7 @@ pub fn build_routes_with(
             RoutingAlgorithm::RingDateline => dense::build_ring_dateline(topology),
             RoutingAlgorithm::TorusDateline => dense::build_torus_dateline(topology),
             RoutingAlgorithm::ECube => dense::build_ecube(topology),
-            RoutingAlgorithm::HopEscalation => Ok(dense::build_hop_escalation(topology)),
+            RoutingAlgorithm::HopEscalation => dense::build_hop_escalation(topology),
             RoutingAlgorithm::Hierarchical => unreachable!("handled above"),
         },
         RouteForm::NextHop => next_hop::build_next_hop(topology, algorithm),
@@ -636,6 +647,80 @@ pub fn default_routes_with(
             build_routes_with(topology, algorithm, RouteForm::NextHop)
         }
     }
+}
+
+/// Sentinel out-port returned by [`Routes::port_and_class`] on a degraded
+/// table when `dst` has no surviving route from `at`. Real ports are
+/// positions in a tile's sorted neighbor list and stay well below this
+/// (the builders reject radices that would collide).
+pub const NO_ROUTE: u8 = u8::MAX;
+
+/// Component id assigned to dead tiles in the component map returned by
+/// [`degraded_routes_with_components`].
+pub const NO_COMPONENT: u32 = u32::MAX;
+
+/// Builds minimal routes over the surviving subgraph of `topology` after
+/// faults: tiles with `alive_tile[t] == false` and directed channels with
+/// `alive_channel[c] == false` are excluded. The table keeps the original
+/// topology's port numbering (so a simulator mid-run can swap tables
+/// without renumbering anything) and uses hop-escalation VC classes
+/// clamped into `num_vc_classes` classes — pass the class count of the
+/// table being replaced so the VC partition stays fixed across fault
+/// epochs. Post-fault escalation-clamped routing is deterministic but not
+/// provably deadlock-free; simulations bound runtime with their drain
+/// limit.
+///
+/// Masks must be direction-symmetric (killing a link kills both directed
+/// channels; killing a router kills all incident channels).
+///
+/// # Errors
+///
+/// Returns [`BuildRoutesError::Disconnected`] when the mask partitions
+/// the surviving tiles. Use [`degraded_routes_with_components`] to route
+/// *through* a partition instead (unreachable pairs answer
+/// [`NO_ROUTE`]).
+pub fn degraded_routes(
+    topology: &Topology,
+    alive_tile: &[bool],
+    alive_channel: &[bool],
+    num_vc_classes: u8,
+) -> Result<Routes, BuildRoutesError> {
+    let (routes, components) =
+        degraded_routes_with_components(topology, alive_tile, alive_channel, num_vc_classes);
+    let mut first: Option<(usize, u32)> = None;
+    for (tile, &comp) in components.iter().enumerate() {
+        if comp == NO_COMPONENT {
+            continue;
+        }
+        match first {
+            None => first = Some((tile, comp)),
+            Some((witness, root)) if comp != root => {
+                return Err(BuildRoutesError::Disconnected {
+                    reason: format!(
+                        "fault mask partitions the surviving network \
+                         (tiles {witness} and {tile} are in different components)"
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(routes)
+}
+
+/// The lenient form of [`degraded_routes`]: always succeeds, returning
+/// the degraded table plus one component id per tile (dead tiles get
+/// [`NO_COMPONENT`]). Pairs in different components have no route —
+/// [`Routes::port_and_class`] answers [`NO_ROUTE`] for them — so callers
+/// gate traffic by comparing component ids instead of failing outright.
+#[must_use]
+pub fn degraded_routes_with_components(
+    topology: &Topology,
+    alive_tile: &[bool],
+    alive_channel: &[bool],
+    num_vc_classes: u8,
+) -> (Routes, Vec<u32>) {
+    next_hop::build_degraded(topology, alive_tile, alive_channel, num_vc_classes)
 }
 
 #[cfg(test)]
@@ -774,6 +859,126 @@ mod tests {
         let routes = default_routes(&mesh).expect("mesh");
         let metric = crate::metrics::average_hops(&mesh);
         assert!((routes.average_hops() - metric).abs() < 1e-9);
+    }
+
+    fn full_liveness(topology: &Topology) -> (Vec<bool>, Vec<bool>) {
+        (
+            vec![true; topology.num_tiles()],
+            vec![true; topology.num_channels()],
+        )
+    }
+
+    fn kill_link(topology: &Topology, channels: &mut [bool], a: u32, b: u32) {
+        let want = crate::topology::Link::new(TileId::new(a), TileId::new(b));
+        let link = topology
+            .links()
+            .iter()
+            .position(|&l| l == want)
+            .expect("link exists");
+        channels[link * 2] = false;
+        channels[link * 2 + 1] = false;
+    }
+
+    #[test]
+    fn degraded_full_mask_matches_hop_escalation_paths() {
+        let grid = Grid::new(4, 4);
+        let mesh = generators::mesh(grid);
+        let reference =
+            build_routes_with(&mesh, RoutingAlgorithm::HopEscalation, RouteForm::NextHop)
+                .expect("mesh");
+        let (tiles, channels) = full_liveness(&mesh);
+        let degraded = degraded_routes(&mesh, &tiles, &channels, reference.num_vc_classes())
+            .expect("fully-alive mask is connected");
+        assert_eq!(degraded.num_vc_classes(), reference.num_vc_classes());
+        for src in grid.tiles() {
+            for dst in grid.tiles() {
+                assert_eq!(
+                    degraded.path_vec(src, dst),
+                    reference.path_vec(src, dst),
+                    "{src} → {dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_routes_avoid_a_dead_link() {
+        let grid = Grid::new(4, 4);
+        let mesh = generators::mesh(grid);
+        let (tiles, mut channels) = full_liveness(&mesh);
+        // Kill the 0 ↔ 1 link; tile 0 keeps its 0 ↔ 4 link.
+        kill_link(&mesh, &mut channels, 0, 1);
+        let routes = degraded_routes(&mesh, &tiles, &channels, 4).expect("mesh minus one link");
+        let dead: Vec<ChannelId> = mesh
+            .channels()
+            .filter(|c| !channels[c.id.index()])
+            .map(|c| c.id)
+            .collect();
+        for src in grid.tiles() {
+            for dst in grid.tiles() {
+                let mut at = src;
+                routes.for_each_hop(src, dst, |hop| {
+                    assert!(
+                        !dead.contains(&hop.channel),
+                        "{src} → {dst} uses a dead link"
+                    );
+                    at = hop.to;
+                });
+                assert_eq!(at, dst, "{src} → {dst} terminates");
+            }
+        }
+        // The detour costs exactly one extra hop pair.
+        assert_eq!(routes.hop_count(TileId::new(0), TileId::new(1)), 3);
+    }
+
+    #[test]
+    fn degraded_dead_router_sinks_all_its_pairs() {
+        let grid = Grid::new(4, 4);
+        let mesh = generators::mesh(grid);
+        let (mut tiles, mut channels) = full_liveness(&mesh);
+        // Kill router 5 and all its incident channels (the symmetric mask
+        // the simulator builds).
+        tiles[5] = false;
+        for &(n, _) in mesh.neighbors(TileId::new(5)) {
+            kill_link(&mesh, &mut channels, 5, n.index() as u32);
+        }
+        let (routes, components) = degraded_routes_with_components(&mesh, &tiles, &channels, 4);
+        assert_eq!(components[5], NO_COMPONENT);
+        assert!(components
+            .iter()
+            .enumerate()
+            .all(|(t, &c)| t == 5 || c == 0));
+        // No surviving route to or from the dead router.
+        let (port, _) = routes.port_and_class(TileId::new(0), TileId::new(0), TileId::new(5), 0);
+        assert_eq!(port, NO_ROUTE);
+        // Every surviving pair still routes.
+        for src in grid.tiles().filter(|s| s.index() != 5) {
+            for dst in grid.tiles().filter(|d| d.index() != 5 && *d != src) {
+                let (port, _) = routes.port_and_class(src, src, dst, 0);
+                assert_ne!(port, NO_ROUTE, "{src} → {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_partition_is_a_typed_error() {
+        let grid = Grid::new(1, 4);
+        let path = Topology::new(
+            grid,
+            TopologyKind::Custom,
+            (0..3).map(|i| crate::topology::Link::new(TileId::new(i), TileId::new(i + 1))),
+        );
+        let (tiles, mut channels) = full_liveness(&path);
+        kill_link(&path, &mut channels, 1, 2);
+        let err = degraded_routes(&path, &tiles, &channels, 1).expect_err("partitioned");
+        assert!(matches!(err, BuildRoutesError::Disconnected { .. }));
+        assert!(err.to_string().contains("disconnected"));
+        let (routes, components) = degraded_routes_with_components(&path, &tiles, &channels, 1);
+        assert_eq!(components, vec![0, 0, 1, 1]);
+        let (port, _) = routes.port_and_class(TileId::new(1), TileId::new(1), TileId::new(2), 0);
+        assert_eq!(port, NO_ROUTE);
+        let (port, _) = routes.port_and_class(TileId::new(0), TileId::new(0), TileId::new(1), 0);
+        assert_ne!(port, NO_ROUTE);
     }
 
     #[test]

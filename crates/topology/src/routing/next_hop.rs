@@ -64,6 +64,11 @@ impl Csr {
         (self.tiles[slot], self.channels[slot])
     }
 
+    /// Number of ports (sorted neighbors) of `at`.
+    pub(super) fn degree(&self, at: usize) -> usize {
+        (self.offsets[at + 1] - self.offsets[at]) as usize
+    }
+
     /// Approximate resident heap bytes.
     pub(super) fn bytes(&self) -> usize {
         (self.offsets.len() + self.tiles.len() + self.channels.len()) * std::mem::size_of::<u32>()
@@ -91,6 +96,12 @@ pub(super) enum Kernel {
     ECube { hid: Vec<u32>, by_hid: Vec<u32> },
     /// Flat per-destination out-port table: `port[dst · n + at]`.
     HopEscalation { next_port: Vec<u8> },
+    /// The masked post-fault analog of `HopEscalation`: routes over a
+    /// surviving subgraph with the original port numbering,
+    /// [`super::NO_ROUTE`] marking unreachable pairs, and hop classes
+    /// clamped to `max_class` so the replaced table's VC partition is
+    /// preserved.
+    Degraded { next_port: Vec<u8>, max_class: u8 },
 }
 
 /// A compact next-hop routing table (see [`Kernel`]).
@@ -113,6 +124,13 @@ impl NextHopTable {
     /// The full [`Hop`] (channel, next tile, class) of the same query.
     pub(super) fn hop_at(&self, at: usize, src: usize, dst: usize, hop: usize) -> Hop {
         let (port, vc_class) = self.step(at, src, dst, hop);
+        if matches!(self.kernel, Kernel::Degraded { .. }) {
+            assert_ne!(
+                port,
+                u32::from(super::NO_ROUTE),
+                "no surviving route from tile {at} to tile {dst}"
+            );
+        }
         let (to, channel) = self.csr.entry(at, port);
         Hop {
             channel: ChannelId::new(channel),
@@ -203,6 +221,16 @@ impl NextHopTable {
                     hop.min(u8::MAX as usize) as u8,
                 )
             }
+            Kernel::Degraded {
+                next_port,
+                max_class,
+            } => {
+                let n = self.rows as usize * cols;
+                (
+                    u32::from(next_port[dst * n + at]),
+                    hop.min(*max_class as usize) as u8,
+                )
+            }
         }
     }
 
@@ -223,6 +251,7 @@ impl NextHopTable {
             } => (row_cycle.len() + col_cycle.len() + row_logical.len() + col_logical.len()) * 2,
             Kernel::ECube { hid, by_hid } => (hid.len() + by_hid.len()) * 4,
             Kernel::HopEscalation { next_port } => next_port.len(),
+            Kernel::Degraded { next_port, .. } => next_port.len() + 1,
         };
         self.csr.bytes() + kernel
     }
@@ -253,10 +282,11 @@ fn cycle_step(a: usize, b: usize, pa: usize, len: usize) -> (usize, bool) {
 /// of `u` one step closer to `dst`. Returns the port table and the
 /// number of VC classes (the maximum path length — class = hop index).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the topology is disconnected.
-pub(super) fn hop_escalation_table(topology: &Topology) -> (Vec<u8>, u8) {
+/// Returns [`BuildRoutesError::Disconnected`] if some pair of tiles has
+/// no path.
+pub(super) fn hop_escalation_table(topology: &Topology) -> Result<(Vec<u8>, u8), BuildRoutesError> {
     let n = topology.num_tiles();
     let mut next_port = vec![0u8; n * n];
     let mut max_dist = 0u32;
@@ -279,7 +309,11 @@ pub(super) fn hop_escalation_table(topology: &Topology) -> (Vec<u8>, u8) {
                 continue;
             }
             let du = dist[u.index()];
-            assert_ne!(du, u32::MAX, "topology is connected");
+            if du == u32::MAX {
+                return Err(BuildRoutesError::Disconnected {
+                    reason: format!("no path from tile {} to tile {}", u.index(), dst.index()),
+                });
+            }
             max_dist = max_dist.max(du);
             let port = topology
                 .neighbors(u)
@@ -289,7 +323,123 @@ pub(super) fn hop_escalation_table(topology: &Topology) -> (Vec<u8>, u8) {
             next_port[dst.index() * n + u.index()] = u8::try_from(port).expect("radix fits u8");
         }
     }
-    (next_port, max_dist.clamp(1, u32::from(u8::MAX)) as u8)
+    Ok((next_port, max_dist.clamp(1, u32::from(u8::MAX)) as u8))
+}
+
+/// Builds the degraded (post-fault) table behind
+/// [`super::degraded_routes_with_components`]: one masked reverse BFS per
+/// surviving destination over the surviving channels, keeping the
+/// original topology's port numbering. Unreachable `(at, dst)` pairs get
+/// [`super::NO_ROUTE`]; the second return value maps each tile to its
+/// surviving component ([`super::NO_COMPONENT`] for dead tiles).
+pub(super) fn build_degraded(
+    topology: &Topology,
+    alive_tile: &[bool],
+    alive_channel: &[bool],
+    num_vc_classes: u8,
+) -> (Routes, Vec<u32>) {
+    let n = topology.num_tiles();
+    assert_eq!(alive_tile.len(), n, "one liveness bit per tile");
+    assert_eq!(
+        alive_channel.len(),
+        topology.num_channels(),
+        "one liveness bit per directed channel"
+    );
+    assert!(num_vc_classes >= 1, "at least one VC class");
+    let csr = Csr::build(topology);
+    let grid = topology.grid();
+    // The sentinel must not collide with a real port.
+    let max_degree = topology.max_degree();
+    assert!(
+        max_degree < usize::from(super::NO_ROUTE),
+        "router radix {max_degree} collides with the NO_ROUTE sentinel"
+    );
+    // A directed channel survives only if both endpoints and the channel
+    // itself are alive. Fault masks are symmetric (links and routers die
+    // whole), so reachability is mutual within a component.
+    let usable = |from: usize, to: usize, channel: usize| {
+        alive_tile[from] && alive_tile[to] && alive_channel[channel]
+    };
+    for link in 0..topology.num_links() {
+        debug_assert_eq!(
+            alive_channel[link * 2],
+            alive_channel[link * 2 + 1],
+            "fault masks must kill both directions of a link"
+        );
+    }
+    // Surviving components, labeled in first-seen (tile id) order.
+    let mut components = vec![super::NO_COMPONENT; n];
+    let mut next_component = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if !alive_tile[start] || components[start] != super::NO_COMPONENT {
+            continue;
+        }
+        components[start] = next_component;
+        stack.push(start);
+        while let Some(t) = stack.pop() {
+            for port in 0..csr.degree(t) {
+                let (to, channel) = csr.entry(t, port as u32);
+                let to = to as usize;
+                if usable(t, to, channel as usize) && components[to] == super::NO_COMPONENT {
+                    components[to] = next_component;
+                    stack.push(to);
+                }
+            }
+        }
+        next_component += 1;
+    }
+    // Masked reverse BFS per surviving destination.
+    let mut next_port = vec![super::NO_ROUTE; n * n];
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for dst in 0..n {
+        if !alive_tile[dst] {
+            continue;
+        }
+        dist.fill(u32::MAX);
+        queue.clear();
+        dist[dst] = 0;
+        queue.push_back(dst);
+        while let Some(t) = queue.pop_front() {
+            // Relax u when the *forward* channel u → t survives.
+            for &(u, link) in topology.neighbors(TileId::new(t as u32)) {
+                let channel = topology.channel_from(u, link).id.index();
+                if usable(u.index(), t, channel) && dist[u.index()] == u32::MAX {
+                    dist[u.index()] = dist[t] + 1;
+                    queue.push_back(u.index());
+                }
+            }
+        }
+        for u in 0..n {
+            let du = dist[u];
+            if u == dst || du == u32::MAX {
+                continue;
+            }
+            let port = (0..csr.degree(u))
+                .position(|p| {
+                    let (v, channel) = csr.entry(u, p as u32);
+                    usable(u, v as usize, channel as usize) && dist[v as usize] == du - 1
+                })
+                .expect("BFS predecessor exists");
+            next_port[dst * n + u] = u8::try_from(port).expect("radix fits u8");
+        }
+    }
+    let routes = Routes {
+        n,
+        algorithm: RoutingAlgorithm::HopEscalation,
+        num_vc_classes,
+        table: Table::NextHop(NextHopTable {
+            csr,
+            rows: grid.rows(),
+            cols: grid.cols(),
+            kernel: Kernel::Degraded {
+                next_port,
+                max_class: num_vc_classes - 1,
+            },
+        }),
+    };
+    (routes, components)
 }
 
 /// Builds the compact next-hop table for `algorithm`.
@@ -385,7 +535,7 @@ pub(super) fn build_next_hop(
             (Kernel::ECube { hid, by_hid }, 1)
         }
         RoutingAlgorithm::HopEscalation => {
-            let (next_port, classes) = hop_escalation_table(topology);
+            let (next_port, classes) = hop_escalation_table(topology)?;
             (Kernel::HopEscalation { next_port }, classes)
         }
         RoutingAlgorithm::Hierarchical => return super::hier::build_hierarchical(topology),
